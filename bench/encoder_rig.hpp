@@ -1,0 +1,56 @@
+// Shared setup for the adaptive-encoder benches (Figures 3, 4, 8).
+//
+// Builds the Section 5.2 experiment: a demanding synthetic clip, a virtual
+// multicore host calibrated so a chosen preset hits a chosen frame rate on
+// 8 cores, and an AdaptiveEncoder wired to it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "codec/adaptive_encoder.hpp"
+#include "codec/host.hpp"
+#include "codec/video_source.hpp"
+#include "util/clock.hpp"
+
+namespace hb::bench {
+
+struct EncoderRig {
+  static constexpr int kWidth = 128;
+  static constexpr int kHeight = 64;
+
+  std::shared_ptr<util::ManualClock> clock;
+  std::unique_ptr<codec::SyntheticVideo> video;
+  std::unique_ptr<codec::SimulatedHost> host;
+  std::unique_ptr<codec::AdaptiveEncoder> encoder;
+
+  /// `calibrate_rung` runs at `calibrate_fps` on `cores` cores.
+  EncoderRig(int frames, codec::AdaptiveEncoderOptions opts,
+             int calibrate_rung, double calibrate_fps, int cores = 8) {
+    clock = std::make_shared<util::ManualClock>();
+    video = std::make_unique<codec::SyntheticVideo>(
+        codec::VideoSpec::demanding(frames, kWidth, kHeight));
+    codec::Encoder probe(kWidth, kHeight,
+                         codec::make_preset_ladder().rung(calibrate_rung).config);
+    probe.encode(video->frame(0));
+    std::uint64_t work = 0;
+    constexpr int kProbeFrames = 5;
+    for (int i = 1; i <= kProbeFrames; ++i) {
+      work += probe.encode(video->frame(i)).work_units;
+    }
+    host = std::make_unique<codec::SimulatedHost>(
+        clock,
+        codec::SimulatedHost::calibrate_rate(
+            static_cast<double>(work) / kProbeFrames, calibrate_fps, cores),
+        cores);
+    encoder = std::make_unique<codec::AdaptiveEncoder>(
+        kWidth, kHeight, opts, clock,
+        [this](std::uint64_t w) { host->run(w); });
+  }
+
+  codec::FrameStats encode_frame(int f) {
+    return encoder->encode(video->frame(f));
+  }
+};
+
+}  // namespace hb::bench

@@ -1,0 +1,18 @@
+// Figure 5 reproduction: "Behavior of bodytrack coupled with an external
+// scheduler."
+//
+// Target band 2.5-3.5 beats/s, start on one core. Expected shape (paper):
+// quick ramp to seven cores, the eighth core added when performance dips
+// (~beat 102 there, ~beat 110 here), then a staircase down to a single core
+// after the load drop (~beat 141).
+#include "sched_series.hpp"
+#include "sim/workloads.hpp"
+
+int main() {
+  namespace wl = hb::sim::workloads;
+  hb::bench::SchedSeriesOptions opts;
+  opts.target_min = wl::kBodytrackTargetMin;
+  opts.target_max = wl::kBodytrackTargetMax;
+  hb::bench::run_sched_series(wl::bodytrack_like(), opts);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 6 reproduction: "Behavior of streamcluster coupled with an external
+// scheduler."
+//
+// The deliberately narrow 0.50-0.55 beats/s band. Expected shape (paper):
+// the scheduler reaches the band by roughly the twenty-second beat and then
+// keeps nudging the allocation to hold the narrow window.
+#include "sched_series.hpp"
+#include "sim/workloads.hpp"
+
+int main() {
+  namespace wl = hb::sim::workloads;
+  hb::bench::SchedSeriesOptions opts;
+  opts.target_min = wl::kStreamclusterTargetMin;
+  opts.target_max = wl::kStreamclusterTargetMax;
+  // Beats are ~2 s apart; decide on short windows or convergence takes the
+  // whole run.
+  opts.sched_window = 5;
+  opts.plot_window = 10;
+  opts.controller_cooldown = 2;
+  opts.dt_seconds = 0.05;
+  return (hb::bench::run_sched_series(wl::streamcluster_like(), opts), 0);
+}

@@ -1,0 +1,57 @@
+// quickstart: the five-line instrumentation the paper promises.
+//
+// An application declares its goal, beats at significant points, and reads
+// its own heart rate — the entire Table 1 surface in one loop. Run it:
+//
+//   ./examples/quickstart
+//
+// It prints the windowed heart rate every 20 iterations of a toy workload
+// whose cost changes halfway through, showing the rate signal tracking the
+// phase change.
+#include <cmath>
+#include <cstdio>
+
+#include "core/heartbeat.hpp"
+
+namespace {
+
+// A stand-in computation whose cost doubles in the second half.
+double busy_work(int iteration, int total) {
+  const int spins = iteration < total / 2 ? 60'000 : 120'000;
+  double acc = 0.0;
+  for (int i = 1; i <= spins; ++i) acc += std::sqrt(static_cast<double>(i));
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kIterations = 200;
+
+  // 1. Initialize: name, default window, target rate (HB_initialize +
+  //    HB_set_target_rate in the paper's Table 1).
+  hb::core::HeartbeatOptions options;
+  options.name = "quickstart";
+  options.default_window = 20;
+  hb::core::Heartbeat hb(options);
+
+  std::printf("# iteration,heart_rate_bps,meeting_target\n");
+  double sink = 0.0;
+  for (int i = 0; i < kIterations; ++i) {
+    sink += busy_work(i, kIterations);
+
+    // 2. Register progress: one line in the main loop (HB_heartbeat).
+    hb.beat(static_cast<std::uint64_t>(i));
+
+    // 3. Read the signal back (HB_current_rate).
+    if ((i + 1) % 20 == 0) {
+      std::printf("%d,%.1f,%s\n", i + 1, hb.global().rate(),
+                  hb.global().meeting_target() ? "yes" : "no");
+    }
+  }
+  // The rate in the second half is about half the rate of the first half —
+  // visible purely through the heartbeat signal.
+  std::printf("# checksum %.3e (ignore; prevents dead-code elimination)\n",
+              sink);
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "capi/heartbeat_capi.h"
+
+#include <cstring>
+#include <memory>
+#include <new>
+
+#include "core/heartbeat.hpp"
+#include "core/reader.hpp"
+#include "transport/registry.hpp"
+
+using hb::core::Channel;
+using hb::core::Heartbeat;
+using hb::core::HeartbeatOptions;
+using hb::core::HeartbeatReader;
+
+struct hb_handle {
+  std::unique_ptr<Heartbeat> hb;
+};
+
+struct hb_observer {
+  std::unique_ptr<HeartbeatReader> reader;
+};
+
+namespace {
+
+static_assert(sizeof(hb_record) == sizeof(hb::core::HeartbeatRecord),
+              "C and C++ record layouts must match");
+
+hb_handle* make_handle(const char* name, int window, bool published) {
+  if (name == nullptr || *name == '\0') return nullptr;
+  try {
+    HeartbeatOptions opts;
+    opts.name = name;
+    opts.default_window = window > 0 ? static_cast<std::uint32_t>(window) : 20;
+    if (published) {
+      hb::transport::Registry registry;
+      opts.store_factory = registry.shm_factory();
+    }
+    auto* h = new hb_handle{std::make_unique<Heartbeat>(std::move(opts))};
+    return h;
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+Channel& select(hb_handle* h, int local) {
+  return local != 0 ? h->hb->local() : h->hb->global();
+}
+
+}  // namespace
+
+extern "C" {
+
+hb_handle* hb_initialize(const char* name, int window) {
+  return make_handle(name, window, /*published=*/false);
+}
+
+hb_handle* hb_initialize_published(const char* name, int window) {
+  return make_handle(name, window, /*published=*/true);
+}
+
+void hb_finalize(hb_handle* h) { delete h; }
+
+uint64_t hb_heartbeat(hb_handle* h, uint64_t tag, int local) {
+  return select(h, local).beat(tag);
+}
+
+double hb_current_rate(hb_handle* h, int window, int local) {
+  return select(h, local).rate(
+      window > 0 ? static_cast<std::uint32_t>(window) : 0);
+}
+
+void hb_set_target_rate(hb_handle* h, double min_bps, double max_bps,
+                        int local) {
+  select(h, local).set_target(min_bps, max_bps);
+}
+
+double hb_get_target_min(hb_handle* h, int local) {
+  return select(h, local).target().min_bps;
+}
+
+double hb_get_target_max(hb_handle* h, int local) {
+  return select(h, local).target().max_bps;
+}
+
+int hb_get_history(hb_handle* h, hb_record* out, int n, int local) {
+  if (out == nullptr || n <= 0) return 0;
+  const auto recs = select(h, local).history(static_cast<std::size_t>(n));
+  std::memcpy(out, recs.data(), recs.size() * sizeof(hb_record));
+  return static_cast<int>(recs.size());
+}
+
+uint64_t hb_count(hb_handle* h, int local) { return select(h, local).count(); }
+
+hb_observer* hb_attach(const char* app_name) {
+  if (app_name == nullptr) return nullptr;
+  try {
+    hb::transport::Registry registry;
+    return new hb_observer{
+        std::make_unique<HeartbeatReader>(registry.attach(
+            std::string(app_name) + ".global"))};
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void hb_detach(hb_observer* o) { delete o; }
+
+double hb_observer_rate(hb_observer* o, int window) {
+  return o->reader->current_rate(
+      window > 0 ? static_cast<std::uint32_t>(window) : 0);
+}
+
+double hb_observer_target_min(hb_observer* o) { return o->reader->target_min(); }
+
+double hb_observer_target_max(hb_observer* o) { return o->reader->target_max(); }
+
+uint64_t hb_observer_count(hb_observer* o) { return o->reader->count(); }
+
+int hb_observer_history(hb_observer* o, hb_record* out, int n) {
+  if (out == nullptr || n <= 0) return 0;
+  const auto recs = o->reader->history(static_cast<std::size_t>(n));
+  std::memcpy(out, recs.data(), recs.size() * sizeof(hb_record));
+  return static_cast<int>(recs.size());
+}
+
+int64_t hb_observer_staleness_ns(hb_observer* o) {
+  return o->reader->staleness_ns();
+}
+
+}  // extern "C"

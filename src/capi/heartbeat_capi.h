@@ -1,0 +1,102 @@
+/*
+ * The Application Heartbeats C API — the paper's Table 1, verbatim in spirit.
+ *
+ * Paper, Section 4: "It is written in C and is callable from both C and C++
+ * programs." This binding exposes the C++ core to C. Every Table 1 function
+ * is present, with the `local` flag selecting the calling thread's private
+ * channel (local != 0) or the application-wide shared channel (local == 0):
+ *
+ *   Table 1                      Here
+ *   -------------------------    ------------------------------------------
+ *   HB_initialize                hb_initialize / hb_initialize_published
+ *   HB_heartbeat                 hb_heartbeat
+ *   HB_current_rate              hb_current_rate
+ *   HB_set_target_rate           hb_set_target_rate
+ *   HB_get_target_min            hb_get_target_min
+ *   HB_get_target_max            hb_get_target_max
+ *   HB_get_history               hb_get_history
+ *
+ * hb_initialize_published places the channel in the heartbeat registry
+ * directory (shared memory) so external observers — the paper's Figure 1b —
+ * can attach with hb_attach and read rates/targets from another process.
+ */
+#ifndef HB_HEARTBEAT_CAPI_H
+#define HB_HEARTBEAT_CAPI_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Opaque producer handle (one per application). */
+typedef struct hb_handle hb_handle;
+
+/* Opaque observer handle (attached to another process's channel). */
+typedef struct hb_observer hb_observer;
+
+/* Binary layout identical to hb::core::HeartbeatRecord (32 bytes). */
+typedef struct hb_record {
+  int64_t timestamp_ns;
+  uint64_t seq;
+  uint64_t tag;
+  uint32_t thread_id;
+  uint32_t reserved;
+} hb_record;
+
+/* -------------------------------------------------------------- producer */
+
+/* Initialize the heartbeat runtime for this application. `window` is the
+ * default window used by hb_current_rate(., 0, .). Returns NULL on error. */
+hb_handle* hb_initialize(const char* name, int window);
+
+/* Like hb_initialize, but publishes the channels as shared-memory segments
+ * in the registry directory ($HB_DIR or <tmp>/heartbeats) for external
+ * observers. */
+hb_handle* hb_initialize_published(const char* name, int window);
+
+/* Tear down the runtime and free the handle. */
+void hb_finalize(hb_handle* h);
+
+/* Register a heartbeat; returns its sequence number. */
+uint64_t hb_heartbeat(hb_handle* h, uint64_t tag, int local);
+
+/* Average heart rate (beats/s) over the last `window` beats; 0 selects the
+ * default window from initialization. */
+double hb_current_rate(hb_handle* h, int window, int local);
+
+/* Declare the target heart-rate range for an external observer to read. */
+void hb_set_target_rate(hb_handle* h, double min_bps, double max_bps,
+                        int local);
+
+double hb_get_target_min(hb_handle* h, int local);
+double hb_get_target_max(hb_handle* h, int local);
+
+/* Copy the last `n` beats (oldest first) into `out`; returns the number
+ * actually copied (<= n, limited by retained history). */
+int hb_get_history(hb_handle* h, hb_record* out, int n, int local);
+
+/* Total beats registered on the selected channel. */
+uint64_t hb_count(hb_handle* h, int local);
+
+/* -------------------------------------------------------------- observer */
+
+/* Attach to a published application's global channel by name.
+ * Returns NULL if the application is not found. */
+hb_observer* hb_attach(const char* app_name);
+
+void hb_detach(hb_observer* o);
+
+double hb_observer_rate(hb_observer* o, int window);
+double hb_observer_target_min(hb_observer* o);
+double hb_observer_target_max(hb_observer* o);
+uint64_t hb_observer_count(hb_observer* o);
+int hb_observer_history(hb_observer* o, hb_record* out, int n);
+/* Nanoseconds since the last beat (liveness / hang detection). */
+int64_t hb_observer_staleness_ns(hb_observer* o);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* HB_HEARTBEAT_CAPI_H */

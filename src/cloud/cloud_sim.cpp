@@ -1,0 +1,185 @@
+#include "cloud/cloud_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "core/memory_store.hpp"
+#include "util/time.hpp"
+
+namespace hb::cloud {
+
+CloudSim::CloudSim(int machines, double machine_capacity,
+                   std::shared_ptr<util::ManualClock> clock)
+    : num_machines_(machines), capacity_(machine_capacity),
+      clock_(std::move(clock)) {
+  assert(clock_);
+  if (machines <= 0 || machine_capacity <= 0.0) {
+    throw std::invalid_argument("CloudSim: need machines and capacity");
+  }
+}
+
+int CloudSim::add_vm(VmSpec spec) {
+  Vm vm;
+  vm.channel = std::make_shared<core::Channel>(
+      std::make_shared<core::MemoryStore>(512, true, 8), clock_);
+  vm.channel->set_target(spec.target_min_bps,
+                         std::numeric_limits<double>::infinity());
+  vm.spec = std::move(spec);
+  vms_.push_back(std::move(vm));
+  // First-fit by demand headroom.
+  const int id = static_cast<int>(vms_.size()) - 1;
+  machine_of_.push_back(0);
+  for (int m = 0; m < num_machines_; ++m) {
+    machine_of_.back() = m;
+    if (machine_demand(m) <= capacity_) break;
+  }
+  return id;
+}
+
+void CloudSim::migrate(int vm, int machine) {
+  if (machine < 0 || machine >= num_machines_) {
+    throw std::out_of_range("CloudSim::migrate: bad machine");
+  }
+  machine_of_.at(static_cast<std::size_t>(vm)) = machine;
+}
+
+int CloudSim::used_machines() const {
+  std::vector<bool> used(static_cast<std::size_t>(num_machines_), false);
+  for (std::size_t v = 0; v < vms_.size(); ++v) {
+    if (!vm_finished(static_cast<int>(v))) {
+      used[static_cast<std::size_t>(machine_of_[v])] = true;
+    }
+  }
+  return static_cast<int>(std::count(used.begin(), used.end(), true));
+}
+
+double CloudSim::vm_demand(int vm) const {
+  const Vm& v = vms_.at(static_cast<std::size_t>(vm));
+  double t = v.elapsed_s;
+  for (const auto& phase : v.spec.phases) {
+    if (t < phase.duration_s) return phase.demand;
+    t -= phase.duration_s;
+  }
+  return 0.0;  // finished
+}
+
+bool CloudSim::vm_finished(int vm) const {
+  const Vm& v = vms_.at(static_cast<std::size_t>(vm));
+  double total = 0.0;
+  for (const auto& phase : v.spec.phases) total += phase.duration_s;
+  return v.elapsed_s >= total;
+}
+
+double CloudSim::machine_demand(int machine) const {
+  double demand = 0.0;
+  for (std::size_t v = 0; v < vms_.size(); ++v) {
+    if (machine_of_[v] == machine) demand += vm_demand(static_cast<int>(v));
+  }
+  return demand;
+}
+
+void CloudSim::step(double dt_seconds) {
+  clock_->advance(util::from_seconds(dt_seconds));
+  for (int m = 0; m < num_machines_; ++m) {
+    const double demand = machine_demand(m);
+    // Demand-proportional capacity split; under-subscribed machines serve
+    // everyone fully.
+    const double scale = demand <= capacity_ || demand <= 0.0
+                             ? 1.0
+                             : capacity_ / demand;
+    for (std::size_t v = 0; v < vms_.size(); ++v) {
+      if (machine_of_[v] != m) continue;
+      Vm& vm = vms_[v];
+      const double d = vm_demand(static_cast<int>(v));
+      if (d <= 0.0) continue;
+      vm.pending_work += d * scale * dt_seconds;
+      while (vm.pending_work >= vm.spec.work_per_beat) {
+        vm.pending_work -= vm.spec.work_per_beat;
+        vm.channel->beat();
+      }
+    }
+  }
+  for (auto& vm : vms_) vm.elapsed_s += dt_seconds;
+}
+
+double CloudSim::now_seconds() const { return util::to_seconds(clock_->now()); }
+
+core::Channel& CloudSim::channel(int vm) {
+  return *vms_.at(static_cast<std::size_t>(vm)).channel;
+}
+
+core::HeartbeatReader CloudSim::reader(int vm) const {
+  const Vm& v = vms_.at(static_cast<std::size_t>(vm));
+  // Share the channel's store; readers are cheap views.
+  return core::HeartbeatReader(
+      std::shared_ptr<const core::BeatStore>(v.channel,
+                                             &v.channel->store()),
+      clock_);
+}
+
+int HeartbeatConsolidator::poll(CloudSim& sim) {
+  if (sim.now_seconds() - last_poll_s_ < opts_.period_s) return 0;
+  last_poll_s_ = sim.now_seconds();
+
+  int moved = 0;
+  const int n = static_cast<int>(sim.vm_count());
+  for (int v = 0; v < n; ++v) {
+    if (sim.vm_finished(v)) continue;
+    const auto reader = sim.reader(v);
+    const double rate = reader.current_rate();
+    const double target = reader.target_min();
+    if (rate <= 0.0) continue;  // warming up
+
+    if (rate < target) {
+      // Struggling: move to the machine with the most headroom (other than
+      // where it is). "Only when its heart rate drops will it need to be
+      // migrated to dedicated resources."
+      int best = -1;
+      double best_headroom = -1e18;
+      for (int m = 0; m < sim.total_machines(); ++m) {
+        if (m == sim.placement(v)) continue;
+        const double headroom = sim.machine_capacity() - sim.machine_demand(m);
+        if (headroom > best_headroom) {
+          best_headroom = headroom;
+          best = m;
+        }
+      }
+      const double own_headroom =
+          sim.machine_capacity() -
+          (sim.machine_demand(sim.placement(v)) - sim.vm_demand(v));
+      if (best >= 0 && best_headroom > own_headroom) {
+        sim.migrate(v, best);
+        ++moved;
+      }
+    } else if (rate >= target * opts_.headroom) {
+      // Light VM: pack onto the most-loaded machine that can still absorb
+      // its demand (consolidation to free machines entirely).
+      const int cur = sim.placement(v);
+      int best = -1;
+      double best_demand = -1.0;
+      for (int m = 0; m < sim.total_machines(); ++m) {
+        if (m == cur) continue;
+        const double d = sim.machine_demand(m);
+        if (d <= 0.0) continue;  // do not open empty machines
+        if (d + sim.vm_demand(v) <= sim.machine_capacity() &&
+            d > best_demand) {
+          best_demand = d;
+          best = m;
+        }
+      }
+      // Only consolidate if it can empty the current machine eventually
+      // (i.e. the target machine is busier than ours).
+      if (best >= 0 &&
+          best_demand > sim.machine_demand(cur) - sim.vm_demand(v)) {
+        sim.migrate(v, best);
+        ++moved;
+      }
+    }
+  }
+  migrations_ += moved;
+  return moved;
+}
+
+}  // namespace hb::cloud

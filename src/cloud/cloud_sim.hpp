@@ -1,0 +1,129 @@
+// Heartbeat-driven cloud management (paper, Section 2.6).
+//
+// "As long as their heart rates are meeting their goals, these 'light' VMs
+// can be consolidated onto a smaller number of physical machines to save
+// energy and free up resources. Only when an application's demands go up and
+// its heart rate drops, will it need to be migrated to dedicated resources."
+// Also: "A lack of heartbeats from a particular node would indicate that it
+// has failed."
+//
+// Model: physical machines with a fixed service capacity; VMs with phased
+// service demand and a registered target rate. Co-located VMs share machine
+// capacity (demand-proportional). Each VM beats through a real heartbeat
+// channel; the consolidation manager only ever reads heart rates and
+// targets. bench/ext_cloud compares heartbeat-driven packing against a
+// machine-load threshold policy (the RightScale-style baseline the paper
+// contrasts with).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/reader.hpp"
+#include "util/clock.hpp"
+
+namespace hb::cloud {
+
+/// One phase of VM demand: service units/second wanted, for a duration.
+struct DemandPhase {
+  double duration_s = 10.0;
+  double demand = 1.0;  ///< service units/second requested
+};
+
+struct VmSpec {
+  std::string name;
+  std::vector<DemandPhase> phases;
+  double work_per_beat = 1.0;    ///< service units per heartbeat
+  double target_min_bps = 0.5;   ///< registered goal
+};
+
+class CloudSim {
+ public:
+  CloudSim(int machines, double machine_capacity,
+           std::shared_ptr<util::ManualClock> clock);
+
+  int add_vm(VmSpec spec);  ///< placed on the first machine with room
+
+  int machines() const { return static_cast<int>(machine_of_.size() ? used_machines() : 0); }
+  int total_machines() const { return num_machines_; }
+  double machine_capacity() const { return capacity_; }
+  std::size_t vm_count() const { return vms_.size(); }
+
+  int placement(int vm) const { return machine_of_.at(static_cast<std::size_t>(vm)); }
+  /// Migrate a VM (instantaneous; live-migration cost is out of scope).
+  void migrate(int vm, int machine);
+
+  /// Machines hosting at least one VM.
+  int used_machines() const;
+
+  /// Current demand on a machine (sum of its VMs' phase demands).
+  double machine_demand(int machine) const;
+
+  /// Advance dt seconds: each VM receives min(demand, proportional share)
+  /// of its machine's capacity and beats per completed work_per_beat.
+  void step(double dt_seconds);
+
+  double now_seconds() const;
+
+  /// The VM's heartbeat channel / observer view.
+  core::Channel& channel(int vm);
+  core::HeartbeatReader reader(int vm) const;
+
+  /// The VM's current phase demand (ground truth; managers should NOT use
+  /// this — it exists for tests and for the load-based baseline, which in
+  /// real clouds sees machine utilization but not application goals).
+  double vm_demand(int vm) const;
+  /// True once the VM ran out of phases (demand 0 afterwards).
+  bool vm_finished(int vm) const;
+
+ private:
+  struct Vm {
+    VmSpec spec;
+    double elapsed_s = 0.0;
+    double pending_work = 0.0;
+    std::shared_ptr<core::Channel> channel;
+  };
+
+  int num_machines_;
+  double capacity_;
+  std::shared_ptr<util::ManualClock> clock_;
+  std::vector<Vm> vms_;
+  std::vector<int> machine_of_;
+};
+
+/// Options for HeartbeatConsolidator (namespace scope: a nested struct with
+/// default member initializers cannot be a default argument inside its own
+/// enclosing class).
+struct ConsolidatorOptions {
+  /// A VM is "light" (packable) when its rate exceeds target by this
+  /// headroom factor.
+  double headroom = 1.3;
+  /// Poll/act at most once per this much simulated time.
+  double period_s = 2.0;
+};
+
+/// The heartbeat-driven consolidation manager.
+class HeartbeatConsolidator {
+ public:
+  using Options = ConsolidatorOptions;
+
+  explicit HeartbeatConsolidator(Options opts = Options()) : opts_(opts) {}
+
+  /// Observe all VMs and issue migrations: struggling VMs (rate < target)
+  /// are moved to the least-loaded machine; meeting-with-headroom VMs are
+  /// packed onto the fullest machine that still has demand headroom.
+  /// Returns the number of migrations performed.
+  int poll(CloudSim& sim);
+
+  int migrations() const { return migrations_; }
+
+ private:
+  Options opts_;
+  double last_poll_s_ = -1e18;
+  int migrations_ = 0;
+};
+
+}  // namespace hb::cloud

@@ -1,0 +1,107 @@
+#include "codec/dct.hpp"
+
+#include <cmath>
+
+namespace hb::codec {
+
+namespace {
+
+// Precomputed DCT-II basis: basis[k][n] = c(k) * cos((2n+1)k*pi/16).
+struct Basis {
+  double m[kBlock][kBlock];
+  Basis() {
+    const double pi = std::acos(-1.0);
+    for (int k = 0; k < kBlock; ++k) {
+      const double ck = k == 0 ? std::sqrt(1.0 / kBlock) : std::sqrt(2.0 / kBlock);
+      for (int n = 0; n < kBlock; ++n) {
+        m[k][n] = ck * std::cos((2.0 * n + 1.0) * k * pi / (2.0 * kBlock));
+      }
+    }
+  }
+};
+
+const Basis& basis() {
+  static const Basis b;
+  return b;
+}
+
+}  // namespace
+
+void forward_dct(const ResidualBlock& in, std::array<double, 64>& out) {
+  const auto& B = basis();
+  double tmp[kBlock][kBlock];
+  // Rows.
+  for (int y = 0; y < kBlock; ++y) {
+    for (int k = 0; k < kBlock; ++k) {
+      double acc = 0.0;
+      for (int x = 0; x < kBlock; ++x) {
+        acc += B.m[k][x] * static_cast<double>(in[y * kBlock + x]);
+      }
+      tmp[y][k] = acc;
+    }
+  }
+  // Columns.
+  for (int k = 0; k < kBlock; ++k) {
+    for (int x = 0; x < kBlock; ++x) {
+      double acc = 0.0;
+      for (int y = 0; y < kBlock; ++y) acc += B.m[k][y] * tmp[y][x];
+      out[k * kBlock + x] = acc;
+    }
+  }
+}
+
+void inverse_dct(const std::array<double, 64>& in, ResidualBlock& out) {
+  const auto& B = basis();
+  double tmp[kBlock][kBlock];
+  // Columns (transpose of forward).
+  for (int y = 0; y < kBlock; ++y) {
+    for (int x = 0; x < kBlock; ++x) {
+      double acc = 0.0;
+      for (int k = 0; k < kBlock; ++k) acc += B.m[k][y] * in[k * kBlock + x];
+      tmp[y][x] = acc;
+    }
+  }
+  // Rows.
+  for (int y = 0; y < kBlock; ++y) {
+    for (int x = 0; x < kBlock; ++x) {
+      double acc = 0.0;
+      for (int k = 0; k < kBlock; ++k) acc += B.m[k][x] * tmp[y][k];
+      const double rounded = std::nearbyint(acc);
+      out[y * kBlock + x] = static_cast<std::int16_t>(rounded);
+    }
+  }
+}
+
+void quantize(const std::array<double, 64>& in, double qstep, CoeffBlock& out) {
+  for (int i = 0; i < 64; ++i) {
+    out[i] = static_cast<std::int16_t>(std::nearbyint(in[i] / qstep));
+  }
+}
+
+void dequantize(const CoeffBlock& in, double qstep, std::array<double, 64>& out) {
+  for (int i = 0; i < 64; ++i) {
+    out[i] = static_cast<double>(in[i]) * qstep;
+  }
+}
+
+int transform_quantize_roundtrip(const ResidualBlock& in, double qstep,
+                                 ResidualBlock& reconstructed) {
+  std::array<double, 64> coeffs;
+  forward_dct(in, coeffs);
+  CoeffBlock q;
+  quantize(coeffs, qstep, q);
+  int nonzero = 0;
+  for (const auto c : q) nonzero += (c != 0);
+  std::array<double, 64> deq;
+  dequantize(q, qstep, deq);
+  inverse_dct(deq, reconstructed);
+  return nonzero;
+}
+
+double qp_to_qstep(int qp) {
+  if (qp < 0) qp = 0;
+  if (qp > 51) qp = 51;
+  return 0.625 * std::pow(2.0, static_cast<double>(qp) / 6.0);
+}
+
+}  // namespace hb::codec

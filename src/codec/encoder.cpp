@@ -1,0 +1,213 @@
+#include "codec/encoder.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hb::codec {
+
+namespace {
+
+// Work-unit model: one unit ~ one pixel-level operation.
+//   * a block-SAD evaluation costs its pixel count;
+//   * an 8x8 transform round trip (DCT + quant + dequant + IDCT) costs
+//     kDctWork (two 8x8 matrix passes each way ~ 8 ops/pixel);
+//   * building one predicted pixel (qpel interpolation) costs 1.
+constexpr std::uint64_t kDctWork = 512;
+constexpr std::uint64_t kMbPixels = kMacroblock * kMacroblock;
+
+// Split decision penalty: coding 4 MVs costs more bits than 1, so splitting
+// must win by a margin (in SAD units).
+constexpr std::uint64_t kSplitPenalty = 96;
+
+using PredBlock = std::array<std::uint8_t, kMbPixels>;
+
+}  // namespace
+
+std::string EncoderConfig::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s r%d %s %s ref%d qp%d",
+                to_string(search), search_range, to_string(subpel),
+                subpartition ? "p8x8" : "p16x16", ref_frames, qp);
+  return buf;
+}
+
+Encoder::Encoder(int width, int height, EncoderConfig config)
+    : width_(width), height_(height), config_(config) {
+  if (width <= 0 || height <= 0 || width % kMacroblock != 0 ||
+      height % kMacroblock != 0) {
+    throw std::invalid_argument(
+        "Encoder: frame dimensions must be positive multiples of 16");
+  }
+  set_config(config);
+}
+
+void Encoder::set_config(const EncoderConfig& config) {
+  config_ = config;
+  config_.search_range = std::clamp(config_.search_range, 1, 64);
+  config_.ref_frames = std::clamp(config_.ref_frames, 1, 5);
+  config_.qp = std::clamp(config_.qp, 0, 51);
+}
+
+void Encoder::reset() {
+  references_.clear();
+  frame_index_ = 0;
+}
+
+FrameStats Encoder::encode(const Frame& src) {
+  if (src.width() != width_ || src.height() != height_) {
+    throw std::invalid_argument("Encoder: frame size mismatch");
+  }
+  FrameStats stats =
+      references_.empty() ? encode_intra(src) : encode_inter(src);
+  stats.frame_index = frame_index_++;
+  // Retain up to 5 reconstructed references, newest first.
+  while (references_.size() > 5) references_.pop_back();
+  stats.psnr_db = psnr(src, references_.front());
+  return stats;
+}
+
+FrameStats Encoder::encode_intra(const Frame& src) {
+  FrameStats stats;
+  stats.keyframe = true;
+  Frame recon(width_, height_);
+  const double qstep = qp_to_qstep(config_.qp);
+  for (int my = 0; my < height_; my += kMacroblock) {
+    for (int mx = 0; mx < width_; mx += kMacroblock) {
+      // DC prediction: the block's own mean (transmitted in a real codec).
+      std::uint32_t sum = 0;
+      for (int y = 0; y < kMacroblock; ++y) {
+        for (int x = 0; x < kMacroblock; ++x) sum += src.at(mx + x, my + y);
+      }
+      const auto dc = static_cast<std::uint8_t>(sum / kMbPixels);
+      stats.work_units += kMbPixels;
+      for (int by = 0; by < kMacroblock; by += kBlock) {
+        for (int bx = 0; bx < kMacroblock; bx += kBlock) {
+          ResidualBlock residual;
+          for (int y = 0; y < kBlock; ++y) {
+            for (int x = 0; x < kBlock; ++x) {
+              residual[y * kBlock + x] = static_cast<std::int16_t>(
+                  src.at(mx + bx + x, my + by + y) - dc);
+            }
+          }
+          ResidualBlock rec;
+          stats.nonzero_coeffs +=
+              transform_quantize_roundtrip(residual, qstep, rec);
+          stats.work_units += kDctWork;
+          for (int y = 0; y < kBlock; ++y) {
+            for (int x = 0; x < kBlock; ++x) {
+              const int v = dc + rec[y * kBlock + x];
+              recon.at(mx + bx + x, my + by + y) =
+                  static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+            }
+          }
+        }
+      }
+    }
+  }
+  references_.push_front(std::move(recon));
+  return stats;
+}
+
+FrameStats Encoder::encode_inter(const Frame& src) {
+  FrameStats stats;
+  Frame recon(width_, height_);
+  const int usable_refs =
+      std::min<int>(config_.ref_frames, static_cast<int>(references_.size()));
+
+  for (int my = 0; my < height_; my += kMacroblock) {
+    for (int mx = 0; mx < width_; mx += kMacroblock) {
+      // 16x16 search across reference frames; best (ref, mv) wins.
+      MotionResult best{};
+      best.sad = ~0ULL;
+      int best_ref = 0;
+      for (int r = 0; r < usable_refs; ++r) {
+        const MotionResult res = estimate_motion(
+            src, references_[static_cast<std::size_t>(r)], mx, my,
+            kMacroblock, kMacroblock, config_.search, config_.search_range,
+            config_.subpel);
+        stats.sad_evals += res.sad_evals;
+        stats.work_units += res.sad_evals * kMbPixels;
+        if (res.sad < best.sad) {
+          best = res;
+          best_ref = r;
+        }
+      }
+      const Frame& ref = references_[static_cast<std::size_t>(best_ref)];
+
+      // Optional 8x8 partition analysis on the winning reference.
+      std::array<MotionVector, 4> sub_mv{};
+      bool split = false;
+      if (config_.subpartition) {
+        std::uint64_t split_sad = 0;
+        for (int q = 0; q < 4; ++q) {
+          const int sx = mx + (q % 2) * kBlock;
+          const int sy = my + (q / 2) * kBlock;
+          const MotionResult res = estimate_motion(
+              src, ref, sx, sy, kBlock, kBlock, config_.search,
+              config_.search_range, config_.subpel);
+          stats.sad_evals += res.sad_evals;
+          stats.work_units +=
+              res.sad_evals * static_cast<std::uint64_t>(kBlock * kBlock);
+          sub_mv[static_cast<std::size_t>(q)] = res.mv;
+          split_sad += res.sad;
+        }
+        split = split_sad + kSplitPenalty < best.sad;
+        if (split) ++stats.split_blocks;
+      }
+
+      // Motion-compensated prediction.
+      PredBlock pred;
+      for (int y = 0; y < kMacroblock; ++y) {
+        for (int x = 0; x < kMacroblock; ++x) {
+          MotionVector mv = best.mv;
+          if (split) {
+            const int q = (y / kBlock) * 2 + (x / kBlock);
+            mv = sub_mv[static_cast<std::size_t>(q)];
+          }
+          pred[static_cast<std::size_t>(y) * kMacroblock +
+               static_cast<std::size_t>(x)] =
+              ref.sample_qpel(((mx + x) << 2) + mv.x4, ((my + y) << 2) + mv.y4);
+        }
+      }
+      stats.work_units += kMbPixels;  // prediction build
+
+      // Residual coding per 8x8 block.
+      const double qstep = qp_to_qstep(config_.qp);
+      for (int by = 0; by < kMacroblock; by += kBlock) {
+        for (int bx = 0; bx < kMacroblock; bx += kBlock) {
+          ResidualBlock residual;
+          for (int y = 0; y < kBlock; ++y) {
+            for (int x = 0; x < kBlock; ++x) {
+              const int p =
+                  pred[static_cast<std::size_t>(by + y) * kMacroblock +
+                       static_cast<std::size_t>(bx + x)];
+              residual[y * kBlock + x] =
+                  static_cast<std::int16_t>(src.at(mx + bx + x, my + by + y) - p);
+            }
+          }
+          ResidualBlock rec;
+          stats.nonzero_coeffs +=
+              transform_quantize_roundtrip(residual, qstep, rec);
+          stats.work_units += kDctWork;
+          for (int y = 0; y < kBlock; ++y) {
+            for (int x = 0; x < kBlock; ++x) {
+              const int p =
+                  pred[static_cast<std::size_t>(by + y) * kMacroblock +
+                       static_cast<std::size_t>(bx + x)];
+              const int v = p + rec[y * kBlock + x];
+              recon.at(mx + bx + x, my + by + y) =
+                  static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+            }
+          }
+        }
+      }
+    }
+  }
+  references_.push_front(std::move(recon));
+  return stats;
+}
+
+}  // namespace hb::codec

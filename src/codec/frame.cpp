@@ -1,0 +1,62 @@
+#include "codec/frame.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hb::codec {
+
+Frame::Frame(int width, int height, std::uint8_t fill)
+    : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Frame dimensions must be positive");
+  }
+  data_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+               fill);
+}
+
+std::uint8_t Frame::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+std::uint8_t Frame::sample_qpel(int x4, int y4) const {
+  const int xi = x4 >> 2;
+  const int yi = y4 >> 2;
+  const int fx = x4 & 3;
+  const int fy = y4 & 3;
+  if (fx == 0 && fy == 0) return at_clamped(xi, yi);
+  // Bilinear blend of the four surrounding integer pixels, weighted by the
+  // quarter-pel fractional offsets (out of 4).
+  const int p00 = at_clamped(xi, yi);
+  const int p10 = at_clamped(xi + 1, yi);
+  const int p01 = at_clamped(xi, yi + 1);
+  const int p11 = at_clamped(xi + 1, yi + 1);
+  const int top = p00 * (4 - fx) + p10 * fx;
+  const int bot = p01 * (4 - fx) + p11 * fx;
+  return static_cast<std::uint8_t>((top * (4 - fy) + bot * fy + 8) / 16);
+}
+
+double mse(const Frame& a, const Frame& b) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  if (a.size() == 0) return 0.0;
+  std::uint64_t acc = 0;
+  const std::uint8_t* pa = a.data();
+  const std::uint8_t* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const int d = static_cast<int>(pa[i]) - static_cast<int>(pb[i]);
+    acc += static_cast<std::uint64_t>(d * d);
+  }
+  return static_cast<double>(acc) / static_cast<double>(a.size());
+}
+
+double psnr(const Frame& a, const Frame& b) {
+  const double m = mse(a, b);
+  if (m <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+}  // namespace hb::codec

@@ -1,0 +1,56 @@
+// Frames: 8-bit luma planes and quality metrics.
+//
+// The codec substrate works on luma only — PSNR (the metric in the paper's
+// Figure 4) is conventionally reported on luma, and chroma would triple the
+// compute without changing any adaptation behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hb::codec {
+
+class Frame {
+ public:
+  Frame() = default;
+  Frame(int width, int height, std::uint8_t fill = 0);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+
+  std::uint8_t at(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+  std::uint8_t& at(int x, int y) {
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+
+  /// Clamped access: coordinates outside the frame read the nearest edge
+  /// pixel (standard motion-compensation border extension).
+  std::uint8_t at_clamped(int x, int y) const;
+
+  /// Bilinear sample at quarter-pel resolution: (x4, y4) are coordinates in
+  /// quarter-pixel units (so (4x, 4y) is the integer pixel (x, y)).
+  std::uint8_t sample_qpel(int x4, int y4) const;
+
+  const std::uint8_t* data() const { return data_.data(); }
+  std::uint8_t* data() { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Mean squared error between two same-sized frames.
+double mse(const Frame& a, const Frame& b);
+
+/// Peak signal-to-noise ratio in dB (8-bit peak). Returns +inf for
+/// identical frames.
+double psnr(const Frame& a, const Frame& b);
+
+}  // namespace hb::codec

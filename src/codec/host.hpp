@@ -1,0 +1,53 @@
+// SimulatedHost: converts encoder work units into simulated time.
+//
+// Substitution (DESIGN.md §4): the paper measures wall-clock frame rates on
+// an 8-core Xeon. Our encoder counts its work honestly (every SAD and
+// transform), and this host model converts those counts into virtual time on
+// a machine with a configurable core count — so "8.8 beats/s with the
+// demanding preset on 8 cores" is reproducible on any build machine, and
+// killing a core (Figure 8) slows the encoder exactly the way the paper's
+// experiment does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/speedup.hpp"
+#include "util/clock.hpp"
+
+namespace hb::codec {
+
+class SimulatedHost {
+ public:
+  /// `units_per_second_per_core`: single-core execution rate of encoder
+  /// work units. `parallel_fraction`: Amdahl fraction of encoder work that
+  /// scales with cores (x264 parallelizes well but not perfectly).
+  SimulatedHost(std::shared_ptr<util::ManualClock> clock,
+                double units_per_second_per_core, int cores,
+                double parallel_fraction = 0.95);
+
+  /// Advance virtual time by the duration `work_units` takes on the current
+  /// core count. Returns the elapsed simulated seconds.
+  double run(std::uint64_t work_units);
+
+  int cores() const { return cores_; }
+  void set_cores(int cores) { cores_ = cores < 0 ? 0 : cores; }
+  /// Fail one core (no-op at zero). Returns the new count.
+  int fail_core() { return cores_ = cores_ > 0 ? cores_ - 1 : 0; }
+
+  double throughput_units_per_second() const;
+  const std::shared_ptr<util::ManualClock>& clock() const { return clock_; }
+
+  /// Pick units_per_second_per_core such that work arriving at
+  /// `mean_work_per_frame` sustains `target_fps` on `cores` cores.
+  static double calibrate_rate(double mean_work_per_frame, double target_fps,
+                               int cores, double parallel_fraction = 0.95);
+
+ private:
+  std::shared_ptr<util::ManualClock> clock_;
+  double units_per_second_per_core_;
+  int cores_;
+  double parallel_fraction_;
+};
+
+}  // namespace hb::codec

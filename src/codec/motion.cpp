@@ -1,0 +1,178 @@
+#include "codec/motion.hpp"
+
+#include <array>
+#include <limits>
+
+namespace hb::codec {
+
+const char* to_string(MotionSearch s) {
+  switch (s) {
+    case MotionSearch::kExhaustive: return "esa";
+    case MotionSearch::kHexagon: return "hex";
+    case MotionSearch::kDiamond: return "dia";
+  }
+  return "?";
+}
+
+const char* to_string(SubpelLevel s) {
+  switch (s) {
+    case SubpelLevel::kNone: return "fullpel";
+    case SubpelLevel::kHalf: return "halfpel";
+    case SubpelLevel::kQuarter: return "qpel";
+  }
+  return "?";
+}
+
+std::uint64_t block_sad(const Frame& cur, const Frame& ref, int bx, int by,
+                        int bw, int bh, MotionVector mv) {
+  std::uint64_t sad = 0;
+  const bool integer = (mv.x4 & 3) == 0 && (mv.y4 & 3) == 0;
+  if (integer) {
+    const int ox = mv.x4 >> 2;
+    const int oy = mv.y4 >> 2;
+    for (int y = 0; y < bh; ++y) {
+      for (int x = 0; x < bw; ++x) {
+        const int a = cur.at(bx + x, by + y);
+        const int b = ref.at_clamped(bx + x + ox, by + y + oy);
+        sad += static_cast<std::uint64_t>(a > b ? a - b : b - a);
+      }
+    }
+  } else {
+    for (int y = 0; y < bh; ++y) {
+      for (int x = 0; x < bw; ++x) {
+        const int a = cur.at(bx + x, by + y);
+        const int b =
+            ref.sample_qpel(((bx + x) << 2) + mv.x4, ((by + y) << 2) + mv.y4);
+        sad += static_cast<std::uint64_t>(a > b ? a - b : b - a);
+      }
+    }
+  }
+  return sad;
+}
+
+namespace {
+
+struct SearchState {
+  const Frame& cur;
+  const Frame& ref;
+  int bx, by, bw, bh;
+  MotionVector best{};
+  std::uint64_t best_sad = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t evals = 0;
+
+  // Evaluate candidate (quarter-pel coords); keep if better.
+  void try_mv(int x4, int y4) {
+    const std::uint64_t sad =
+        block_sad(cur, ref, bx, by, bw, bh, MotionVector{x4, y4});
+    ++evals;
+    if (sad < best_sad) {
+      best_sad = sad;
+      best = MotionVector{x4, y4};
+    }
+  }
+};
+
+void exhaustive_search(SearchState& st, int range) {
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      st.try_mv(dx << 2, dy << 2);
+    }
+  }
+}
+
+// Large-hexagon iterative search, then a small-diamond polish (x264 "hex").
+void hexagon_search(SearchState& st, int range) {
+  st.try_mv(0, 0);
+  static constexpr std::array<std::array<int, 2>, 6> kHex{
+      {{8, 0}, {4, 8}, {-4, 8}, {-8, 0}, {-4, -8}, {4, -8}}};  // qpel units: 2px/1-2px
+  const int limit4 = range << 2;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const MotionVector center = st.best;
+    const std::uint64_t before = st.best_sad;
+    for (const auto& d : kHex) {
+      const int nx = center.x4 + d[0];
+      const int ny = center.y4 + d[1];
+      if (nx < -limit4 || nx > limit4 || ny < -limit4 || ny > limit4) continue;
+      st.try_mv(nx, ny);
+    }
+    improved = st.best_sad < before;
+  }
+  // Small-diamond refinement (integer pel).
+  static constexpr std::array<std::array<int, 2>, 4> kDia{
+      {{4, 0}, {-4, 0}, {0, 4}, {0, -4}}};
+  bool polish = true;
+  while (polish) {
+    polish = false;
+    const MotionVector center = st.best;
+    const std::uint64_t before = st.best_sad;
+    for (const auto& d : kDia) {
+      const int nx = center.x4 + d[0];
+      const int ny = center.y4 + d[1];
+      if (nx < -limit4 || nx > limit4 || ny < -limit4 || ny > limit4) continue;
+      st.try_mv(nx, ny);
+    }
+    polish = st.best_sad < before;
+  }
+}
+
+// Small-diamond-only iterative search (x264 "dia"): cheapest, most local.
+void diamond_search(SearchState& st, int range) {
+  st.try_mv(0, 0);
+  static constexpr std::array<std::array<int, 2>, 4> kDia{
+      {{4, 0}, {-4, 0}, {0, 4}, {0, -4}}};
+  const int limit4 = range << 2;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const MotionVector center = st.best;
+    const std::uint64_t before = st.best_sad;
+    for (const auto& d : kDia) {
+      const int nx = center.x4 + d[0];
+      const int ny = center.y4 + d[1];
+      if (nx < -limit4 || nx > limit4 || ny < -limit4 || ny > limit4) continue;
+      st.try_mv(nx, ny);
+    }
+    improved = st.best_sad < before;
+  }
+}
+
+// Refine around the current best on a half- or quarter-pel grid.
+void subpel_refine(SearchState& st, int step4) {
+  const MotionVector center = st.best;
+  for (int dy = -step4; dy <= step4; dy += step4) {
+    for (int dx = -step4; dx <= step4; dx += step4) {
+      if (dx == 0 && dy == 0) continue;
+      st.try_mv(center.x4 + dx, center.y4 + dy);
+    }
+  }
+}
+
+}  // namespace
+
+MotionResult estimate_motion(const Frame& cur, const Frame& ref, int bx,
+                             int by, int bw, int bh, MotionSearch algorithm,
+                             int search_range, SubpelLevel subpel) {
+  SearchState st{cur, ref, bx, by, bw, bh};
+  switch (algorithm) {
+    case MotionSearch::kExhaustive:
+      exhaustive_search(st, search_range);
+      break;
+    case MotionSearch::kHexagon:
+      hexagon_search(st, search_range);
+      break;
+    case MotionSearch::kDiamond:
+      diamond_search(st, search_range);
+      break;
+  }
+  if (subpel != SubpelLevel::kNone) {
+    subpel_refine(st, /*step4=*/2);  // half-pel ring
+    if (subpel == SubpelLevel::kQuarter) {
+      subpel_refine(st, /*step4=*/1);  // quarter-pel ring
+    }
+  }
+  return MotionResult{st.best, st.best_sad, st.evals};
+}
+
+}  // namespace hb::codec

@@ -1,0 +1,30 @@
+#include "codec/presets.hpp"
+
+namespace hb::codec {
+
+PresetLadder make_preset_ladder() {
+  using MS = MotionSearch;
+  using SP = SubpelLevel;
+  // {search, range, subpel, subpartition, refs, qp}
+  //
+  // Rung spacing is deliberately fine near the paper's 30 beats/s crossover
+  // (reducing search range and reference count one notch at a time) so the
+  // Figure 3 climb is gradual and the settle rung lands just above target
+  // rather than overshooting across a cost cliff. The tail rungs (hexagon,
+  // then diamond without sub-partitions — the paper's landing zone) provide
+  // the extra headroom the Section 5.4 fault-tolerance loop needs after
+  // losing cores.
+  return PresetLadder({
+      {"exhaustive-5ref", {MS::kExhaustive, 12, SP::kQuarter, true, 5, 23}},
+      {"exhaustive-3ref", {MS::kExhaustive, 12, SP::kQuarter, true, 3, 23}},
+      {"exhaustive-r10", {MS::kExhaustive, 10, SP::kQuarter, true, 2, 23}},
+      {"exhaustive-r8", {MS::kExhaustive, 8, SP::kHalf, true, 2, 24}},
+      {"exhaustive-1ref", {MS::kExhaustive, 8, SP::kHalf, true, 1, 24}},
+      {"exhaustive-r6", {MS::kExhaustive, 6, SP::kHalf, true, 1, 25}},
+      {"exhaustive-nopart", {MS::kExhaustive, 4, SP::kHalf, false, 1, 26}},
+      {"hex-hpel", {MS::kHexagon, 8, SP::kHalf, false, 1, 27}},
+      {"diamond-fast", {MS::kDiamond, 8, SP::kNone, false, 1, 28}},
+  });
+}
+
+}  // namespace hb::codec

@@ -1,0 +1,30 @@
+// The encoder quality ladder.
+//
+// Paper, Section 5.2: the adaptive encoder starts from "exhaustive search
+// techniques for motion estimation, the analysis of all macroblock
+// sub-partitionings, x264's most demanding sub-pixel motion estimation, and
+// the use of up to five reference frames" and degrades toward "the
+// computationally light diamond search algorithm ... stops attempting to use
+// any sub-macroblock partitionings ... a less demanding sub-pixel motion
+// estimation algorithm."
+//
+// Each rung trades quality for speed monotonically: search work shrinks and
+// the quantizer coarsens slightly (a faster preset that must hold a bitrate
+// budget quantizes harder — this is what makes the PSNR loss in Figure 4's
+// reproduction a *measured* quantity).
+#pragma once
+
+#include "codec/encoder.hpp"
+#include "control/knob_ladder.hpp"
+
+namespace hb::codec {
+
+using PresetLadder = control::KnobLadder<EncoderConfig>;
+
+/// The default 9-rung ladder, slowest/highest-quality first.
+PresetLadder make_preset_ladder();
+
+/// Number of rungs in make_preset_ladder().
+inline constexpr int kPresetCount = 9;
+
+}  // namespace hb::codec

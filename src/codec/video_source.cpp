@@ -1,0 +1,96 @@
+#include "codec/video_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hb::codec {
+
+VideoSpec VideoSpec::demanding(int frames, int width, int height) {
+  VideoSpec spec;
+  spec.width = width;
+  spec.height = height;
+  spec.segments = {{frames, 2.5, 40.0, false}};
+  spec.seed = 11;
+  return spec;
+}
+
+SyntheticVideo::SyntheticVideo(VideoSpec spec) : spec_(std::move(spec)) {
+  if (spec_.segments.empty()) {
+    throw std::invalid_argument("SyntheticVideo needs at least one segment");
+  }
+  int start = 0;
+  std::uint64_t seed = spec_.seed;
+  for (const auto& seg : spec_.segments) {
+    segment_start_.push_back(start);
+    start += seg.frames;
+    // Scene cuts re-seed the content stream so the new segment decorrelates.
+    if (seg.scene_cut) seed = util::splitmix64(seed);
+    segment_seed_.push_back(seed);
+  }
+}
+
+int SyntheticVideo::segment_of(int frame_index) const {
+  int seg = 0;
+  for (std::size_t i = 0; i < segment_start_.size(); ++i) {
+    if (frame_index >= segment_start_[i]) seg = static_cast<int>(i);
+  }
+  return seg;
+}
+
+Frame SyntheticVideo::frame(int index) const {
+  index = std::clamp(index, 0, total_frames() - 1);
+  const int seg_idx = segment_of(index);
+  const VideoSegment& seg = spec_.segments[static_cast<std::size_t>(seg_idx)];
+  // Phase accumulates motion across *all* earlier frames so panning is
+  // continuous within a segment (and across non-cut boundaries).
+  double pan = 0.0;
+  for (int s = 0; s <= seg_idx; ++s) {
+    const VideoSegment& sg = spec_.segments[static_cast<std::size_t>(s)];
+    const int first = segment_start_[static_cast<std::size_t>(s)];
+    const int frames_in =
+        s == seg_idx ? index - first : sg.frames;
+    pan += sg.motion * frames_in;
+  }
+  const std::uint64_t content_seed =
+      segment_seed_[static_cast<std::size_t>(seg_idx)];
+
+  Frame f(spec_.width, spec_.height);
+  // Deterministic per-frame noise stream (sensor noise: keeps residuals
+  // from ever being exactly zero, like a real camera).
+  util::Rng noise(content_seed ^ (0x9e37u + static_cast<std::uint64_t>(index)));
+
+  // Sprite positions derive from the content seed so a scene cut moves
+  // everything at once.
+  util::Rng layout(content_seed);
+  const double s1x = layout.uniform(0, spec_.width);
+  const double s1y = layout.uniform(0, spec_.height);
+  const double s2x = layout.uniform(0, spec_.width);
+  const double s2y = layout.uniform(0, spec_.height);
+  const double tex_phase = layout.uniform(0, 6.28318);
+
+  for (int y = 0; y < spec_.height; ++y) {
+    for (int x = 0; x < spec_.width; ++x) {
+      // Panning background: smooth gradient + sinusoidal texture.
+      const double wx = static_cast<double>(x) + pan;
+      const double wy = static_cast<double>(y) + pan * 0.5;
+      double v = 96.0 + 32.0 * std::sin(wx * 0.013) +
+                 24.0 * std::cos(wy * 0.027);
+      v += seg.texture * std::sin(wx * 0.41 + tex_phase) *
+           std::cos(wy * 0.37);
+      // Two moving sprites (bright blobs) on top of the pan.
+      const double dx1 = wx - s1x - spec_.width * 0.25;
+      const double dy1 = wy * 0.7 - s1y;
+      v += 70.0 * std::exp(-(dx1 * dx1 + dy1 * dy1) / 180.0);
+      const double dx2 = wx * 0.8 - s2x;
+      const double dy2 = wy - s2y - spec_.height * 0.2;
+      v += 55.0 * std::exp(-(dx2 * dx2 + dy2 * dy2) / 120.0);
+      // Sensor noise.
+      v += noise.normal(0.0, 1.5);
+      f.at(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  return f;
+}
+
+}  // namespace hb::codec

@@ -1,0 +1,67 @@
+// SyntheticVideo: a deterministic video generator.
+//
+// Substitution (DESIGN.md §4): the paper encodes a real test video. The
+// adaptive-encoder experiments only require that (a) consecutive frames are
+// related by motion so motion estimation has something to find, (b) scene
+// difficulty varies over time, and (c) the content is deterministic so runs
+// are reproducible. SyntheticVideo renders a textured background plus
+// moving sprites with per-segment motion speed and texture amplitude, with
+// optional scene cuts between segments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/frame.hpp"
+#include "util/rng.hpp"
+
+namespace hb::codec {
+
+struct VideoSegment {
+  int frames = 100;
+  /// Global pan speed in pixels/frame (drives how far motion search must
+  /// look; exceeds small search ranges when large).
+  double motion = 1.0;
+  /// Amplitude of the high-frequency texture (residual energy driver).
+  double texture = 20.0;
+  /// Start this segment with a scene cut (decorrelated content).
+  bool scene_cut = false;
+};
+
+struct VideoSpec {
+  int width = 128;
+  int height = 64;
+  std::vector<VideoSegment> segments;
+  std::uint64_t seed = 1;
+
+  /// A demanding spec like the paper's Section 5.2 input: "chosen to be
+  /// more computationally demanding and more uniform."
+  static VideoSpec demanding(int frames, int width = 128, int height = 64);
+
+  int total_frames() const {
+    int total = 0;
+    for (const auto& s : segments) total += s.frames;
+    return total;
+  }
+};
+
+class SyntheticVideo {
+ public:
+  explicit SyntheticVideo(VideoSpec spec);
+
+  /// Render frame `index` (0-based). Deterministic in (spec, index).
+  Frame frame(int index) const;
+
+  int total_frames() const { return spec_.total_frames(); }
+  const VideoSpec& spec() const { return spec_; }
+
+  /// Segment index containing `frame_index` (clamped to the last segment).
+  int segment_of(int frame_index) const;
+
+ private:
+  VideoSpec spec_;
+  std::vector<int> segment_start_;  // first frame index per segment
+  std::vector<std::uint64_t> segment_seed_;
+};
+
+}  // namespace hb::codec

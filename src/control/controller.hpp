@@ -1,0 +1,35 @@
+// Controllers: the decision logic of self-aware adaptation.
+//
+// Every adaptive loop in the paper has the same shape — observe the heart
+// rate, compare against the target range, move a discrete "level" knob
+// (cores allocated, rung on a quality ladder) up or down. Controllers here
+// are pure functions of their observations, so one implementation drives the
+// internal encoder adaptation (Section 5.2), the external core scheduler
+// (Section 5.3), the fault-tolerance loop (Section 5.4), and the ablations.
+//
+// Convention: *higher level ⇒ more performance* (more cores; a faster, lower-
+// quality encoder preset). Controllers raise the level when the rate is below
+// target.min and lower it when above target.max.
+#pragma once
+
+#include <cstdint>
+
+#include "core/record.hpp"
+
+namespace hb::control {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Given the observed `rate`, the application's `target` range, and the
+  /// currently applied level, return the level to apply next (clamped by the
+  /// caller's [min_level, max_level] — implementations must respect it).
+  virtual int decide(double rate, core::TargetRate target, int current,
+                     int min_level, int max_level) = 0;
+
+  /// Clear internal state (integrators, cooldowns).
+  virtual void reset() {}
+};
+
+}  // namespace hb::control

@@ -1,0 +1,63 @@
+// KnobLadder: an ordered set of named configurations a controller walks.
+//
+// The paper's adaptive encoder (Section 5.2) "tries several search algorithms
+// for motion estimation and finally settles on the computationally light
+// diamond search" — i.e. its knobs form a ladder from slow/high-quality to
+// fast/low-quality. KnobLadder pairs a Controller with such a ladder:
+// level 0 is the slowest/highest-quality rung and rising levels trade quality
+// for speed, matching the controller convention that higher level ⇒ more
+// performance.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+
+namespace hb::control {
+
+template <typename Config>
+class KnobLadder {
+ public:
+  struct Rung {
+    std::string name;
+    Config config;
+  };
+
+  explicit KnobLadder(std::vector<Rung> rungs, int initial = 0)
+      : rungs_(std::move(rungs)), level_(initial) {
+    assert(!rungs_.empty());
+    if (level_ < 0) level_ = 0;
+    if (level_ >= size()) level_ = size() - 1;
+  }
+
+  int size() const { return static_cast<int>(rungs_.size()); }
+  int level() const { return level_; }
+  bool at_top() const { return level_ == size() - 1; }
+  bool at_bottom() const { return level_ == 0; }
+
+  const Config& current() const { return rungs_[level_].config; }
+  const std::string& current_name() const { return rungs_[level_].name; }
+  const Rung& rung(int i) const { return rungs_.at(static_cast<std::size_t>(i)); }
+
+  /// Feed an observation through `controller`; returns true if the level
+  /// changed (the caller should re-configure itself from current()).
+  bool observe(Controller& controller, double rate, core::TargetRate target) {
+    const int next = controller.decide(rate, target, level_, 0, size() - 1);
+    if (next == level_) return false;
+    level_ = next;
+    return true;
+  }
+
+  void set_level(int level) {
+    assert(level >= 0 && level < size());
+    level_ = level;
+  }
+
+ private:
+  std::vector<Rung> rungs_;
+  int level_;
+};
+
+}  // namespace hb::control

@@ -1,0 +1,34 @@
+#include "control/pi_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hb::control {
+
+PiController::PiController(PiControllerOptions opts) : opts_(opts) {}
+
+int PiController::decide(double rate, core::TargetRate target, int current,
+                         int min_level, int max_level) {
+  // Inside the deadband: hold, and bleed the integrator so it does not
+  // wind up while we are happily on target.
+  if (target.contains(rate)) {
+    integral_ *= 0.5;
+    return current;
+  }
+  const double mid = target.midpoint();
+  if (mid <= 0.0 || !std::isfinite(rate)) return current;
+  const double e = (mid - rate) / mid;
+  integral_ += opts_.ki * e;
+  // Anti-windup: the integral alone may never demand more than the full
+  // level range.
+  const double range = static_cast<double>(max_level - min_level);
+  integral_ = std::clamp(integral_, -range, range);
+  const double u = opts_.kp * e + integral_;
+  const int next = static_cast<int>(
+      std::lround(static_cast<double>(current) + u));
+  return std::clamp(next, min_level, max_level);
+}
+
+void PiController::reset() { integral_ = 0.0; }
+
+}  // namespace hb::control

@@ -1,0 +1,39 @@
+// PiController: a proportional-integral alternative to the paper's step
+// policy, used by bench/ablate_controller.
+//
+// The paper's step scheduler moves one core at a time; a PI controller can
+// jump several levels at once when the error is large, converging faster on
+// big disturbances at the cost of tuning effort. (Control-theoretic heartbeat
+// consumers are exactly the follow-on direction the paper seeded — cf. the
+// authors' later self-aware computing work.)
+//
+// The controlled variable is the heart-rate error relative to the target
+// midpoint, normalized by the midpoint so gains are workload-independent:
+//   e = (mid - rate) / mid
+//   u += ki * e                (integral state, clamped to level range)
+//   level = round(current + kp * e + u)
+#pragma once
+
+#include "control/controller.hpp"
+
+namespace hb::control {
+
+struct PiControllerOptions {
+  double kp = 2.0;
+  double ki = 0.5;
+};
+
+class PiController final : public Controller {
+ public:
+  explicit PiController(PiControllerOptions opts = {});
+
+  int decide(double rate, core::TargetRate target, int current, int min_level,
+             int max_level) override;
+  void reset() override;
+
+ private:
+  PiControllerOptions opts_;
+  double integral_ = 0.0;
+};
+
+}  // namespace hb::control

@@ -1,0 +1,47 @@
+#include "control/step_controller.hpp"
+
+#include <algorithm>
+
+namespace hb::control {
+
+StepController::StepController(StepControllerOptions opts) : opts_(opts) {
+  if (opts_.patience < 1) opts_.patience = 1;
+  if (opts_.cooldown < 0) opts_.cooldown = 0;
+}
+
+int StepController::decide(double rate, core::TargetRate target, int current,
+                           int min_level, int max_level) {
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return current;
+  }
+  int dir = 0;
+  if (rate < target.min_bps) {
+    dir = +1;  // too slow: raise the level (more cores / faster preset)
+  } else if (rate > target.max_bps) {
+    dir = -1;  // too fast: reclaim resources / recover quality
+  }
+  if (dir == 0) {
+    strikes_ = 0;
+    direction_ = 0;
+    return current;
+  }
+  if (dir != direction_) {
+    direction_ = dir;
+    strikes_ = 0;
+  }
+  if (++strikes_ < opts_.patience) return current;
+
+  strikes_ = 0;
+  direction_ = 0;
+  cooldown_left_ = opts_.cooldown;
+  return std::clamp(current + dir, min_level, max_level);
+}
+
+void StepController::reset() {
+  strikes_ = 0;
+  direction_ = 0;
+  cooldown_left_ = 0;
+}
+
+}  // namespace hb::control

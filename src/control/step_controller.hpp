@@ -1,0 +1,42 @@
+// StepController: the paper's adaptation policy.
+//
+// Section 5.3: "The OS monitors the application's heart rate and dynamically
+// adjusts the number of cores ... the scheduler quickly increases the
+// assigned cores until the application reaches the target range" — i.e. a
+// single-step policy with a deadband: below min ⇒ +1 level, above max ⇒ -1,
+// inside ⇒ hold.
+//
+// Two practical refinements (both default-off-able, both ablated in
+// bench/ablate_controller):
+//   * patience  — require k consecutive out-of-range observations before
+//     acting, filtering window noise;
+//   * cooldown  — after acting, ignore the next k observations: the moving
+//     average still reflects pre-action beats, and reacting to it causes
+//     oscillation.
+#pragma once
+
+#include "control/controller.hpp"
+
+namespace hb::control {
+
+struct StepControllerOptions {
+  int patience = 1;  ///< consecutive out-of-range observations before a step
+  int cooldown = 0;  ///< observations ignored after each step
+};
+
+class StepController final : public Controller {
+ public:
+  explicit StepController(StepControllerOptions opts = {});
+
+  int decide(double rate, core::TargetRate target, int current, int min_level,
+             int max_level) override;
+  void reset() override;
+
+ private:
+  StepControllerOptions opts_;
+  int strikes_ = 0;    // consecutive same-direction violations seen
+  int direction_ = 0;  // sign of the pending violation streak
+  int cooldown_left_ = 0;
+};
+
+}  // namespace hb::control

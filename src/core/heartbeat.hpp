@@ -1,0 +1,108 @@
+// Heartbeat: the application-facing producer object.
+//
+// One Heartbeat instance per application (or per logical job). It owns the
+// application's single shared *global* channel and a lazily created private
+// *local* channel per thread — exactly the two-level structure of the paper's
+// Section 3. The `local` flag of every Table 1 function maps to choosing
+// local() instead of global().
+//
+// Typical use (cf. the paper's PARSEC instrumentation, under six lines):
+//
+//   hb::core::Heartbeat hb({.name = "x264", .default_window = 40,
+//                           .target_min_bps = 30, .target_max_bps = 1e9});
+//   for (Frame f : video) {
+//     encode(f);
+//     hb.beat(f.type);                     // one line per significant point
+//     if (hb.global().rate() < 30) adapt();
+//   }
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/store.hpp"
+#include "util/clock.hpp"
+
+namespace hb::core {
+
+/// Description of one channel's backing store, handed to a StoreFactory.
+struct StoreSpec {
+  std::string channel_name;  ///< e.g. "x264.global" or "x264.t17"
+  bool shared = true;        ///< true: multi-thread producers (global channel)
+  std::size_t capacity = 4096;
+  std::uint32_t default_window = 20;
+};
+
+/// Creates the backing store for a channel. Transports provide factories
+/// (shared memory, file log); the default builds in-process MemoryStores.
+using StoreFactory = std::function<std::shared_ptr<BeatStore>(const StoreSpec&)>;
+
+struct HeartbeatOptions {
+  /// Application name; also the channel/registry key for external observers.
+  std::string name = "app";
+  /// Default window for HB_current_rate(window = 0). Paper: HB_initialize.
+  std::uint32_t default_window = 20;
+  /// Records retained per channel (history ring capacity).
+  std::size_t history_capacity = 4096;
+  /// Initial target range; may be changed later via set_target.
+  double target_min_bps = 0.0;
+  double target_max_bps = std::numeric_limits<double>::infinity();
+  /// Timestamp source; null selects the process monotonic clock.
+  std::shared_ptr<util::Clock> clock;
+  /// Backing-store factory; null selects in-process MemoryStores.
+  StoreFactory store_factory;
+};
+
+class Heartbeat {
+ public:
+  explicit Heartbeat(HeartbeatOptions opts = {});
+  ~Heartbeat();
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  /// Register a global (application-wide) heartbeat. Thread-safe.
+  std::uint64_t beat(std::uint64_t tag = 0) { return global_.beat(tag); }
+
+  /// Register a heartbeat on the calling thread's private channel.
+  std::uint64_t beat_local(std::uint64_t tag = 0) { return local().beat(tag); }
+
+  /// The application-wide shared channel.
+  Channel& global() { return global_; }
+  const Channel& global() const { return global_; }
+
+  /// The calling thread's private channel (created on first use).
+  Channel& local();
+
+  /// Snapshot of every thread-local channel created so far, keyed by
+  /// thread id. For observers that iterate workers (paper, Section 2.5).
+  std::vector<std::pair<std::uint32_t, std::shared_ptr<Channel>>> locals() const;
+
+  /// Set the global target range (paper: HB_set_target_rate).
+  void set_target(double min_bps, double max_bps) {
+    global_.set_target(min_bps, max_bps);
+  }
+
+  const HeartbeatOptions& options() const { return opts_; }
+  const std::string& name() const { return opts_.name; }
+
+ private:
+  std::shared_ptr<BeatStore> make_store(const std::string& channel_name,
+                                        bool shared) const;
+
+  HeartbeatOptions opts_;
+  std::shared_ptr<util::Clock> clock_;
+  Channel global_;
+
+  mutable std::shared_mutex locals_mu_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<Channel>> locals_;
+};
+
+}  // namespace hb::core

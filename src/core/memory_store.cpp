@@ -1,0 +1,58 @@
+#include "core/memory_store.hpp"
+
+#include <limits>
+
+namespace hb::core {
+
+MemoryStore::MemoryStore(std::size_t capacity, bool synchronized,
+                         std::uint32_t default_window)
+    : synchronized_(synchronized),
+      buf_(capacity == 0 ? 1 : capacity),
+      default_window_(default_window == 0 ? 1 : default_window) {
+  target_.max_bps = std::numeric_limits<double>::infinity();
+}
+
+std::unique_lock<std::mutex> MemoryStore::maybe_lock() const {
+  if (synchronized_) return std::unique_lock<std::mutex>(mu_);
+  return std::unique_lock<std::mutex>();
+}
+
+std::uint64_t MemoryStore::append(const HeartbeatRecord& rec) {
+  auto lock = maybe_lock();
+  HeartbeatRecord stamped = rec;
+  stamped.seq = buf_.total_pushed();
+  buf_.push(stamped);
+  return stamped.seq;
+}
+
+std::uint64_t MemoryStore::count() const {
+  auto lock = maybe_lock();
+  return buf_.total_pushed();
+}
+
+std::vector<HeartbeatRecord> MemoryStore::history(std::size_t n) const {
+  auto lock = maybe_lock();
+  return buf_.last_n(n);
+}
+
+void MemoryStore::set_target(TargetRate t) {
+  auto lock = maybe_lock();
+  target_ = t;
+}
+
+TargetRate MemoryStore::target() const {
+  auto lock = maybe_lock();
+  return target_;
+}
+
+void MemoryStore::set_default_window(std::uint32_t w) {
+  auto lock = maybe_lock();
+  default_window_ = w == 0 ? 1 : w;
+}
+
+std::uint32_t MemoryStore::default_window() const {
+  auto lock = maybe_lock();
+  return default_window_;
+}
+
+}  // namespace hb::core

@@ -1,0 +1,43 @@
+// In-process BeatStore.
+//
+// The default backing store: a RingBuffer of records plus target/window
+// metadata. Construct synchronized for the shared global channel (multiple
+// producer threads, concurrent readers — the paper's Section 4 uses a mutex
+// for exactly this) or unsynchronized for thread-private local channels.
+#pragma once
+
+#include <mutex>
+
+#include "core/store.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace hb::core {
+
+class MemoryStore final : public BeatStore {
+ public:
+  /// `capacity`: records retained. `synchronized`: guard all access with a
+  /// mutex (required when more than one thread touches the store).
+  explicit MemoryStore(std::size_t capacity, bool synchronized = true,
+                       std::uint32_t default_window = 20);
+
+  std::uint64_t append(const HeartbeatRecord& rec) override;
+  std::uint64_t count() const override;
+  std::size_t capacity() const override { return buf_.capacity(); }
+  std::vector<HeartbeatRecord> history(std::size_t n) const override;
+  void set_target(TargetRate t) override;
+  TargetRate target() const override;
+  void set_default_window(std::uint32_t w) override;
+  std::uint32_t default_window() const override;
+
+ private:
+  // Lock-if-synchronized helper: returns an engaged guard or an empty one.
+  std::unique_lock<std::mutex> maybe_lock() const;
+
+  mutable std::mutex mu_;
+  const bool synchronized_;
+  util::RingBuffer<HeartbeatRecord> buf_;
+  TargetRate target_{0.0, 0.0};
+  std::uint32_t default_window_;
+};
+
+}  // namespace hb::core

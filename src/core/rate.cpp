@@ -1,0 +1,40 @@
+#include "core/rate.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/stats.hpp"
+
+namespace hb::core {
+
+double window_rate(std::span<const HeartbeatRecord> records) {
+  if (records.size() < 2) return 0.0;
+  const util::TimeNs span =
+      records.back().timestamp_ns - records.front().timestamp_ns;
+  if (span <= 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(records.size() - 1) / util::to_seconds(span);
+}
+
+double instant_rate(std::span<const HeartbeatRecord> records) {
+  if (records.size() < 2) return 0.0;
+  return window_rate(records.subspan(records.size() - 2));
+}
+
+double mean_interval_ns(std::span<const HeartbeatRecord> records) {
+  if (records.size() < 2) return 0.0;
+  const util::TimeNs span =
+      records.back().timestamp_ns - records.front().timestamp_ns;
+  return static_cast<double>(span) / static_cast<double>(records.size() - 1);
+}
+
+double interval_jitter_ns(std::span<const HeartbeatRecord> records) {
+  if (records.size() < 3) return 0.0;
+  util::RunningStats stats;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    stats.add(static_cast<double>(records[i].timestamp_ns -
+                                  records[i - 1].timestamp_ns));
+  }
+  return stats.stddev();
+}
+
+}  // namespace hb::core

@@ -1,0 +1,36 @@
+// Heart-rate computations over heartbeat histories.
+//
+// Centralizing the math keeps Channel, HeartbeatReader, and all transports
+// agreeing on what "the average heart rate calculated from the last window
+// heartbeats" (paper, Table 1) means:
+//
+//   rate over records r_0..r_{n-1}  =  (n - 1) / (t_{n-1} - t_0)   [beats/s]
+//
+// i.e. the number of completed beat *intervals* divided by the time they
+// span. A window of w beats therefore needs w records and yields w-1
+// intervals; the instantaneous rate is the window-2 case.
+#pragma once
+
+#include <span>
+
+#include "core/record.hpp"
+
+namespace hb::core {
+
+/// Average rate in beats/second across the given records (oldest first).
+/// Returns 0 for fewer than 2 records, +infinity for a zero/negative span
+/// (beats closer together than the clock can resolve).
+double window_rate(std::span<const HeartbeatRecord> records);
+
+/// Rate implied by the last two records only.
+double instant_rate(std::span<const HeartbeatRecord> records);
+
+/// Mean interval between consecutive records, in nanoseconds (0 if < 2).
+double mean_interval_ns(std::span<const HeartbeatRecord> records);
+
+/// Sample standard deviation of inter-beat intervals in ns (0 if < 3).
+/// Erratic (high-jitter) heartbeats are an early failure indicator
+/// (paper, Section 2.6).
+double interval_jitter_ns(std::span<const HeartbeatRecord> records);
+
+}  // namespace hb::core

@@ -1,0 +1,50 @@
+// The heartbeat record: the unit of information the whole framework moves.
+//
+// Paper, Section 3: "Each heartbeat generated is automatically stamped with
+// the current time and thread ID of the caller. In addition, the user may
+// specify a tag."
+//
+// The struct is standard-layout and trivially copyable with a fixed 32-byte
+// footprint so that the exact same bytes can live in process memory, in a
+// shared-memory segment walked by another process (or, per the paper's
+// Section 3 vision, by hardware), or be serialized to the file-log transport.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "util/time.hpp"
+
+namespace hb::core {
+
+struct HeartbeatRecord {
+  /// Timestamp from the producing Heartbeat's clock (monotonic epoch).
+  util::TimeNs timestamp_ns = 0;
+  /// 0-based sequence number within the channel; assigned by the store.
+  std::uint64_t seq = 0;
+  /// Application-chosen tag (frame type, sequence number, phase id, ...).
+  std::uint64_t tag = 0;
+  /// Numeric id of the producing thread.
+  std::uint32_t thread_id = 0;
+  /// Reserved; always zero. Keeps the record at 32 bytes.
+  std::uint32_t reserved = 0;
+};
+
+static_assert(std::is_standard_layout_v<HeartbeatRecord>,
+              "record must be readable by external observers");
+static_assert(std::is_trivially_copyable_v<HeartbeatRecord>,
+              "record must be memcpy-safe across transports");
+static_assert(sizeof(HeartbeatRecord) == 32, "layout is part of the ABI");
+
+/// Target heart-rate range registered by the application (beats/second).
+/// Paper: HB_set_target_rate(min, max). A max of +infinity means "no upper
+/// bound"; min of 0 means "no lower bound".
+struct TargetRate {
+  double min_bps = 0.0;
+  double max_bps = 0.0;
+
+  bool contains(double rate) const { return rate >= min_bps && rate <= max_bps; }
+  double midpoint() const { return 0.5 * (min_bps + max_bps); }
+};
+
+}  // namespace hb::core

@@ -1,0 +1,52 @@
+// BeatStore: where a heartbeat channel's state lives.
+//
+// The paper's reference implementation keeps heartbeat history in files
+// (Section 4); Section 3 additionally calls for a standard in-memory layout
+// that other processes and even hardware can read. This interface abstracts
+// over those storage strategies so the producer (Channel/Heartbeat) and the
+// observer (HeartbeatReader) are transport-agnostic:
+//
+//   * transport::MemoryStore  — in-process buffer (fast path, unit of reuse)
+//   * transport::ShmStore     — mmap'd standard-layout segment, cross-process
+//   * transport::FileLogStore — append-only text log (the paper's Section 4)
+//
+// A store holds: the circular history of records, the monotonic beat count,
+// the application's registered target rate, and its default window size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/record.hpp"
+
+namespace hb::core {
+
+class BeatStore {
+ public:
+  virtual ~BeatStore() = default;
+
+  /// Append a beat. `rec.seq` is ignored on input: the store assigns the next
+  /// sequence number and returns it. Thread-safety is per-implementation
+  /// (stores backing the global channel must accept concurrent appenders).
+  virtual std::uint64_t append(const HeartbeatRecord& rec) = 0;
+
+  /// Total beats ever appended (monotonic; may exceed capacity()).
+  virtual std::uint64_t count() const = 0;
+
+  /// Maximum number of records retained. Older beats are dropped
+  /// (paper, Section 3: history may be silently clipped).
+  virtual std::size_t capacity() const = 0;
+
+  /// The last min(n, count, capacity) records, oldest first.
+  virtual std::vector<HeartbeatRecord> history(std::size_t n) const = 0;
+
+  /// Registered target heart-rate range (paper: HB_set_target_rate).
+  virtual void set_target(TargetRate t) = 0;
+  virtual TargetRate target() const = 0;
+
+  /// Default averaging window (paper: HB_initialize's window argument).
+  virtual void set_default_window(std::uint32_t w) = 0;
+  virtual std::uint32_t default_window() const = 0;
+};
+
+}  // namespace hb::core

@@ -1,0 +1,41 @@
+#include "core/tags.hpp"
+
+#include "core/rate.hpp"
+
+namespace hb::core {
+
+std::vector<HeartbeatRecord> filter_by_tag(
+    std::span<const HeartbeatRecord> records, std::uint64_t tag) {
+  std::vector<HeartbeatRecord> out;
+  for (const auto& r : records) {
+    if (r.tag == tag) out.push_back(r);
+  }
+  return out;
+}
+
+double tag_rate(std::span<const HeartbeatRecord> records, std::uint64_t tag) {
+  return window_rate(filter_by_tag(records, tag));
+}
+
+std::map<std::uint64_t, std::uint64_t> tag_histogram(
+    std::span<const HeartbeatRecord> records) {
+  std::map<std::uint64_t, std::uint64_t> out;
+  for (const auto& r : records) ++out[r.tag];
+  return out;
+}
+
+SequenceCheck check_tag_sequence(std::span<const HeartbeatRecord> records) {
+  SequenceCheck check;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const std::uint64_t prev = records[i - 1].tag;
+    const std::uint64_t cur = records[i].tag;
+    if (cur > prev + 1) {
+      check.missing += cur - prev - 1;
+    } else if (cur < prev) {
+      ++check.reordered;
+    }
+  }
+  return check;
+}
+
+}  // namespace hb::core

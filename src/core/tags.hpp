@@ -1,0 +1,44 @@
+// Tag-aware heartbeat analysis.
+//
+// Paper, Section 3: "the user may specify a tag that can be used to provide
+// additional information. For example, a video application may wish to
+// indicate the type of frame (I, B or P) ... Tags can also be used as
+// sequence numbers in situations where some heartbeats may be dropped or
+// reordered." And on HB_get_history: "This allows the user to examine
+// intervals between individual heartbeats or filter heartbeats according to
+// their tags."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/record.hpp"
+
+namespace hb::core {
+
+/// Records whose tag equals `tag`, in input order.
+std::vector<HeartbeatRecord> filter_by_tag(
+    std::span<const HeartbeatRecord> records, std::uint64_t tag);
+
+/// Average rate (beats/s) of beats carrying `tag`, over the given records.
+/// Uses the same (n-1)/span rule as window_rate, applied to the filtered
+/// subsequence (e.g. "how fast are I-frames coming?").
+double tag_rate(std::span<const HeartbeatRecord> records, std::uint64_t tag);
+
+/// Beat count per distinct tag (e.g. frame-type mix of the last N frames).
+std::map<std::uint64_t, std::uint64_t> tag_histogram(
+    std::span<const HeartbeatRecord> records);
+
+/// Treating tags as sequence numbers (the paper's dropped/reordered-beat use
+/// case): number of gaps (missing values) in the tag sequence, assuming the
+/// producer tags consecutively. Reordered records are counted by
+/// `reordered`.
+struct SequenceCheck {
+  std::uint64_t missing = 0;    ///< values skipped between consecutive tags
+  std::uint64_t reordered = 0;  ///< records whose tag decreased
+};
+SequenceCheck check_tag_sequence(std::span<const HeartbeatRecord> records);
+
+}  // namespace hb::core

@@ -1,0 +1,48 @@
+#include "fault/failure_detector.hpp"
+
+#include "core/rate.hpp"
+
+namespace hb::fault {
+
+const char* to_string(Health h) {
+  switch (h) {
+    case Health::kWarmingUp: return "warming-up";
+    case Health::kHealthy: return "healthy";
+    case Health::kSlow: return "slow";
+    case Health::kErratic: return "erratic";
+    case Health::kDead: return "dead";
+  }
+  return "unknown";
+}
+
+Health FailureDetector::assess(const core::HeartbeatReader& reader) const {
+  const std::uint64_t beats = reader.count();
+  const util::TimeNs staleness = reader.staleness_ns();
+
+  if (beats < opts_.min_beats) {
+    if (opts_.absolute_staleness_ns > 0 &&
+        staleness > opts_.absolute_staleness_ns) {
+      return Health::kDead;  // registered but never really started beating
+    }
+    return Health::kWarmingUp;
+  }
+
+  const auto history = reader.history(opts_.window);
+  const double mean_ns = core::mean_interval_ns(history);
+  if (mean_ns > 0.0 &&
+      static_cast<double>(staleness) > opts_.staleness_factor * mean_ns) {
+    return Health::kDead;
+  }
+
+  const core::TargetRate target = reader.target();
+  const double rate = reader.current_rate(opts_.window);
+  if (target.min_bps > 0.0 && rate < target.min_bps) return Health::kSlow;
+
+  const double jitter = core::interval_jitter_ns(history);
+  if (mean_ns > 0.0 && jitter > opts_.jitter_factor * mean_ns) {
+    return Health::kErratic;
+  }
+  return Health::kHealthy;
+}
+
+}  // namespace hb::fault

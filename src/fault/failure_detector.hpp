@@ -1,0 +1,55 @@
+// Heartbeat-based failure detection.
+//
+// Paper, Section 2.6: "A lack of heartbeats from a particular node would
+// indicate that it has failed, and slow or erratic heartbeats could indicate
+// that a machine is about to fail." The detector turns a HeartbeatReader
+// into a health verdict using only beat staleness, rate, and jitter — no
+// knowledge of the application.
+#pragma once
+
+#include <cstdint>
+
+#include "core/reader.hpp"
+#include "util/time.hpp"
+
+namespace hb::fault {
+
+enum class Health {
+  kWarmingUp,  ///< too few beats to judge
+  kHealthy,    ///< beating on time and meeting its target
+  kSlow,       ///< beating, but below its registered minimum rate
+  kErratic,    ///< beating at rate, but with anomalous interval jitter
+  kDead,       ///< beats stopped (staleness way beyond the expected interval)
+};
+
+const char* to_string(Health h);
+
+struct FailureDetectorOptions {
+  /// Dead when staleness exceeds this multiple of the mean beat interval.
+  double staleness_factor = 8.0;
+  /// Erratic when the interval coefficient of variation (stddev / mean)
+  /// exceeds this. Steady producers sit near 0; an alternating fast/stalled
+  /// pattern approaches 1.
+  double jitter_factor = 0.8;
+  /// Window (beats) over which mean interval and jitter are estimated.
+  std::uint32_t window = 16;
+  /// Beats required before any verdict other than kWarmingUp/kDead.
+  std::uint64_t min_beats = 4;
+  /// Absolute staleness bound that marks death even during warm-up
+  /// (an app that registered and never beat). 0 disables.
+  util::TimeNs absolute_staleness_ns = 0;
+};
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(FailureDetectorOptions opts = {}) : opts_(opts) {}
+
+  Health assess(const core::HeartbeatReader& reader) const;
+
+  const FailureDetectorOptions& options() const { return opts_; }
+
+ private:
+  FailureDetectorOptions opts_;
+};
+
+}  // namespace hb::fault

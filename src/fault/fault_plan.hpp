@@ -1,0 +1,58 @@
+// Fault injection: scripted core failures.
+//
+// Paper, Section 5.4: "At frames 160, 320, and 480, a core failure is
+// simulated by restricting the scheduler to running x264 on fewer cores."
+// A FaultPlan is exactly that script — kill a core when the application
+// crosses a beat count — decoupled from what "killing a core" means
+// (Machine::fail_owned_core in simulation; affinity shrink natively).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hb::fault {
+
+struct FaultEvent {
+  std::uint64_t at_beat = 0;  ///< trigger when total beats reach this
+  int kill_cores = 1;         ///< cores to fail at that point
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultEvent> events) : events_(std::move(events)) {
+    std::sort(events_.begin(), events_.end(),
+              [](const FaultEvent& a, const FaultEvent& b) {
+                return a.at_beat < b.at_beat;
+              });
+  }
+
+  /// The paper's Section 5.4 script: one core at beats 160, 320, 480.
+  static FaultPlan paper_section_5_4() {
+    return FaultPlan({{160, 1}, {320, 1}, {480, 1}});
+  }
+
+  /// Fire every event due at `beats`; `kill(n)` must fail n cores.
+  /// Returns the number of events fired.
+  int poll(std::uint64_t beats, const std::function<void(int)>& kill) {
+    int fired = 0;
+    while (next_ < events_.size() && events_[next_].at_beat <= beats) {
+      kill(events_[next_].kill_cores);
+      ++next_;
+      ++fired;
+    }
+    return fired;
+  }
+
+  bool exhausted() const { return next_ >= events_.size(); }
+  std::size_t remaining() const { return events_.size() - next_; }
+  void reset() { next_ = 0; }
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace hb::fault

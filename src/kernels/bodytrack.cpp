@@ -1,0 +1,78 @@
+#include "kernels/bodytrack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hb::kernels {
+
+Bodytrack::Bodytrack(Scale scale)
+    : frames_(scale == Scale::kNative ? 120 : 20),
+      particles_(scale == Scale::kNative ? 4000 : 500) {}
+
+void Bodytrack::run(core::Heartbeat& hb) {
+  util::Rng rng(202);
+  struct Particle {
+    double x, y, w;
+  };
+  std::vector<Particle> particles(static_cast<std::size_t>(particles_));
+  for (auto& p : particles) {
+    p = {rng.uniform(-1, 1), rng.uniform(-1, 1), 1.0};
+  }
+  std::vector<Particle> resampled(particles.size());
+
+  double truth_x = 0.0, truth_y = 0.0;
+  double err_acc = 0.0;
+  for (int f = 0; f < frames_; ++f) {
+    // Ground truth target moves on a Lissajous path.
+    truth_x = 10.0 * std::sin(0.11 * f);
+    truth_y = 6.0 * std::cos(0.07 * f);
+    // Noisy observation.
+    const double obs_x = truth_x + rng.normal(0, 0.4);
+    const double obs_y = truth_y + rng.normal(0, 0.4);
+
+    // Predict (diffusion) and weight against the observation.
+    double wsum = 0.0;
+    for (auto& p : particles) {
+      p.x += rng.normal(0, 0.6);
+      p.y += rng.normal(0, 0.6);
+      const double dx = p.x - obs_x;
+      const double dy = p.y - obs_y;
+      p.w = std::exp(-(dx * dx + dy * dy) / (2.0 * 0.5));
+      wsum += p.w;
+    }
+    if (wsum <= 0.0) wsum = 1.0;
+
+    // Estimate: weighted mean.
+    double est_x = 0.0, est_y = 0.0;
+    for (const auto& p : particles) {
+      est_x += p.x * p.w / wsum;
+      est_y += p.y * p.w / wsum;
+    }
+    err_acc += std::hypot(est_x - truth_x, est_y - truth_y);
+
+    // Systematic resampling.
+    const double step = wsum / static_cast<double>(particles.size());
+    double u = rng.uniform(0, step);
+    double cum = 0.0;
+    std::size_t src = 0;
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      const double threshold = u + static_cast<double>(i) * step;
+      while (cum + particles[src].w < threshold && src + 1 < particles.size()) {
+        cum += particles[src].w;
+        ++src;
+      }
+      resampled[i] = particles[src];
+      resampled[i].w = 1.0;
+    }
+    particles.swap(resampled);
+
+    hb.beat(static_cast<std::uint64_t>(f));  // Table 2: every frame
+  }
+  mean_error_ = err_acc / frames_;
+  checksum_ = mean_error_;
+}
+
+}  // namespace hb::kernels

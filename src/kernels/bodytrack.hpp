@@ -1,0 +1,32 @@
+// bodytrack: particle-filter tracking.
+//
+// PARSEC's bodytrack tracks a human body through video frames with an
+// annealed particle filter. The scaled-down core: a particle filter tracking
+// a moving 2D target through noisy observations — predict, weight,
+// resample, estimate per frame. Paper, Table 2: heartbeat "Every frame".
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace hb::kernels {
+
+class Bodytrack final : public Kernel {
+ public:
+  explicit Bodytrack(Scale scale);
+
+  std::string name() const override { return "bodytrack"; }
+  std::string heartbeat_location() const override { return "Every frame"; }
+  void run(core::Heartbeat& hb) override;
+  double checksum() const override { return checksum_; }
+
+  /// Mean tracking error over the run (tests assert the filter works).
+  double mean_error() const { return mean_error_; }
+
+ private:
+  int frames_;
+  int particles_;
+  double checksum_ = 0.0;
+  double mean_error_ = 0.0;
+};
+
+}  // namespace hb::kernels

@@ -1,0 +1,100 @@
+#include "kernels/dedup.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hb::kernels {
+
+namespace {
+
+// FNV-1a fingerprint of a byte range.
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Dedup::Dedup(Scale scale)
+    : stream_bytes_(scale == Scale::kNative ? (16u << 20) : (1u << 20)) {}
+
+double Dedup::dedup_ratio() const {
+  return total_chunks_ == 0
+             ? 1.0
+             : static_cast<double>(unique_chunks_) /
+                   static_cast<double>(total_chunks_);
+}
+
+void Dedup::run(core::Heartbeat& hb) {
+  // Synthetic stream with planted repetitions: blocks of random data, ~40%
+  // of which are repeats of earlier blocks (so deduplication has work).
+  util::Rng rng(404);
+  std::vector<std::uint8_t> stream;
+  stream.reserve(stream_bytes_);
+  std::vector<std::vector<std::uint8_t>> pool;
+  while (stream.size() < stream_bytes_) {
+    const bool reuse = !pool.empty() && rng.chance(0.5);
+    if (reuse) {
+      const auto& block = pool[static_cast<std::size_t>(
+          rng.next_below(pool.size()))];
+      stream.insert(stream.end(), block.begin(), block.end());
+    } else {
+      // Blocks span several expected chunk lengths so repeated blocks
+      // contain whole repeated chunks (the boundary-straddling chunks at
+      // block edges legitimately differ).
+      std::vector<std::uint8_t> block(4096 + rng.next_below(4096));
+      for (auto& b : block) b = static_cast<std::uint8_t>(rng.next_u64());
+      stream.insert(stream.end(), block.begin(), block.end());
+      pool.push_back(std::move(block));
+    }
+  }
+  stream.resize(stream_bytes_);
+
+  // Content-defined chunking: a *windowed* polynomial rolling hash (the
+  // window makes boundary positions depend only on the last kWindow bytes,
+  // so chunking resynchronizes inside repeated content — the property that
+  // makes deduplication find shifted duplicates). Boundary when the low
+  // 10 bits vanish (expected chunk ~1 KiB), with min/max bounds.
+  constexpr std::size_t kWindow = 16;
+  constexpr std::size_t kMinChunk = 256;
+  constexpr std::size_t kMaxChunk = 4096;
+  constexpr std::uint64_t kBoundaryMask = (1u << 10) - 1;
+  constexpr std::uint64_t kBase = 257;
+  // kBase^kWindow for removing the outgoing byte.
+  std::uint64_t base_pow = 1;
+  for (std::size_t i = 0; i < kWindow; ++i) base_pow *= kBase;
+
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t fingerprint_acc = 0;
+  std::size_t chunk_start = 0;
+  std::uint64_t rolling = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    rolling = rolling * kBase + stream[i];
+    if (i >= kWindow) rolling -= base_pow * stream[i - kWindow];
+    const std::size_t chunk_len = i + 1 - chunk_start;
+    const bool boundary =
+        (chunk_len >= kMinChunk && (rolling & kBoundaryMask) == 0) ||
+        chunk_len >= kMaxChunk || i + 1 == stream.size();
+    if (!boundary) continue;
+    const std::uint64_t fp = fnv1a(stream.data() + chunk_start, chunk_len);
+    ++total_chunks_;
+    if (seen.insert(fp).second) {
+      ++unique_chunks_;
+      fingerprint_acc ^= fp;
+    }
+    hb.beat(fp & 0xffff);  // Table 2: every chunk (tag: fingerprint bits)
+    chunk_start = i + 1;
+    // Note: `rolling` is NOT reset — the window persists across boundaries
+    // so boundary positions depend only on local content.
+  }
+  checksum_ = static_cast<double>(fingerprint_acc % 1000003) +
+              static_cast<double>(unique_chunks_);
+}
+
+}  // namespace hb::kernels

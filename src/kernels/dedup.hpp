@@ -1,0 +1,35 @@
+// dedup: content-defined chunking and deduplication.
+//
+// PARSEC's dedup compresses a data stream with "deduplication": split into
+// chunks at content-defined boundaries (rolling hash), fingerprint each
+// chunk, and emit only unseen chunks. Scaled-down core: a Rabin-style
+// rolling hash over a synthetic stream with planted repetitions.
+// Paper, Table 2: heartbeat "Every 'chunk'".
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace hb::kernels {
+
+class Dedup final : public Kernel {
+ public:
+  explicit Dedup(Scale scale);
+
+  std::string name() const override { return "dedup"; }
+  std::string heartbeat_location() const override { return "Every \"chunk\""; }
+  void run(core::Heartbeat& hb) override;
+  double checksum() const override { return checksum_; }
+
+  std::uint64_t total_chunks() const { return total_chunks_; }
+  std::uint64_t unique_chunks() const { return unique_chunks_; }
+  /// Dedup ratio: unique / total (< 1 when the stream has repetitions).
+  double dedup_ratio() const;
+
+ private:
+  std::size_t stream_bytes_;
+  double checksum_ = 0.0;
+  std::uint64_t total_chunks_ = 0;
+  std::uint64_t unique_chunks_ = 0;
+};
+
+}  // namespace hb::kernels

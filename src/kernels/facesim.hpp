@@ -1,0 +1,30 @@
+// facesim: deformable-mesh physics.
+//
+// PARSEC's facesim simulates a human face as a deformable solid. Scaled-down
+// core: a 2D mass-spring cloth grid integrated with damped Verlet steps and
+// several constraint-relaxation sweeps per frame (the dominant cost of such
+// solvers). Paper, Table 2: heartbeat "Every frame" (PARSEC's slowest
+// per-beat benchmark besides streamcluster).
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace hb::kernels {
+
+class Facesim final : public Kernel {
+ public:
+  explicit Facesim(Scale scale);
+
+  std::string name() const override { return "facesim"; }
+  std::string heartbeat_location() const override { return "Every frame"; }
+  void run(core::Heartbeat& hb) override;
+  double checksum() const override { return checksum_; }
+
+ private:
+  int grid_;
+  int frames_;
+  int relax_sweeps_;
+  double checksum_ = 0.0;
+};
+
+}  // namespace hb::kernels

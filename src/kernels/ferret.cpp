@@ -1,0 +1,72 @@
+#include "kernels/ferret.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hb::kernels {
+
+Ferret::Ferret(Scale scale)
+    : database_size_(scale == Scale::kNative ? 20'000 : 2'000),
+      queries_(scale == Scale::kNative ? 256 : 32),
+      dims_(48),
+      top_k_(10) {}
+
+void Ferret::run(core::Heartbeat& hb) {
+  util::Rng rng(505);
+  // Database of feature vectors, clustered around a few prototypes (real
+  // image features cluster; uniform data would make distances meaningless).
+  const int kProtos = 16;
+  std::vector<std::vector<double>> protos(kProtos,
+                                          std::vector<double>(dims_));
+  for (auto& p : protos) {
+    for (auto& v : p) v = rng.uniform(-1, 1);
+  }
+  std::vector<double> db(static_cast<std::size_t>(database_size_) *
+                         static_cast<std::size_t>(dims_));
+  for (int i = 0; i < database_size_; ++i) {
+    const auto& proto =
+        protos[static_cast<std::size_t>(rng.next_below(kProtos))];
+    for (int d = 0; d < dims_; ++d) {
+      db[static_cast<std::size_t>(i) * dims_ + d] =
+          proto[static_cast<std::size_t>(d)] + rng.normal(0, 0.15);
+    }
+  }
+
+  double acc = 0.0;
+  std::vector<std::pair<double, int>> best;
+  for (int q = 0; q < queries_; ++q) {
+    // Query near a random prototype.
+    std::vector<double> query(static_cast<std::size_t>(dims_));
+    const auto& proto =
+        protos[static_cast<std::size_t>(rng.next_below(kProtos))];
+    for (int d = 0; d < dims_; ++d) {
+      query[static_cast<std::size_t>(d)] =
+          proto[static_cast<std::size_t>(d)] + rng.normal(0, 0.15);
+    }
+    // Brute-force top-k.
+    best.clear();
+    for (int i = 0; i < database_size_; ++i) {
+      double dist = 0.0;
+      for (int d = 0; d < dims_; ++d) {
+        const double diff = db[static_cast<std::size_t>(i) * dims_ + d] -
+                            query[static_cast<std::size_t>(d)];
+        dist += diff * diff;
+      }
+      if (static_cast<int>(best.size()) < top_k_) {
+        best.emplace_back(dist, i);
+        std::push_heap(best.begin(), best.end());
+      } else if (dist < best.front().first) {
+        std::pop_heap(best.begin(), best.end());
+        best.back() = {dist, i};
+        std::push_heap(best.begin(), best.end());
+      }
+    }
+    acc += best.front().first;  // distance of the k-th neighbour
+    hb.beat(static_cast<std::uint64_t>(q));  // Table 2: every query
+  }
+  checksum_ = acc / queries_;
+}
+
+}  // namespace hb::kernels

@@ -1,0 +1,30 @@
+// ferret: content-based similarity search.
+//
+// PARSEC's ferret answers image-similarity queries against a database via
+// feature extraction + nearest-neighbour search. Scaled-down core: brute-
+// force top-k L2 search of query feature vectors against a vector database.
+// Paper, Table 2: heartbeat "Every query".
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace hb::kernels {
+
+class Ferret final : public Kernel {
+ public:
+  explicit Ferret(Scale scale);
+
+  std::string name() const override { return "ferret"; }
+  std::string heartbeat_location() const override { return "Every query"; }
+  void run(core::Heartbeat& hb) override;
+  double checksum() const override { return checksum_; }
+
+ private:
+  int database_size_;
+  int queries_;
+  int dims_;
+  int top_k_;
+  double checksum_ = 0.0;
+};
+
+}  // namespace hb::kernels

@@ -1,0 +1,111 @@
+#include "kernels/fluidanimate.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hb::kernels {
+
+Fluidanimate::Fluidanimate(Scale scale)
+    : particles_(scale == Scale::kNative ? 6'000 : 800),
+      frames_(scale == Scale::kNative ? 60 : 10) {}
+
+void Fluidanimate::run(core::Heartbeat& hb) {
+  util::Rng rng(606);
+  constexpr double kH = 0.06;        // smoothing radius
+  constexpr double kRho0 = 1000.0;   // rest density
+  constexpr double kStiff = 2.5;
+  constexpr double kMass = 0.6;
+  constexpr double kDt = 0.004;
+
+  struct P {
+    double x, y, vx, vy, rho, p;
+  };
+  std::vector<P> pts(static_cast<std::size_t>(particles_));
+  // Dam-break initial condition: a block of fluid in the left half.
+  for (auto& p : pts) {
+    p = {rng.uniform(0.05, 0.45), rng.uniform(0.05, 0.9), 0, 0, 0, 0};
+  }
+
+  // Uniform grid for neighbour search.
+  const int gw = static_cast<int>(1.0 / kH) + 1;
+  std::vector<std::vector<int>> cells(
+      static_cast<std::size_t>(gw) * static_cast<std::size_t>(gw));
+  auto cell_of = [&](double x, double y) {
+    int cx = static_cast<int>(x / kH);
+    int cy = static_cast<int>(y / kH);
+    cx = std::min(std::max(cx, 0), gw - 1);
+    cy = std::min(std::max(cy, 0), gw - 1);
+    return static_cast<std::size_t>(cy * gw + cx);
+  };
+
+  double acc = 0.0;
+  for (int f = 0; f < frames_; ++f) {
+    for (auto& c : cells) c.clear();
+    for (int i = 0; i < particles_; ++i) {
+      cells[cell_of(pts[static_cast<std::size_t>(i)].x,
+                    pts[static_cast<std::size_t>(i)].y)]
+          .push_back(i);
+    }
+    auto for_neighbours = [&](int i, auto&& fn) {
+      const P& pi = pts[static_cast<std::size_t>(i)];
+      const int cx = static_cast<int>(pi.x / kH);
+      const int cy = static_cast<int>(pi.y / kH);
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int nx = cx + dx, ny = cy + dy;
+          if (nx < 0 || nx >= gw || ny < 0 || ny >= gw) continue;
+          for (int j : cells[static_cast<std::size_t>(ny * gw + nx)]) fn(j);
+        }
+      }
+    };
+
+    // Density and pressure (poly6-like kernel).
+    for (int i = 0; i < particles_; ++i) {
+      P& pi = pts[static_cast<std::size_t>(i)];
+      double rho = 0.0;
+      for_neighbours(i, [&](int j) {
+        const P& pj = pts[static_cast<std::size_t>(j)];
+        const double dx = pi.x - pj.x, dy = pi.y - pj.y;
+        const double r2 = dx * dx + dy * dy;
+        if (r2 < kH * kH) {
+          const double w = kH * kH - r2;
+          rho += kMass * w * w * w;
+        }
+      });
+      pi.rho = rho * 1e6;  // kernel normalization folded into a constant
+      pi.p = kStiff * (pi.rho - kRho0);
+    }
+    // Pressure + viscosity forces, integrate, box boundaries.
+    for (int i = 0; i < particles_; ++i) {
+      P& pi = pts[static_cast<std::size_t>(i)];
+      double fx = 0.0, fy = 0.0;
+      for_neighbours(i, [&](int j) {
+        if (j == i) return;
+        const P& pj = pts[static_cast<std::size_t>(j)];
+        const double dx = pi.x - pj.x, dy = pi.y - pj.y;
+        const double r2 = dx * dx + dy * dy;
+        if (r2 >= kH * kH || r2 <= 1e-12) return;
+        const double r = std::sqrt(r2);
+        const double push = (pi.p + pj.p) / (2.0 * std::max(pj.rho, 1.0));
+        fx += push * dx / r + 0.05 * (pj.vx - pi.vx);
+        fy += push * dy / r + 0.05 * (pj.vy - pi.vy);
+      });
+      pi.vx += kDt * (fx / std::max(pi.rho, 1.0)) * 1e3;
+      pi.vy += kDt * ((fy / std::max(pi.rho, 1.0)) * 1e3 - 9.8);
+      pi.x += kDt * pi.vx;
+      pi.y += kDt * pi.vy;
+      // Reflecting box walls with damping.
+      if (pi.x < 0.0) { pi.x = 0.0; pi.vx = -0.4 * pi.vx; }
+      if (pi.x > 1.0) { pi.x = 1.0; pi.vx = -0.4 * pi.vx; }
+      if (pi.y < 0.0) { pi.y = 0.0; pi.vy = -0.4 * pi.vy; }
+      if (pi.y > 1.0) { pi.y = 1.0; pi.vy = -0.4 * pi.vy; }
+    }
+    acc += pts[0].x + pts[0].y;
+    hb.beat(static_cast<std::uint64_t>(f));  // Table 2: every frame
+  }
+  checksum_ = acc;
+}
+
+}  // namespace hb::kernels

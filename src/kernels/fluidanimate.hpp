@@ -1,0 +1,28 @@
+// fluidanimate: smoothed-particle-hydrodynamics fluid.
+//
+// PARSEC's fluidanimate animates an incompressible fluid with SPH.
+// Scaled-down core: a 2D SPH step — grid-hashed neighbour search, density/
+// pressure evaluation, force integration — per animation frame.
+// Paper, Table 2: heartbeat "Every frame".
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace hb::kernels {
+
+class Fluidanimate final : public Kernel {
+ public:
+  explicit Fluidanimate(Scale scale);
+
+  std::string name() const override { return "fluidanimate"; }
+  std::string heartbeat_location() const override { return "Every frame"; }
+  void run(core::Heartbeat& hb) override;
+  double checksum() const override { return checksum_; }
+
+ private:
+  int particles_;
+  int frames_;
+  double checksum_ = 0.0;
+};
+
+}  // namespace hb::kernels

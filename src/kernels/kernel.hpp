@@ -1,0 +1,48 @@
+// The kernel interface: PARSEC-like benchmarks instrumented with heartbeats.
+//
+// Substitution (DESIGN.md §4): the paper instruments PARSEC 1.0 (Table 2).
+// Each kernel here implements a real, scaled-down version of the
+// corresponding benchmark's core algorithm and registers heartbeats at the
+// paper's Table 2 locations ("Every frame", "Every 1875 moves", ...). The
+// instrumentation burden matches the paper's claim: one beat() call in the
+// main loop — "under half-a-dozen lines" per application.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/heartbeat.hpp"
+
+namespace hb::kernels {
+
+/// Input scale. kSmall keeps unit tests fast; kNative sizes the Table 2
+/// bench run (seconds, not minutes, on one core — everything scales).
+enum class Scale { kSmall, kNative };
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// PARSEC benchmark name, e.g. "blackscholes".
+  virtual std::string name() const = 0;
+
+  /// Table 2 "Heartbeat Location" wording.
+  virtual std::string heartbeat_location() const = 0;
+
+  /// Run to completion, registering heartbeats on `hb` as work progresses.
+  virtual void run(core::Heartbeat& hb) = 0;
+
+  /// A value derived from the computation's results. Tests assert it is
+  /// reproducible; its use also keeps the optimizer from deleting the work.
+  virtual double checksum() const = 0;
+};
+
+/// All ten kernels in Table 2 order.
+std::vector<std::unique_ptr<Kernel>> make_all_kernels(Scale scale);
+
+/// Factory by name (returns nullptr for unknown names).
+std::unique_ptr<Kernel> make_kernel(const std::string& name, Scale scale);
+
+}  // namespace hb::kernels

@@ -1,0 +1,38 @@
+#include "kernels/kernel.hpp"
+
+#include "kernels/blackscholes.hpp"
+#include "kernels/bodytrack.hpp"
+#include "kernels/canneal.hpp"
+#include "kernels/dedup.hpp"
+#include "kernels/facesim.hpp"
+#include "kernels/ferret.hpp"
+#include "kernels/fluidanimate.hpp"
+#include "kernels/streamcluster.hpp"
+#include "kernels/swaptions.hpp"
+#include "kernels/x264_kernel.hpp"
+
+namespace hb::kernels {
+
+std::vector<std::unique_ptr<Kernel>> make_all_kernels(Scale scale) {
+  std::vector<std::unique_ptr<Kernel>> out;
+  out.push_back(std::make_unique<BlackScholes>(scale));
+  out.push_back(std::make_unique<Bodytrack>(scale));
+  out.push_back(std::make_unique<Canneal>(scale));
+  out.push_back(std::make_unique<Dedup>(scale));
+  out.push_back(std::make_unique<Facesim>(scale));
+  out.push_back(std::make_unique<Ferret>(scale));
+  out.push_back(std::make_unique<Fluidanimate>(scale));
+  out.push_back(std::make_unique<Streamcluster>(scale));
+  out.push_back(std::make_unique<Swaptions>(scale));
+  out.push_back(std::make_unique<X264>(scale));
+  return out;
+}
+
+std::unique_ptr<Kernel> make_kernel(const std::string& name, Scale scale) {
+  for (auto& k : make_all_kernels(scale)) {
+    if (k->name() == name) return std::move(k);
+  }
+  return nullptr;
+}
+
+}  // namespace hb::kernels

@@ -1,0 +1,71 @@
+#include "kernels/streamcluster.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hb::kernels {
+
+Streamcluster::Streamcluster(Scale scale)
+    : points_(scale == Scale::kNative ? 400'000 : 40'000),
+      beat_every_(scale == Scale::kNative ? 20'000 : 5'000),
+      dims_(8) {}
+
+void Streamcluster::run(core::Heartbeat& hb) {
+  util::Rng rng(707);
+  // Stream drawn from drifting Gaussian clusters (real streams drift; the
+  // algorithm must keep opening centers).
+  const int kClusters = 12;
+  std::vector<std::vector<double>> means(
+      kClusters, std::vector<double>(static_cast<std::size_t>(dims_)));
+  for (auto& m : means) {
+    for (auto& v : m) v = rng.uniform(-10, 10);
+  }
+
+  std::vector<std::vector<double>> centers;
+  double threshold = 10.0;
+  std::size_t since_rebuild = 0;
+
+  std::vector<double> pt(static_cast<std::size_t>(dims_));
+  for (std::uint64_t i = 0; i < points_; ++i) {
+    // Draw a point; drift the cluster means slowly.
+    auto& m = means[static_cast<std::size_t>(rng.next_below(kClusters))];
+    for (int d = 0; d < dims_; ++d) {
+      m[static_cast<std::size_t>(d)] += rng.normal(0, 0.002);
+      pt[static_cast<std::size_t>(d)] =
+          m[static_cast<std::size_t>(d)] + rng.normal(0, 0.8);
+    }
+    // Nearest existing center.
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& c : centers) {
+      double dist = 0.0;
+      for (int d = 0; d < dims_; ++d) {
+        const double diff = pt[static_cast<std::size_t>(d)] -
+                            c[static_cast<std::size_t>(d)];
+        dist += diff * diff;
+      }
+      best = std::min(best, dist);
+    }
+    // Online facility location: open a center with probability d/threshold.
+    const bool open = centers.empty() ||
+                      rng.next_double() < best / threshold;
+    if (open) {
+      centers.push_back(pt);
+    } else {
+      cost_ += best;
+    }
+    // Doubling: too many centers -> raise the threshold (the classic
+    // streaming k-median trick; a full rebuild is elided at this scale).
+    if (++since_rebuild >= 1024) {
+      since_rebuild = 0;
+      if (centers.size() > 96) threshold *= 2.0;
+    }
+    if ((i + 1) % beat_every_ == 0) hb.beat((i + 1) / beat_every_);
+  }
+  centers_ = centers.size();
+  checksum_ = cost_ / static_cast<double>(points_) +
+              static_cast<double>(centers_);
+}
+
+}  // namespace hb::kernels

@@ -1,0 +1,38 @@
+// streamcluster: online k-median clustering of a point stream.
+//
+// PARSEC's streamcluster "solves the online clustering problem for a stream
+// of input points by finding a number of medians and assigning each point to
+// the closest median" (paper, Section 5.3.2). Scaled-down core: the
+// doubling-threshold online facility-location algorithm — assign each point
+// to its nearest center or open a new center with probability d/threshold.
+// Paper, Table 2: heartbeat "Every 200000 points" (we scale the stride).
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace hb::kernels {
+
+class Streamcluster final : public Kernel {
+ public:
+  explicit Streamcluster(Scale scale);
+
+  std::string name() const override { return "streamcluster"; }
+  std::string heartbeat_location() const override {
+    return "Every " + std::to_string(beat_every_) + " points";
+  }
+  void run(core::Heartbeat& hb) override;
+  double checksum() const override { return checksum_; }
+
+  std::size_t centers_opened() const { return centers_; }
+  double total_cost() const { return cost_; }
+
+ private:
+  std::uint64_t points_;
+  std::uint64_t beat_every_;
+  int dims_;
+  std::size_t centers_ = 0;
+  double cost_ = 0.0;
+  double checksum_ = 0.0;
+};
+
+}  // namespace hb::kernels

@@ -1,0 +1,32 @@
+// swaptions: Monte Carlo swaption pricing.
+//
+// PARSEC's swaptions prices a portfolio of swaptions by Monte Carlo
+// simulation of the Heath-Jarrow-Morton forward-rate framework. Scaled-down
+// core: simulate forward-curve paths under a one-factor HJM-style model and
+// average discounted payoffs per swaption. Paper, Table 2: heartbeat
+// "Every 'swaption'".
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace hb::kernels {
+
+class Swaptions final : public Kernel {
+ public:
+  explicit Swaptions(Scale scale);
+
+  std::string name() const override { return "swaptions"; }
+  std::string heartbeat_location() const override {
+    return "Every \"swaption\"";
+  }
+  void run(core::Heartbeat& hb) override;
+  double checksum() const override { return checksum_; }
+
+ private:
+  int swaptions_;
+  int paths_;
+  int steps_;
+  double checksum_ = 0.0;
+};
+
+}  // namespace hb::kernels

@@ -1,0 +1,43 @@
+#include "kernels/x264_kernel.hpp"
+
+#include "codec/encoder.hpp"
+#include "codec/presets.hpp"
+#include "codec/video_source.hpp"
+
+namespace hb::kernels {
+
+X264::X264(Scale scale)
+    : frames_(scale == Scale::kNative ? 120 : 12),
+      width_(scale == Scale::kNative ? 128 : 64),
+      height_(scale == Scale::kNative ? 64 : 32) {}
+
+void X264::run(core::Heartbeat& hb) {
+  // Three-segment clip (easy middle) mirroring Figure 2's phase structure.
+  codec::VideoSpec spec;
+  spec.width = width_;
+  spec.height = height_;
+  spec.segments = {
+      {frames_ / 3, 2.0, 35.0, false},
+      {frames_ / 3, 0.8, 15.0, false},  // easier middle segment
+      {frames_ - 2 * (frames_ / 3), 2.0, 35.0, false},
+  };
+  spec.seed = 21;
+  codec::SyntheticVideo video(spec);
+
+  // A medium preset (the PARSEC run uses defaults, not the Section 5.2
+  // exhaustive configuration).
+  codec::Encoder enc(width_, height_,
+                     codec::make_preset_ladder().rung(4).config);
+  double psnr_acc = 0.0;
+  for (int f = 0; f < frames_; ++f) {
+    const auto stats = enc.encode(video.frame(f));
+    psnr_acc += stats.psnr_db;
+    // Tag: frame type (I = 1, P = 2), the paper's Section 3 example of tag
+    // usage for video.
+    hb.beat(stats.keyframe ? 1 : 2);
+  }
+  mean_psnr_ = psnr_acc / frames_;
+  checksum_ = mean_psnr_;
+}
+
+}  // namespace hb::kernels

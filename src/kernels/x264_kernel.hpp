@@ -1,0 +1,32 @@
+// x264: video encoding (the real substrate from src/codec).
+//
+// Unlike the other kernels this one is not a stand-in of a stand-in: it is
+// the same block-based encoder used by the Section 5.2/5.4 experiments,
+// run over a phased synthetic clip. Paper, Table 2: heartbeat "Every frame";
+// Figure 2 shows this benchmark's three performance regions.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace hb::kernels {
+
+class X264 final : public Kernel {
+ public:
+  explicit X264(Scale scale);
+
+  std::string name() const override { return "x264"; }
+  std::string heartbeat_location() const override { return "Every frame"; }
+  void run(core::Heartbeat& hb) override;
+  double checksum() const override { return checksum_; }
+
+  double mean_psnr() const { return mean_psnr_; }
+
+ private:
+  int frames_;
+  int width_;
+  int height_;
+  double checksum_ = 0.0;
+  double mean_psnr_ = 0.0;
+};
+
+}  // namespace hb::kernels

@@ -1,0 +1,31 @@
+#include "sched/affinity.hpp"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace hb::sched {
+
+int online_cores() {
+  const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+bool set_core_allocation(pid_t pid, int cores) {
+  const int max = online_cores();
+  cores = std::clamp(cores, 1, max);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int i = 0; i < cores; ++i) CPU_SET(i, &set);
+  return ::sched_setaffinity(pid, sizeof(set), &set) == 0;
+}
+
+int current_core_allocation(pid_t pid) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (::sched_getaffinity(pid, sizeof(set), &set) != 0) return -1;
+  return CPU_COUNT(&set);
+}
+
+}  // namespace hb::sched

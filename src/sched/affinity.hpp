@@ -1,0 +1,26 @@
+// Native actuation: CPU affinity control.
+//
+// On a real multicore host, the paper's scheduler changes how many cores an
+// application may run on. These helpers implement that actuation with
+// sched_setaffinity: an allocation of n cores pins the target process to
+// CPUs [0, n). The simulated Machine is the default actuation target in this
+// repository (the CI host is single-core); the native path exists so the
+// same CoreScheduler drives real processes on real multicores.
+#pragma once
+
+#include <sys/types.h>
+
+namespace hb::sched {
+
+/// Pin `pid` (0 = calling process) to the first `cores` online CPUs.
+/// Returns true on success. `cores` is clamped to [1, online CPU count].
+bool set_core_allocation(pid_t pid, int cores);
+
+/// Number of CPUs the process is currently allowed to run on, or -1 on
+/// error.
+int current_core_allocation(pid_t pid);
+
+/// Number of online CPUs.
+int online_cores();
+
+}  // namespace hb::sched

@@ -1,0 +1,136 @@
+#include "sched/global_scheduler.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hb::sched {
+
+GlobalScheduler::GlobalScheduler(GlobalSchedulerOptions opts) : opts_(opts) {
+  if (opts_.total_cores < 1) opts_.total_cores = 1;
+  if (opts_.min_cores_per_app < 0) opts_.min_cores_per_app = 0;
+}
+
+int GlobalScheduler::add_app(std::string name, core::HeartbeatReader reader,
+                             Actuator actuator) {
+  assert(actuator);
+  if (static_cast<int>(apps_.size() + 1) * opts_.min_cores_per_app >
+      opts_.total_cores) {
+    throw std::runtime_error(
+        "GlobalScheduler: not enough cores for another app's minimum");
+  }
+  App app{std::move(name), std::move(reader), std::move(actuator),
+          opts_.min_cores_per_app};
+  app.actuator(app.alloc);
+  apps_.push_back(std::move(app));
+  return static_cast<int>(apps_.size()) - 1;
+}
+
+int GlobalScheduler::allocation(int app) const {
+  return apps_.at(static_cast<std::size_t>(app)).alloc;
+}
+
+const std::string& GlobalScheduler::name(int app) const {
+  return apps_.at(static_cast<std::size_t>(app)).name;
+}
+
+int GlobalScheduler::free_cores() const {
+  int used = 0;
+  for (const auto& app : apps_) used += app.alloc;
+  return opts_.total_cores - used;
+}
+
+double GlobalScheduler::normalized_error(const App& app,
+                                         std::uint32_t window) {
+  const double rate = app.reader.current_rate(window);
+  const core::TargetRate target = app.reader.target();
+  if (!std::isfinite(rate) || rate <= 0.0) return 0.0;
+  if (target.min_bps > 0.0 && rate < target.min_bps) {
+    return (rate - target.min_bps) / target.min_bps;  // negative deficit
+  }
+  if (std::isfinite(target.max_bps) && target.max_bps > 0.0 &&
+      rate > target.max_bps) {
+    return (rate - target.max_bps) / target.max_bps;  // positive surplus
+  }
+  return 0.0;
+}
+
+bool GlobalScheduler::poll() {
+  if (apps_.empty()) return false;
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return false;
+  }
+
+  // Find the neediest app (most negative error) among warmed-up apps.
+  int needy = -1;
+  double worst = -opts_.deficit_deadband;
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    const App& app = apps_[i];
+    if (app.reader.count() < opts_.warmup_beats) continue;
+    const double e = normalized_error(app, opts_.window);
+    if (e < worst) {
+      worst = e;
+      needy = static_cast<int>(i);
+    }
+  }
+  if (needy < 0) {
+    // Nobody is starving. Reclaim one core from an app above its max (back
+    // toward the "minimum resources" goal of Section 5.3).
+    for (auto& app : apps_) {
+      if (app.reader.count() < opts_.warmup_beats) continue;
+      if (normalized_error(app, opts_.window) > opts_.deficit_deadband &&
+          app.alloc > opts_.min_cores_per_app) {
+        --app.alloc;
+        app.actuator(app.alloc);
+        ++moves_;
+        cooldown_left_ = opts_.cooldown_polls;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  App& receiver = apps_[static_cast<std::size_t>(needy)];
+
+  // Free cores first.
+  if (free_cores() > 0) {
+    ++receiver.alloc;
+    receiver.actuator(receiver.alloc);
+    ++moves_;
+    cooldown_left_ = opts_.cooldown_polls;
+    return true;
+  }
+
+  // Otherwise tax the most generous donor: prefer the largest positive
+  // error (above max); fall back to the app with the smallest deficit that
+  // can still give (best-effort fairness), as long as the donor is strictly
+  // better off than the receiver.
+  int donor = -1;
+  double donor_error = worst;  // must beat the receiver's error
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    if (static_cast<int>(i) == needy) continue;
+    App& app = apps_[i];
+    if (app.alloc <= opts_.min_cores_per_app) continue;
+    if (app.reader.count() < opts_.warmup_beats) continue;
+    const double e = normalized_error(app, opts_.window);
+    if (e > donor_error) {
+      donor_error = e;
+      donor = static_cast<int>(i);
+    }
+  }
+  // Only move a core if the donor is meaningfully better off.
+  if (donor < 0 || donor_error - worst < 2.0 * opts_.deficit_deadband) {
+    return false;
+  }
+  App& giver = apps_[static_cast<std::size_t>(donor)];
+  --giver.alloc;
+  giver.actuator(giver.alloc);
+  ++receiver.alloc;
+  receiver.actuator(receiver.alloc);
+  ++moves_;
+  cooldown_left_ = opts_.cooldown_polls;
+  return true;
+}
+
+}  // namespace hb::sched

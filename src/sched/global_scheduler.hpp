@@ -1,0 +1,84 @@
+// GlobalScheduler: arbitrating cores among *multiple* heartbeat applications.
+//
+// Paper, Section 1: "When running multiple Heartbeat-enabled applications,
+// it also allows system resources (such as cores, memory, and I/O bandwidth)
+// to be reallocated to provide the best global outcome." And Section 2.4:
+// an organic OS "would be able to automatically and dynamically adjust the
+// number of cores an application uses based on an individual application's
+// changing needs as well as the needs of other applications competing for
+// resources."
+//
+// Policy (deficit-driven rebalancing): each poll computes every app's
+// normalized target error. If a *deficient* app (rate below its registered
+// min) exists, the scheduler takes one core from the most *generous* donor —
+// an app above its max, or failing that the app with the largest headroom
+// above its min — and gives it to the neediest app. Free cores are handed
+// out before anyone is taxed. One move per poll keeps the loop observable
+// and avoids thrash, mirroring the single-step policy of Section 5.3.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/reader.hpp"
+
+namespace hb::sched {
+
+struct GlobalSchedulerOptions {
+  int total_cores = 8;
+  int min_cores_per_app = 1;
+  /// Rate window used for decisions; 0 = each app's default window.
+  std::uint32_t window = 0;
+  /// Beats an app must have produced before it participates in decisions.
+  std::uint64_t warmup_beats = 3;
+  /// Normalized deficit below which an app is not considered needy
+  /// (hysteresis against window noise).
+  double deficit_deadband = 0.02;
+  /// Polls skipped after every reallocation: the moving averages still
+  /// reflect pre-move beats, and acting on them causes the classic
+  /// give-take oscillation. Sized to the observation window.
+  int cooldown_polls = 10;
+};
+
+class GlobalScheduler {
+ public:
+  using Actuator = std::function<void(int cores)>;
+
+  explicit GlobalScheduler(GlobalSchedulerOptions opts = {});
+
+  /// Register an application. Initial allocation is min_cores_per_app
+  /// (actuated immediately). Returns the app's index.
+  int add_app(std::string name, core::HeartbeatReader reader,
+              Actuator actuator);
+
+  /// Observe all apps, perform at most one reallocation. Returns true if an
+  /// allocation changed.
+  bool poll();
+
+  int allocation(int app) const;
+  const std::string& name(int app) const;
+  std::size_t app_count() const { return apps_.size(); }
+  int free_cores() const;
+  std::uint64_t moves() const { return moves_; }
+
+ private:
+  struct App {
+    std::string name;
+    core::HeartbeatReader reader;
+    Actuator actuator;
+    int alloc = 0;
+  };
+
+  /// Normalized target error: negative = deficient (below min), positive =
+  /// surplus (above max), 0 in band. NaN-safe.
+  static double normalized_error(const App& app, std::uint32_t window);
+
+  GlobalSchedulerOptions opts_;
+  std::vector<App> apps_;
+  std::uint64_t moves_ = 0;
+  int cooldown_left_ = 0;
+};
+
+}  // namespace hb::sched

@@ -1,0 +1,53 @@
+#include "sim/app.hpp"
+
+#include <cassert>
+
+#include "sim/speedup.hpp"
+
+namespace hb::sim {
+
+SimApp::SimApp(WorkloadSpec spec, std::shared_ptr<core::Channel> channel)
+    : spec_(std::move(spec)), channel_(std::move(channel)), rng_(spec_.seed) {
+  assert(channel_);
+}
+
+int SimApp::tick(double dt_seconds, int effective_cores) {
+  if (finished() || dt_seconds <= 0.0) return 0;
+
+  const Phase& phase = spec_.phases[phase_];
+  double throughput = amdahl_speedup(effective_cores, phase.parallel_fraction);
+  if (spec_.noise > 0.0) {
+    const double factor = 1.0 + rng_.normal(0.0, spec_.noise);
+    throughput *= factor > 0.0 ? factor : 0.0;
+  }
+  pending_work_ += dt_seconds * throughput;
+
+  int emitted = 0;
+  // Consume completed beats; a single tick may span several beats (or a
+  // phase boundary) when dt is coarse relative to the beat interval.
+  while (!finished()) {
+    const Phase& p = spec_.phases[phase_];
+    if (pending_work_ < p.work_per_beat) break;
+    pending_work_ -= p.work_per_beat;
+    channel_->beat(static_cast<std::uint64_t>(phase_));
+    ++beats_emitted_;
+    ++emitted;
+    if (p.beats != Phase::kEndless && ++phase_beats_done_ >= p.beats) {
+      ++phase_;
+      phase_beats_done_ = 0;
+      // Work does not carry across phases: a new phase is a new kind of
+      // task (a scene change, a new input segment).
+      pending_work_ = 0.0;
+    }
+  }
+  return emitted;
+}
+
+double SimApp::potential_rate(int cores) const {
+  if (finished()) return 0.0;
+  const Phase& p = spec_.phases[phase_];
+  if (p.work_per_beat <= 0.0) return 0.0;
+  return amdahl_speedup(cores, p.parallel_fraction) / p.work_per_beat;
+}
+
+}  // namespace hb::sim

@@ -1,0 +1,54 @@
+// SimApp: one simulated application executing a WorkloadSpec.
+//
+// The app integrates work over simulated time — progress accrues at
+// amdahl_speedup(effective_cores, phase.f) single-core seconds per second —
+// and emits a heartbeat through a *real* hb::core::Channel each time a
+// beat's worth of work completes. Everything downstream (windows, readers,
+// schedulers) therefore exercises the production heartbeat code path, not a
+// parallel test-only implementation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/channel.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace hb::sim {
+
+class SimApp {
+ public:
+  /// `channel` receives one beat per completed work quantum; its tag is the
+  /// current phase index (the paper's Section 3 suggests tagging beats with
+  /// phase-identifying metadata).
+  SimApp(WorkloadSpec spec, std::shared_ptr<core::Channel> channel);
+
+  /// Advance by `dt_seconds` of simulated time with `effective_cores`
+  /// healthy cores. Returns the number of beats emitted during this tick.
+  /// The caller (Machine) must have advanced the shared clock already so
+  /// emitted beats carry end-of-tick timestamps.
+  int tick(double dt_seconds, int effective_cores);
+
+  bool finished() const { return phase_ >= spec_.phases.size(); }
+  std::uint64_t beats_emitted() const { return beats_emitted_; }
+  std::size_t current_phase() const { return phase_; }
+  const WorkloadSpec& spec() const { return spec_; }
+  core::Channel& channel() { return *channel_; }
+
+  /// Steady-state beat rate this app would sustain on `cores` cores in its
+  /// current phase (beats/second) — the analytic ground truth tests compare
+  /// the heartbeat-measured rate against.
+  double potential_rate(int cores) const;
+
+ private:
+  WorkloadSpec spec_;
+  std::shared_ptr<core::Channel> channel_;
+  std::size_t phase_ = 0;
+  std::uint64_t phase_beats_done_ = 0;
+  std::uint64_t beats_emitted_ = 0;
+  double pending_work_ = 0.0;  // completed single-core seconds not yet beaten
+  util::Rng rng_;
+};
+
+}  // namespace hb::sim

@@ -1,0 +1,133 @@
+#include "sim/machine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/time.hpp"
+
+namespace hb::sim {
+
+Machine::Machine(int num_cores, std::shared_ptr<util::ManualClock> clock)
+    : clock_(std::move(clock)), cores_(static_cast<std::size_t>(num_cores)) {
+  assert(clock_);
+  if (num_cores <= 0) throw std::invalid_argument("Machine needs >= 1 core");
+}
+
+int Machine::healthy_cores() const {
+  int n = 0;
+  for (const auto& c : cores_) n += c.alive;
+  return n;
+}
+
+double Machine::now_seconds() const {
+  return util::to_seconds(clock_->now());
+}
+
+int Machine::add_app(WorkloadSpec spec,
+                     std::shared_ptr<core::Channel> channel) {
+  apps_.push_back(std::make_unique<SimApp>(std::move(spec), std::move(channel)));
+  requested_.push_back(0);
+  return static_cast<int>(apps_.size()) - 1;
+}
+
+SimApp& Machine::app(int app_id) {
+  return *apps_.at(static_cast<std::size_t>(app_id));
+}
+
+const SimApp& Machine::app(int app_id) const {
+  return *apps_.at(static_cast<std::size_t>(app_id));
+}
+
+int Machine::set_allocation(int app_id, int cores) {
+  if (app_id < 0 || app_id >= static_cast<int>(apps_.size())) {
+    throw std::out_of_range("Machine::set_allocation: bad app id");
+  }
+  if (cores < 0) cores = 0;
+  requested_[static_cast<std::size_t>(app_id)] = cores;
+
+  // Release surplus first (dead owned cores are released before live ones:
+  // they contribute nothing, so shrinking should shed them first).
+  int owned = owned_cores(app_id);
+  for (auto& c : cores_) {
+    if (owned <= cores) break;
+    if (c.owner == app_id && !c.alive) {
+      c.owner = -1;
+      --owned;
+    }
+  }
+  for (auto& c : cores_) {
+    if (owned <= cores) break;
+    if (c.owner == app_id) {
+      c.owner = -1;
+      --owned;
+    }
+  }
+  // Claim free healthy cores up to the request.
+  for (auto& c : cores_) {
+    if (owned >= cores) break;
+    if (c.owner == -1 && c.alive) {
+      c.owner = app_id;
+      ++owned;
+    }
+  }
+  return owned;
+}
+
+int Machine::owned_cores(int app_id) const {
+  int n = 0;
+  for (const auto& c : cores_) n += (c.owner == app_id);
+  return n;
+}
+
+int Machine::effective_cores(int app_id) const {
+  int n = 0;
+  for (const auto& c : cores_) n += (c.owner == app_id && c.alive);
+  return n;
+}
+
+bool Machine::fail_core(int core_id) {
+  if (core_id < 0 || core_id >= num_cores()) return false;
+  Core& c = cores_[static_cast<std::size_t>(core_id)];
+  if (!c.alive) return false;
+  c.alive = false;
+  return true;
+}
+
+int Machine::fail_owned_core(int app_id) {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    if (cores_[i].owner == app_id && cores_[i].alive) {
+      cores_[i].alive = false;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool Machine::restore_core(int core_id) {
+  if (core_id < 0 || core_id >= num_cores()) return false;
+  Core& c = cores_[static_cast<std::size_t>(core_id)];
+  if (c.alive) return false;
+  c.alive = true;
+  return true;
+}
+
+int Machine::step(double dt_seconds) {
+  if (dt_seconds <= 0.0) return 0;
+  clock_->advance(util::from_seconds(dt_seconds));
+  int beats = 0;
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    beats += apps_[i]->tick(dt_seconds, effective_cores(static_cast<int>(i)));
+  }
+  return beats;
+}
+
+void Machine::run_until_beats(int app_id, std::uint64_t beats,
+                              double dt_seconds, double max_seconds) {
+  const double deadline = now_seconds() + max_seconds;
+  while (app(app_id).beats_emitted() < beats && !app(app_id).finished() &&
+         now_seconds() < deadline) {
+    step(dt_seconds);
+  }
+}
+
+}  // namespace hb::sim

@@ -1,0 +1,87 @@
+// Machine: the simulated multicore the experiments run on.
+//
+// Substitution (DESIGN.md §4): the paper's testbed is a dual-Xeon 8-core
+// server; this class reproduces the causal loop those experiments need —
+// core allocation and core failures determine application service rate,
+// which determines the heart rate an observer reads — on a single-core host,
+// deterministically.
+//
+// Model:
+//   * N cores, each alive or failed, each owned by at most one app.
+//   * Apps request a core *count*; the machine grants up to that many free
+//     healthy cores (explicit per-core ownership, so a core failure hits the
+//     specific app that owned it, as in Section 5.4's experiment).
+//   * step(dt) advances the shared ManualClock by dt and ticks every app;
+//     beats flow through real heartbeat channels stamped with virtual time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/app.hpp"
+#include "util/clock.hpp"
+
+namespace hb::sim {
+
+class Machine {
+ public:
+  Machine(int num_cores, std::shared_ptr<util::ManualClock> clock);
+
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  int healthy_cores() const;
+  const std::shared_ptr<util::ManualClock>& clock() const { return clock_; }
+  double now_seconds() const;
+
+  /// Register an application; returns its app id.
+  int add_app(WorkloadSpec spec, std::shared_ptr<core::Channel> channel);
+
+  std::size_t app_count() const { return apps_.size(); }
+  SimApp& app(int app_id);
+  const SimApp& app(int app_id) const;
+
+  /// Request `cores` cores for the app. Grants min(cores, owned + free
+  /// healthy); releases surplus. Returns the number actually owned after.
+  int set_allocation(int app_id, int cores);
+
+  /// Cores currently owned by the app (may include failed ones).
+  int owned_cores(int app_id) const;
+
+  /// Owned cores that are still alive — what the app actually computes on.
+  int effective_cores(int app_id) const;
+
+  /// Kill a specific core (paper, Section 5.4: "a core failure is simulated
+  /// by restricting the scheduler to running x264 on fewer cores").
+  /// Returns false if the id is invalid or the core is already dead.
+  bool fail_core(int core_id);
+
+  /// Kill one core currently owned by `app_id` (any, deterministic order).
+  /// Returns the failed core id or -1 if the app owns no live core.
+  int fail_owned_core(int app_id);
+
+  /// Bring a failed core back (not used by the paper's experiments, but
+  /// needed for repair scenarios).
+  bool restore_core(int core_id);
+
+  /// Advance simulated time by dt seconds; tick all apps.
+  /// Returns total beats emitted across apps.
+  int step(double dt_seconds);
+
+  /// Step repeatedly (dt at a time) until the app has emitted at least
+  /// `beats` beats in total or `max_seconds` of simulated time elapse.
+  void run_until_beats(int app_id, std::uint64_t beats, double dt_seconds,
+                       double max_seconds);
+
+ private:
+  struct Core {
+    bool alive = true;
+    int owner = -1;  // app id, -1 = free
+  };
+
+  std::shared_ptr<util::ManualClock> clock_;
+  std::vector<Core> cores_;
+  std::vector<std::unique_ptr<SimApp>> apps_;
+  std::vector<int> requested_;  // last requested allocation per app
+};
+
+}  // namespace hb::sim

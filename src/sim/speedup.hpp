@@ -1,0 +1,37 @@
+// Speedup curves for simulated applications.
+//
+// The scheduler experiments (paper, Section 5.3) need one causal link:
+// "cores allocated ⇒ application service rate". We model it with Amdahl's
+// law — each workload declares the parallel fraction of its per-beat work —
+// which reproduces the qualitative behaviour the paper relies on:
+// diminishing returns per added core (bodytrack needed 7 cores for a 'mere'
+// ~70% of its 8-core rate) and a hard ceiling when allocation exceeds useful
+// parallelism.
+#pragma once
+
+#include <algorithm>
+
+namespace hb::sim {
+
+/// Amdahl speedup on `cores` cores for a job whose `parallel_fraction`
+/// (f in [0,1]) of single-core work parallelizes perfectly.
+/// amdahl_speedup(0, f) == 0 (no cores, no progress);
+/// amdahl_speedup(1, f) == 1 by construction.
+inline double amdahl_speedup(int cores, double parallel_fraction) {
+  if (cores <= 0) return 0.0;
+  const double f = std::clamp(parallel_fraction, 0.0, 1.0);
+  return 1.0 / ((1.0 - f) + f / static_cast<double>(cores));
+}
+
+/// Cores needed for at least `speedup` under Amdahl (smallest n with
+/// amdahl_speedup(n, f) >= speedup), or -1 if unreachable at any count
+/// up to `max_cores`.
+inline int cores_for_speedup(double speedup, double parallel_fraction,
+                             int max_cores) {
+  for (int n = 1; n <= max_cores; ++n) {
+    if (amdahl_speedup(n, parallel_fraction) >= speedup) return n;
+  }
+  return -1;
+}
+
+}  // namespace hb::sim

@@ -1,0 +1,48 @@
+// Workload specifications for simulated applications.
+//
+// A workload is a sequence of phases; each phase says how much single-core
+// work one beat costs and how parallelizable that work is. Phase changes are
+// what the paper's Figures 2/5/7 show the heartbeat signal exposing: "x264
+// has several distinct regions of performance", "at beat 141 the
+// computational load suddenly decreases".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hb::sim {
+
+struct Phase {
+  /// Beats in this phase; kEndless for a final open-ended phase.
+  std::uint64_t beats = 0;
+  /// Single-core seconds of work required per beat.
+  double work_per_beat = 1.0;
+  /// Amdahl parallel fraction of that work (0 = serial, 1 = perfect).
+  double parallel_fraction = 0.9;
+
+  static constexpr std::uint64_t kEndless =
+      std::numeric_limits<std::uint64_t>::max();
+};
+
+struct WorkloadSpec {
+  std::string name = "app";
+  std::vector<Phase> phases;
+  /// Multiplicative throughput noise: each tick's progress is scaled by
+  /// max(0, 1 + N(0, noise)). 0 disables (fully deterministic).
+  double noise = 0.0;
+  std::uint64_t seed = 1;
+
+  /// Total beats across all phases (kEndless if any phase is endless).
+  std::uint64_t total_beats() const {
+    std::uint64_t total = 0;
+    for (const auto& p : phases) {
+      if (p.beats == Phase::kEndless) return Phase::kEndless;
+      total += p.beats;
+    }
+    return total;
+  }
+};
+
+}  // namespace hb::sim

@@ -1,0 +1,86 @@
+#include "sim/workloads.hpp"
+
+namespace hb::sim::workloads {
+
+// Parameter derivations below use amdahl_speedup S(n, f) = 1/((1-f) + f/n);
+// a phase's steady-state rate on n cores is S(n, f) / work_per_beat.
+
+WorkloadSpec bodytrack_like() {
+  // f = 0.95: S(6) = 4.80, S(7) = 5.39, S(8) = 5.93.
+  // Phase 1 (nominal), w = 2.00 s/beat: rate(6) = 2.40 < 2.5 <= rate(7) =
+  //   2.69 <= 3.5 — exactly seven cores reach the target window.
+  // Phase 2 (dip),     w = 2.20: rate(7) = 2.45 < 2.5, rate(8) = 2.70 —
+  //   the eighth core is needed (paper: beat ~102).
+  // Phase 3 (light),   w = 1/3:  rate(1) = 3.00 — one core suffices
+  //   (paper: load drop at beat ~141).
+  WorkloadSpec spec;
+  spec.name = "bodytrack";
+  spec.phases = {
+      {102, 2.00, 0.95},
+      {39, 2.20, 0.95},
+      {130, 1.0 / 3.0, 0.95},
+  };
+  spec.noise = 0.02;
+  spec.seed = 5;
+  return spec;
+}
+
+WorkloadSpec streamcluster_like() {
+  // f = 0.97: S(4) = 3.67, S(5) = 4.46, S(6) = 5.22, S(8) = 6.61.
+  // Nominal w = 8.5 s/beat: rate(5) = 0.525 sits mid-window; rate(4) =
+  // 0.432 misses low, rate(6) = 0.614 misses high — the 0.50-0.55 window is
+  // narrower than one core's worth of rate, so the scheduler keeps nudging
+  // (visible as the small corrections in the paper's Figure 6).
+  // Full machine: rate(8) = 0.78 > 0.75, matching "over 0.75 beats/s on 8".
+  WorkloadSpec spec;
+  spec.name = "streamcluster";
+  spec.phases = {
+      {30, 8.5, 0.97},
+      {20, 9.0, 0.97},  // slightly heavier stream segment
+      {40, 8.5, 0.97},
+  };
+  spec.noise = 0.015;
+  spec.seed = 6;
+  return spec;
+}
+
+WorkloadSpec x264_scheduler_like() {
+  // f = 0.94: S(4) = 3.39, S(5) = 4.03, S(6) = 4.62, S(8) = 5.63.
+  // Nominal w = 0.138 s/frame: rate(5) = 29.2 < 30 <= rate(6) = 33.5 <= 35;
+  // rate(8) = 40.8 — "easily maintain an average heart rate of over 40
+  // beats per second using eight cores".
+  // Spikes w = 0.100: rate(6) = 46 blows past 35; rate(4) = 33.9 is back in
+  // the window — the scheduler sheds two cores, then restores them
+  // ("able to quickly adapt to two spikes in performance ... over 45").
+  WorkloadSpec spec;
+  spec.name = "x264";
+  spec.phases = {
+      {150, 0.138, 0.94},
+      {60, 0.100, 0.94},  // easy scene 1
+      {150, 0.138, 0.94},
+      {60, 0.100, 0.94},  // easy scene 2
+      {180, 0.138, 0.94},
+  };
+  spec.noise = 0.03;
+  spec.seed = 7;
+  return spec;
+}
+
+WorkloadSpec x264_phases_like() {
+  // Fixed 8-core run for Figure 2. f = 0.94, S(8) = 5.63.
+  // Region 1 w = 0.43  -> 13.1 beats/s   (paper: 12-14, frames 0-100)
+  // Region 2 w = 0.22  -> 25.6 beats/s   (paper: 23-29, frames 100-330)
+  // Region 3 w = 0.43  -> 13.1 beats/s   (paper: 12-14, frames 330-500+)
+  WorkloadSpec spec;
+  spec.name = "x264_native";
+  spec.phases = {
+      {100, 0.43, 0.94},
+      {230, 0.22, 0.94},
+      {180, 0.43, 0.94},
+  };
+  spec.noise = 0.06;  // Figure 2 is visibly jagged
+  spec.seed = 2;
+  return spec;
+}
+
+}  // namespace hb::sim::workloads

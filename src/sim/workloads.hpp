@@ -1,0 +1,44 @@
+// Prebuilt workload specifications mirroring the applications in the
+// paper's evaluation (Section 5). Each factory documents which figure it
+// feeds and how its parameters were chosen so the *shape* of the paper's
+// result is preserved (absolute rates are testbed-specific and not targets).
+#pragma once
+
+#include "sim/workload.hpp"
+
+namespace hb::sim::workloads {
+
+/// Figure 5: bodytrack under the external scheduler, target 2.5-3.5 beats/s.
+/// Three phases: a long nominal phase needing 7 of 8 cores, a heavier dip
+/// (paper: "performance dips below 2.5 beats per second" at beat ~102)
+/// needing the 8th core, and a light tail (paper: "at beat 141 the
+/// computational load suddenly decreases ... the application eventually
+/// needs only a single core").
+WorkloadSpec bodytrack_like();
+
+/// Figure 6: streamcluster under the external scheduler, target
+/// 0.50-0.55 beats/s — a deliberately narrow window. Mild mid-run load
+/// variation forces the scheduler to keep correcting.
+WorkloadSpec streamcluster_like();
+
+/// Figure 7: x264 under the external scheduler, target 30-35 beats/s.
+/// Nominal load holds at ~6 cores; two "easy scene" spikes (paper: "two
+/// spikes in performance where the encoder is able to briefly achieve over
+/// 45 beats per second") let the scheduler reclaim cores.
+WorkloadSpec x264_scheduler_like();
+
+/// Figure 2: x264 on the PARSEC native input, fixed 8 cores, no scheduler.
+/// Three performance regions (~12-14, ~23-29, ~12-14 beats/s on the full
+/// machine) visible through a 20-beat moving average.
+WorkloadSpec x264_phases_like();
+
+/// The paper's recommended target windows for the three scheduler
+/// experiments (min_bps, max_bps).
+inline constexpr double kBodytrackTargetMin = 2.5;
+inline constexpr double kBodytrackTargetMax = 3.5;
+inline constexpr double kStreamclusterTargetMin = 0.50;
+inline constexpr double kStreamclusterTargetMax = 0.55;
+inline constexpr double kX264TargetMin = 30.0;
+inline constexpr double kX264TargetMax = 35.0;
+
+}  // namespace hb::sim::workloads

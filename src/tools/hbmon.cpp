@@ -1,0 +1,157 @@
+// hbmon: a DTrace-style command-line heartbeat monitor.
+//
+// Paper, Section 2.3: "Heartbeats can be incorporated into system
+// administrative tools ... heartbeats might be used to detect application
+// hangs or crashes ... Heartbeats also provide a way for an external
+// observer to monitor which phase a program is in."
+//
+// Usage:
+//   hbmon list                         # applications in the registry
+//   hbmon show <app>                   # one-shot status
+//   hbmon watch <app> [-n samples] [-i interval_ms] [-w window]
+//   hbmon history <app> [-n beats]     # recent beats (seq, time, tag, tid)
+//
+// Registry directory: $HB_DIR or <tmp>/heartbeats.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/tags.hpp"
+#include "fault/failure_detector.hpp"
+#include "transport/registry.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hbmon list\n"
+               "       hbmon show <app>\n"
+               "       hbmon watch <app> [-n samples] [-i interval_ms] "
+               "[-w window]\n"
+               "       hbmon history <app> [-n beats]\n");
+  return 2;
+}
+
+int cmd_list(const hb::transport::Registry& registry) {
+  const auto apps = registry.list_applications();
+  if (apps.empty()) {
+    std::printf("no heartbeat applications in %s\n",
+                registry.dir().c_str());
+    return 0;
+  }
+  std::printf("%-24s %10s %12s %10s %10s\n", "application", "beats",
+              "rate(b/s)", "tgt_min", "tgt_max");
+  for (const auto& app : apps) {
+    try {
+      const auto reader = registry.reader(app);
+      std::printf("%-24s %10llu %12.2f %10.2f %10.2g\n", app.c_str(),
+                  static_cast<unsigned long long>(reader.count()),
+                  reader.current_rate(), reader.target_min(),
+                  reader.target_max());
+    } catch (const std::exception& e) {
+      std::printf("%-24s <unreadable: %s>\n", app.c_str(), e.what());
+    }
+  }
+  return 0;
+}
+
+int cmd_show(const hb::transport::Registry& registry, const std::string& app,
+             std::uint32_t window) {
+  const auto reader = registry.reader(app);
+  hb::fault::FailureDetector detector;
+  std::printf("application:    %s\n", app.c_str());
+  std::printf("beats:          %llu\n",
+              static_cast<unsigned long long>(reader.count()));
+  std::printf("rate:           %.2f beats/s (window %u)\n",
+              reader.current_rate(window), window);
+  std::printf("target:         [%.2f, %g] beats/s\n", reader.target_min(),
+              reader.target_max());
+  std::printf("meeting target: %s\n", reader.meeting_target() ? "yes" : "no");
+  std::printf("staleness:      %.1f ms\n",
+              static_cast<double>(reader.staleness_ns()) / 1e6);
+  std::printf("jitter:         %.3f ms\n", reader.jitter_ns() / 1e6);
+  std::printf("health:         %s\n",
+              hb::fault::to_string(detector.assess(reader)));
+  return 0;
+}
+
+int cmd_watch(const hb::transport::Registry& registry, const std::string& app,
+              int samples, int interval_ms, std::uint32_t window) {
+  hb::fault::FailureDetector detector;
+  std::printf("sample,beats,rate_bps,staleness_ms,health\n");
+  for (int s = 0; s < samples; ++s) {
+    const auto reader = registry.reader(app);
+    std::printf("%d,%llu,%.2f,%.1f,%s\n", s,
+                static_cast<unsigned long long>(reader.count()),
+                reader.current_rate(window),
+                static_cast<double>(reader.staleness_ns()) / 1e6,
+                hb::fault::to_string(detector.assess(reader)));
+    std::fflush(stdout);
+    if (s + 1 < samples) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return 0;
+}
+
+int cmd_history(const hb::transport::Registry& registry,
+                const std::string& app, int beats) {
+  const auto reader = registry.reader(app);
+  const auto history = reader.history(static_cast<std::size_t>(beats));
+  std::printf("seq,timestamp_ns,tag,thread_id\n");
+  for (const auto& r : history) {
+    std::printf("%llu,%lld,%llu,%u\n",
+                static_cast<unsigned long long>(r.seq),
+                static_cast<long long>(r.timestamp_ns),
+                static_cast<unsigned long long>(r.tag), r.thread_id);
+  }
+  const auto histogram = hb::core::tag_histogram(history);
+  std::fprintf(stderr, "tags:");
+  for (const auto& [tag, count] : histogram) {
+    std::fprintf(stderr, " %llu x%llu", static_cast<unsigned long long>(tag),
+                 static_cast<unsigned long long>(count));
+  }
+  std::fprintf(stderr, "\n");
+  return 0;
+}
+
+int parse_flag(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  hb::transport::Registry registry;
+  try {
+    if (cmd == "list") return cmd_list(registry);
+    if (argc < 3) return usage();
+    const std::string app = argv[2];
+    if (cmd == "show") {
+      return cmd_show(registry, app,
+                      static_cast<std::uint32_t>(
+                          parse_flag(argc, argv, "-w", 0)));
+    }
+    if (cmd == "watch") {
+      return cmd_watch(registry, app, parse_flag(argc, argv, "-n", 10),
+                       parse_flag(argc, argv, "-i", 500),
+                       static_cast<std::uint32_t>(
+                           parse_flag(argc, argv, "-w", 0)));
+    }
+    if (cmd == "history") {
+      return cmd_history(registry, app, parse_flag(argc, argv, "-n", 32));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hbmon: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

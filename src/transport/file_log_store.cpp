@@ -1,0 +1,206 @@
+#include "transport/file_log_store.hpp"
+
+#include <cinttypes>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace hb::transport {
+
+namespace {
+
+std::string format_target_line(core::TargetRate t) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "#target min=%.17g max=%.17g\n", t.min_bps,
+                t.max_bps);
+  return buf;
+}
+
+}  // namespace
+
+std::shared_ptr<FileLogStore> FileLogStore::create(
+    const std::filesystem::path& file, const std::string& channel_name,
+    std::size_t mirror_capacity, std::uint32_t default_window) {
+  if (mirror_capacity == 0) mirror_capacity = 1;
+  if (default_window == 0) default_window = 1;
+  if (mirror_capacity < default_window) mirror_capacity = default_window;
+  if (file.has_parent_path()) {
+    std::filesystem::create_directories(file.parent_path());
+  }
+  std::FILE* out = std::fopen(file.c_str(), "w");
+  if (out == nullptr) {
+    throw std::system_error(errno, std::generic_category(),
+                            "FileLogStore::create " + file.string());
+  }
+  std::fprintf(out, "#hblog v1 name=%s window=%u\n", channel_name.c_str(),
+               default_window);
+  core::TargetRate t{0.0, std::numeric_limits<double>::infinity()};
+  std::fputs(format_target_line(t).c_str(), out);
+  std::fflush(out);
+  return std::shared_ptr<FileLogStore>(
+      new FileLogStore(file, channel_name, out, mirror_capacity,
+                       default_window, t));
+}
+
+std::shared_ptr<FileLogStore> FileLogStore::attach(
+    const std::filesystem::path& file) {
+  if (!std::filesystem::exists(file)) {
+    throw std::runtime_error("FileLogStore::attach: no such log: " +
+                             file.string());
+  }
+  auto store = std::shared_ptr<FileLogStore>(new FileLogStore(
+      file, "", nullptr, 1, 1, core::TargetRate{0.0, 0.0}));
+  // Validate format and pick up name/window eagerly.
+  const Parsed p = store->parse(0);
+  if (p.name.empty()) {
+    throw std::runtime_error("FileLogStore::attach: bad log header: " +
+                             file.string());
+  }
+  store->name_ = p.name;
+  store->default_window_ = p.window;
+  return store;
+}
+
+FileLogStore::FileLogStore(std::filesystem::path file, std::string name,
+                           std::FILE* out, std::size_t mirror_capacity,
+                           std::uint32_t default_window,
+                           core::TargetRate target)
+    : file_(std::move(file)),
+      name_(std::move(name)),
+      out_(out),
+      mirror_(mirror_capacity),
+      default_window_(default_window),
+      target_(target) {}
+
+FileLogStore::~FileLogStore() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+std::uint64_t FileLogStore::append(const core::HeartbeatRecord& rec) {
+  if (out_ == nullptr) {
+    throw std::logic_error("FileLogStore: appending on an attached store");
+  }
+  std::lock_guard<std::mutex> lock(mu_);  // paper: mutex serializes writers
+  core::HeartbeatRecord stamped = rec;
+  stamped.seq = count_++;
+  std::fprintf(out_, "%" PRIu64 " %" PRId64 " %" PRIu64 " %" PRIu32 "\n",
+               stamped.seq, stamped.timestamp_ns, stamped.tag,
+               stamped.thread_id);
+  std::fflush(out_);  // observers read the file; make beats visible promptly
+  mirror_.push(stamped);
+  return stamped.seq;
+}
+
+std::uint64_t FileLogStore::count() const {
+  if (out_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  return parse(0).count;
+}
+
+std::size_t FileLogStore::capacity() const {
+  // Observer-side history is limited only by the file (paper: "can support
+  // any value for n because the entire heartbeat history is kept in the
+  // file"); the producer's in-memory mirror is ring-limited.
+  return out_ != nullptr ? mirror_.capacity()
+                         : std::numeric_limits<std::size_t>::max();
+}
+
+std::vector<core::HeartbeatRecord> FileLogStore::history(std::size_t n) const {
+  if (out_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return mirror_.last_n(n);
+  }
+  return parse(n).records;
+}
+
+void FileLogStore::set_target(core::TargetRate t) {
+  if (out_ == nullptr) {
+    // Paper, Section 4: "This implementation does not support changing the
+    // target heart rates from an external application."
+    throw std::logic_error(
+        "FileLogStore: attached observers cannot change targets "
+        "(use the shm transport for external goal-setting)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  target_ = t;
+  std::fputs(format_target_line(t).c_str(), out_);
+  std::fflush(out_);
+}
+
+core::TargetRate FileLogStore::target() const {
+  if (out_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return target_;
+  }
+  return parse(0).target;
+}
+
+void FileLogStore::set_default_window(std::uint32_t w) {
+  if (out_ == nullptr) {
+    throw std::logic_error("FileLogStore: attached observers cannot change "
+                           "the default window");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  default_window_ = w == 0 ? 1 : w;
+}
+
+std::uint32_t FileLogStore::default_window() const {
+  if (out_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return default_window_;
+  }
+  return parse(0).window;
+}
+
+FileLogStore::Parsed FileLogStore::parse(std::size_t keep) const {
+  Parsed p;
+  std::ifstream in(file_);
+  if (!in) return p;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind("#hblog", 0) == 0) {
+        const auto name_pos = line.find("name=");
+        const auto window_pos = line.find("window=");
+        if (name_pos != std::string::npos) {
+          const auto end = line.find(' ', name_pos);
+          p.name = line.substr(name_pos + 5, end == std::string::npos
+                                                 ? std::string::npos
+                                                 : end - (name_pos + 5));
+        }
+        if (window_pos != std::string::npos) {
+          p.window = static_cast<std::uint32_t>(
+              std::strtoul(line.c_str() + window_pos + 7, nullptr, 10));
+        }
+      } else if (line.rfind("#target", 0) == 0) {
+        // Later target lines override earlier ones.
+        double mn = 0.0, mx = 0.0;
+        if (std::sscanf(line.c_str(), "#target min=%lg max=%lg", &mn, &mx) ==
+            2) {
+          p.target = core::TargetRate{mn, mx};
+        }
+      }
+      continue;
+    }
+    core::HeartbeatRecord rec;
+    if (std::sscanf(line.c_str(),
+                    "%" SCNu64 " %" SCNd64 " %" SCNu64 " %" SCNu32, &rec.seq,
+                    &rec.timestamp_ns, &rec.tag, &rec.thread_id) == 4) {
+      ++p.count;
+      if (keep > 0) p.records.push_back(rec);
+    }
+  }
+  if (keep > 0 && p.records.size() > keep) {
+    p.records.erase(p.records.begin(),
+                    p.records.end() - static_cast<std::ptrdiff_t>(keep));
+  }
+  return p;
+}
+
+}  // namespace hb::transport

@@ -1,0 +1,65 @@
+// Registry: discovery of heartbeat-enabled applications.
+//
+// External observers (the paper's Figure 1b: OS, schedulers, system-
+// administration tools, cloud managers) need to find running heartbeat
+// channels before they can attach. Producers place their channel segments in
+// a well-known directory ($HB_DIR, or <tmp>/heartbeats); the Registry scans
+// it and attaches stores by channel name.
+//
+// File naming convention inside the registry directory:
+//   <channel>.hb   — shared-memory segment (ShmStore, transport of choice)
+//   <channel>.hblog — text log (FileLogStore, the paper's reference impl)
+// where <channel> is "<app>.global" or "<app>.t<tid>".
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/heartbeat.hpp"
+#include "core/reader.hpp"
+#include "core/store.hpp"
+
+namespace hb::transport {
+
+class Registry {
+ public:
+  /// Uses `dir` as the registry root (created on demand by producers).
+  explicit Registry(std::filesystem::path dir = default_dir());
+
+  /// $HB_DIR if set, else <system temp>/heartbeats.
+  static std::filesystem::path default_dir();
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Channel names of every discoverable segment/log, sorted.
+  std::vector<std::string> list() const;
+
+  /// Application names (channels ending in ".global", suffix stripped).
+  std::vector<std::string> list_applications() const;
+
+  /// Attach to a channel by name, preferring shm over filelog.
+  /// Throws std::runtime_error if the channel does not exist.
+  std::shared_ptr<core::BeatStore> attach(const std::string& channel) const;
+
+  /// Convenience: reader on "<app>.global".
+  core::HeartbeatReader reader(const std::string& app,
+                               std::shared_ptr<const util::Clock> clock =
+                                   nullptr) const;
+
+  /// StoreFactory that creates shm segments in this registry's directory;
+  /// plug into HeartbeatOptions::store_factory to publish an application.
+  core::StoreFactory shm_factory(std::uint32_t capacity_hint = 0) const;
+
+  /// StoreFactory creating file logs (the paper's reference transport).
+  core::StoreFactory filelog_factory() const;
+
+  /// Remove a channel's files (cleanup after producer exit).
+  void remove(const std::string& channel) const;
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace hb::transport

@@ -1,0 +1,18 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+
+namespace hb::util {
+
+TimeNs MonotonicClock::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::shared_ptr<MonotonicClock> MonotonicClock::instance() {
+  static std::shared_ptr<MonotonicClock> clock = std::make_shared<MonotonicClock>();
+  return clock;
+}
+
+}  // namespace hb::util

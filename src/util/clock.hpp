@@ -1,0 +1,54 @@
+// Clock abstraction.
+//
+// Every timestamp the heartbeat runtime records flows through a Clock, so
+// experiments can swap the real monotonic clock for a deterministic
+// ManualClock (discrete-event simulation, unit tests). This is what makes the
+// paper's scheduler and fault-tolerance experiments reproducible on any host.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "util/time.hpp"
+
+namespace hb::util {
+
+/// Source of monotonic timestamps. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in nanoseconds on this clock's epoch.
+  virtual TimeNs now() const = 0;
+};
+
+/// Wraps std::chrono::steady_clock.
+class MonotonicClock final : public Clock {
+ public:
+  TimeNs now() const override;
+
+  /// Process-wide shared instance (the default clock everywhere).
+  static std::shared_ptr<MonotonicClock> instance();
+};
+
+/// A clock that only moves when told to. Thread-safe: advance() and now() may
+/// race, each read sees a consistent value.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimeNs start = 0) : now_ns_(start) {}
+
+  TimeNs now() const override { return now_ns_.load(std::memory_order_acquire); }
+
+  /// Move the clock forward by `delta` ns. Returns the new time.
+  TimeNs advance(TimeNs delta) {
+    return now_ns_.fetch_add(delta, std::memory_order_acq_rel) + delta;
+  }
+
+  /// Jump to an absolute time. Allowed to go backwards (tests only).
+  void set(TimeNs t) { now_ns_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<TimeNs> now_ns_;
+};
+
+}  // namespace hb::util

@@ -1,0 +1,29 @@
+#include "util/csv.hpp"
+
+namespace hb::util {
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  bool first = true;
+  for (const auto& c : columns) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << c;
+  }
+  out_ << '\n';
+}
+
+CsvWriter::Row::~Row() { out_ << cells_.str() << '\n'; }
+
+std::string CsvWriter::escape(std::string_view s) {
+  bool needs = s.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs) return std::string(s);
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace hb::util

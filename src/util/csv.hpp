@@ -1,0 +1,55 @@
+// Minimal CSV emitter for bench harness output.
+//
+// Every bench binary prints its table/figure as CSV rows on stdout so the
+// series the paper plots can be regenerated (and optionally redirected to a
+// file for plotting).
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hb::util {
+
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Emit the header row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Begin a row; append cells with operator<< on the returned Row.
+  class Row {
+   public:
+    explicit Row(std::ostream& out) : out_(out) {}
+    Row(const Row&) = delete;
+    Row& operator=(const Row&) = delete;
+    ~Row();
+
+    template <typename T>
+    Row& operator<<(const T& v) {
+      if (!first_) cells_ << ',';
+      first_ = false;
+      cells_ << v;
+      return *this;
+    }
+
+   private:
+    std::ostream& out_;
+    std::ostringstream cells_;
+    bool first_ = true;
+  };
+
+  Row row() { return Row(out_); }
+
+  /// Escape a string cell (quotes + commas) — rarely needed in our output.
+  static std::string escape(std::string_view s);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace hb::util

@@ -1,0 +1,29 @@
+#include "util/thread_id.hpp"
+
+#include <atomic>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace hb::util {
+
+std::uint32_t current_thread_id() {
+#if defined(__linux__)
+  thread_local const std::uint32_t tid =
+      static_cast<std::uint32_t>(::syscall(SYS_gettid));
+  return tid;
+#else
+  return current_thread_index();
+#endif
+}
+
+std::uint32_t current_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t idx =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+}  // namespace hb::util

@@ -1,0 +1,21 @@
+// Compact numeric thread ids.
+//
+// Heartbeat records carry a 32-bit thread id (paper Table 1: each beat is
+// stamped with the thread ID of the caller). std::thread::id is opaque, so we
+// assign small dense ids on first use per thread; on Linux the kernel tid is
+// used when available so external tools can correlate.
+#pragma once
+
+#include <cstdint>
+
+namespace hb::util {
+
+/// Stable numeric id of the calling thread. On Linux this is gettid();
+/// elsewhere a process-local dense counter.
+std::uint32_t current_thread_id();
+
+/// Process-local dense index (0,1,2,... in first-use order). Useful as an
+/// array index for per-thread state.
+std::uint32_t current_thread_index();
+
+}  // namespace hb::util

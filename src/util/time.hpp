@@ -1,0 +1,30 @@
+// Time primitives shared by every heartbeats module.
+//
+// All timestamps in the library are signed 64-bit nanosecond counts on an
+// arbitrary monotonic epoch (the epoch of the Clock that produced them).
+// Signed arithmetic keeps interval subtraction well-defined even if a
+// ManualClock is rewound in a test.
+#pragma once
+
+#include <cstdint>
+
+namespace hb::util {
+
+/// Nanoseconds on a monotonic epoch.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerUs = 1'000;
+
+/// Convert a nanosecond interval to fractional seconds.
+constexpr double to_seconds(TimeNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNsPerSec);
+}
+
+/// Convert fractional seconds to nanoseconds (truncating).
+constexpr TimeNs from_seconds(double s) {
+  return static_cast<TimeNs>(s * static_cast<double>(kNsPerSec));
+}
+
+}  // namespace hb::util

@@ -1,0 +1,136 @@
+// The Table 1 C API: every function, from C linkage, including the
+// published (shm) mode with a cross-handle observer.
+#include <gtest/gtest.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "capi/heartbeat_capi.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class CapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hb_capi_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    ::setenv("HB_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    ::unsetenv("HB_DIR");
+    fs::remove_all(dir_);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CapiTest, InitializeAndFinalize) {
+  hb_handle* h = hb_initialize("app", 20);
+  ASSERT_NE(h, nullptr);
+  hb_finalize(h);
+}
+
+TEST_F(CapiTest, InitializeRejectsBadArgs) {
+  EXPECT_EQ(hb_initialize(nullptr, 20), nullptr);
+  EXPECT_EQ(hb_initialize("", 20), nullptr);
+}
+
+TEST_F(CapiTest, HeartbeatsCountAndSequence) {
+  hb_handle* h = hb_initialize("app", 20);
+  EXPECT_EQ(hb_heartbeat(h, 0, 0), 0u);
+  EXPECT_EQ(hb_heartbeat(h, 0, 0), 1u);
+  EXPECT_EQ(hb_count(h, 0), 2u);
+  EXPECT_EQ(hb_count(h, 1), 0u);  // local channel untouched
+  hb_finalize(h);
+}
+
+TEST_F(CapiTest, LocalChannelIsSeparate) {
+  hb_handle* h = hb_initialize("app", 20);
+  hb_heartbeat(h, 0, 1);
+  hb_heartbeat(h, 0, 1);
+  hb_heartbeat(h, 0, 0);
+  EXPECT_EQ(hb_count(h, 1), 2u);
+  EXPECT_EQ(hb_count(h, 0), 1u);
+  hb_finalize(h);
+}
+
+TEST_F(CapiTest, TargetsRoundTrip) {
+  hb_handle* h = hb_initialize("app", 20);
+  hb_set_target_rate(h, 30.0, 35.0, 0);
+  EXPECT_DOUBLE_EQ(hb_get_target_min(h, 0), 30.0);
+  EXPECT_DOUBLE_EQ(hb_get_target_max(h, 0), 35.0);
+  // Local target independent of global.
+  hb_set_target_rate(h, 1.0, 2.0, 1);
+  EXPECT_DOUBLE_EQ(hb_get_target_min(h, 1), 1.0);
+  EXPECT_DOUBLE_EQ(hb_get_target_min(h, 0), 30.0);
+  hb_finalize(h);
+}
+
+TEST_F(CapiTest, HistoryReturnsTagsAndTimestamps) {
+  hb_handle* h = hb_initialize("app", 20);
+  hb_heartbeat(h, 100, 0);
+  hb_heartbeat(h, 101, 0);
+  hb_heartbeat(h, 102, 0);
+  hb_record recs[2];
+  const int n = hb_get_history(h, recs, 2, 0);
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(recs[0].tag, 101u);
+  EXPECT_EQ(recs[1].tag, 102u);
+  EXPECT_EQ(recs[1].seq, 2u);
+  EXPECT_GE(recs[1].timestamp_ns, recs[0].timestamp_ns);
+  EXPECT_NE(recs[0].thread_id, 0u);
+  hb_finalize(h);
+}
+
+TEST_F(CapiTest, HistoryHandlesBadArgs) {
+  hb_handle* h = hb_initialize("app", 20);
+  hb_heartbeat(h, 0, 0);
+  EXPECT_EQ(hb_get_history(h, nullptr, 5, 0), 0);
+  hb_record r;
+  EXPECT_EQ(hb_get_history(h, &r, 0, 0), 0);
+  hb_finalize(h);
+}
+
+TEST_F(CapiTest, CurrentRateReflectsBeats) {
+  hb_handle* h = hb_initialize("app", 4);
+  for (int i = 0; i < 6; ++i) hb_heartbeat(h, 0, 0);
+  // Real clock: rate is finite and positive (beats are nanoseconds apart,
+  // so it will be very high).
+  const double r = hb_current_rate(h, 0, 0);
+  EXPECT_GT(r, 0.0);
+  hb_finalize(h);
+}
+
+TEST_F(CapiTest, PublishedModeIsObservable) {
+  hb_handle* h = hb_initialize_published("vision", 10);
+  ASSERT_NE(h, nullptr);
+  hb_set_target_rate(h, 2.5, 3.5, 0);
+  for (int i = 0; i < 8; ++i) hb_heartbeat(h, 7, 0);
+
+  hb_observer* o = hb_attach("vision");
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(hb_observer_count(o), 8u);
+  EXPECT_DOUBLE_EQ(hb_observer_target_min(o), 2.5);
+  EXPECT_DOUBLE_EQ(hb_observer_target_max(o), 3.5);
+  hb_record recs[8];
+  EXPECT_EQ(hb_observer_history(o, recs, 8), 8);
+  EXPECT_EQ(recs[0].tag, 7u);
+  EXPECT_GE(hb_observer_staleness_ns(o), 0);
+  hb_detach(o);
+  hb_finalize(h);
+}
+
+TEST_F(CapiTest, AttachUnknownAppReturnsNull) {
+  EXPECT_EQ(hb_attach("missing_app"), nullptr);
+  EXPECT_EQ(hb_attach(nullptr), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Cloud consolidation (paper §2.6): capacity sharing, heartbeat-visible
+// degradation, consolidation and dedication decisions, failure detection.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloud/cloud_sim.hpp"
+#include "fault/failure_detector.hpp"
+#include "util/clock.hpp"
+
+namespace hb::cloud {
+namespace {
+
+VmSpec light_vm(const std::string& name, double demand = 1.0,
+                double duration = 1e6) {
+  VmSpec spec;
+  spec.name = name;
+  spec.phases = {{duration, demand}};
+  spec.work_per_beat = 1.0;
+  spec.target_min_bps = demand * 0.9;  // goal: ~full demand served
+  return spec;
+}
+
+struct CloudFixture : ::testing::Test {
+  std::shared_ptr<util::ManualClock> clock =
+      std::make_shared<util::ManualClock>();
+  CloudSim sim{4, /*capacity=*/10.0, clock};
+};
+
+TEST_F(CloudFixture, VmServedAtDemandWhenUncontended) {
+  const int v = sim.add_vm(light_vm("a", 2.0));
+  for (int i = 0; i < 100; ++i) sim.step(0.1);
+  // 2 units/s demand, 1 unit/beat -> 2 beats/s.
+  EXPECT_NEAR(sim.reader(v).current_rate(), 2.0, 0.05);
+}
+
+TEST_F(CloudFixture, OversubscriptionSlowsAllVmsProportionally) {
+  // 3 VMs of demand 6 on one machine of capacity 10: each gets 10/18 share.
+  std::vector<int> vms;
+  for (int i = 0; i < 3; ++i) {
+    vms.push_back(sim.add_vm(light_vm("v" + std::to_string(i), 6.0)));
+    sim.migrate(vms.back(), 0);
+  }
+  for (int i = 0; i < 200; ++i) sim.step(0.05);
+  for (const int v : vms) {
+    EXPECT_NEAR(sim.reader(v).current_rate(), 6.0 * 10.0 / 18.0, 0.15);
+  }
+}
+
+TEST_F(CloudFixture, FirstFitPlacementRespectsCapacity) {
+  const int a = sim.add_vm(light_vm("a", 8.0));
+  const int b = sim.add_vm(light_vm("b", 8.0));
+  EXPECT_EQ(sim.placement(a), 0);
+  EXPECT_EQ(sim.placement(b), 1);  // would oversubscribe machine 0
+}
+
+TEST_F(CloudFixture, UsedMachinesCountsOnlyActive) {
+  sim.add_vm(light_vm("a", 1.0));
+  VmSpec finite = light_vm("b", 1.0, /*duration=*/1.0);
+  const int b = sim.add_vm(finite);
+  sim.migrate(b, 2);
+  EXPECT_EQ(sim.used_machines(), 2);
+  for (int i = 0; i < 30; ++i) sim.step(0.1);
+  EXPECT_TRUE(sim.vm_finished(b));
+  EXPECT_EQ(sim.used_machines(), 1);
+}
+
+TEST_F(CloudFixture, MigrateValidation) {
+  const int v = sim.add_vm(light_vm("a"));
+  EXPECT_THROW(sim.migrate(v, 99), std::out_of_range);
+  EXPECT_THROW(sim.migrate(v, -1), std::out_of_range);
+}
+
+TEST_F(CloudFixture, PhasedDemand) {
+  VmSpec spec;
+  spec.name = "spiky";
+  spec.phases = {{5.0, 1.0}, {5.0, 4.0}};
+  spec.target_min_bps = 0.9;
+  const int v = sim.add_vm(spec);
+  for (int i = 0; i < 40; ++i) sim.step(0.1);  // t=4: phase 1
+  EXPECT_NEAR(sim.vm_demand(v), 1.0, 1e-9);
+  for (int i = 0; i < 30; ++i) sim.step(0.1);  // t=7: phase 2
+  EXPECT_NEAR(sim.vm_demand(v), 4.0, 1e-9);
+  for (int i = 0; i < 40; ++i) sim.step(0.1);  // t=11: done
+  EXPECT_TRUE(sim.vm_finished(v));
+  EXPECT_DOUBLE_EQ(sim.vm_demand(v), 0.0);
+}
+
+TEST_F(CloudFixture, ConsolidatorPacksLightVms) {
+  // Four light VMs spread over four machines; all meet target with huge
+  // headroom -> consolidation should shrink the footprint.
+  std::vector<int> vms;
+  for (int i = 0; i < 4; ++i) {
+    const int v = sim.add_vm(light_vm("v" + std::to_string(i), 2.0));
+    sim.migrate(v, i);
+    vms.push_back(v);
+  }
+  HeartbeatConsolidator manager({.headroom = 1.0, .period_s = 1.0});
+  for (int i = 0; i < 400; ++i) {
+    sim.step(0.05);
+    manager.poll(sim);
+  }
+  // 4 VMs x 2 units fit in one 10-unit machine.
+  EXPECT_LE(sim.used_machines(), 2);
+  EXPECT_GT(manager.migrations(), 0);
+  // And everyone still meets target after packing.
+  for (const int v : vms) {
+    EXPECT_GE(sim.reader(v).current_rate(),
+              sim.reader(v).target_min() * 0.95);
+  }
+}
+
+TEST_F(CloudFixture, ConsolidatorRescuesStrugglingVm) {
+  // Overpack machine 0 beyond capacity; the manager must migrate someone
+  // out once heart rates drop below target.
+  std::vector<int> vms;
+  for (int i = 0; i < 3; ++i) {
+    const int v = sim.add_vm(light_vm("v" + std::to_string(i), 6.0));
+    sim.migrate(v, 0);
+    vms.push_back(v);
+  }
+  HeartbeatConsolidator manager({.headroom = 2.0, .period_s = 1.0});
+  for (int i = 0; i < 600; ++i) {
+    sim.step(0.05);
+    manager.poll(sim);
+  }
+  EXPECT_GT(manager.migrations(), 0);
+  // After rebalancing, all VMs meet their targets.
+  for (const int v : vms) {
+    EXPECT_GE(sim.reader(v).current_rate(),
+              sim.reader(v).target_min() * 0.95)
+        << "vm " << v << " still starved";
+  }
+  EXPECT_GE(sim.used_machines(), 2);
+}
+
+TEST_F(CloudFixture, DeadVmDetectedByStaleness) {
+  // §2.6: "A lack of heartbeats from a particular node would indicate that
+  // it has failed." A VM whose phases end stops beating; the failure
+  // detector flags it from heartbeat staleness alone.
+  const int v = sim.add_vm(light_vm("mortal", 2.0, /*duration=*/5.0));
+  fault::FailureDetector detector;
+  for (int i = 0; i < 45; ++i) sim.step(0.1);  // t = 4.5: alive
+  auto r1 = sim.reader(v);
+  EXPECT_EQ(detector.assess(r1), fault::Health::kHealthy);
+  for (int i = 0; i < 200; ++i) sim.step(0.1);  // long past the end
+  auto r2 = sim.reader(v);
+  EXPECT_EQ(detector.assess(r2), fault::Health::kDead);
+}
+
+TEST(CloudSimCtor, Validation) {
+  auto clock = std::make_shared<util::ManualClock>();
+  EXPECT_THROW(CloudSim(0, 10.0, clock), std::invalid_argument);
+  EXPECT_THROW(CloudSim(2, 0.0, clock), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hb::cloud

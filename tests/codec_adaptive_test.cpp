@@ -1,0 +1,179 @@
+// Integration tests for the adaptive encoder (paper, Section 5.2) and the
+// fault-tolerance loop (Section 5.4), on the simulated host.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "codec/adaptive_encoder.hpp"
+#include "codec/host.hpp"
+#include "codec/video_source.hpp"
+#include "util/clock.hpp"
+
+namespace hb::codec {
+namespace {
+
+constexpr int kW = 64;
+constexpr int kH = 32;
+
+struct Rig {
+  std::shared_ptr<util::ManualClock> clock =
+      std::make_shared<util::ManualClock>();
+  std::unique_ptr<SimulatedHost> host;
+  std::unique_ptr<AdaptiveEncoder> enc;
+  SyntheticVideo video{VideoSpec::demanding(400, kW, kH)};
+
+  explicit Rig(AdaptiveEncoderOptions opts = {}, double start_fps = 8.8,
+               int cores = 8) {
+    // Calibrate: the *initial* preset runs at `start_fps` on `cores` cores
+    // (the paper's Section 5.2 starting point is 8.8 beats/s on 8 cores at
+    // the most demanding preset). Probe inter frames only — the intra frame
+    // does no motion search and would skew the mean down.
+    Encoder probe(kW, kH, make_preset_ladder().rung(opts.initial_level).config);
+    probe.encode(video.frame(0));
+    std::uint64_t work = 0;
+    const int kProbe = 6;
+    for (int i = 1; i <= kProbe; ++i) {
+      work += probe.encode(video.frame(i)).work_units;
+    }
+    const double mean_work = static_cast<double>(work) / kProbe;
+    host = std::make_unique<SimulatedHost>(
+        clock, SimulatedHost::calibrate_rate(mean_work, start_fps, cores),
+        cores);
+    enc = std::make_unique<AdaptiveEncoder>(
+        kW, kH, opts, clock,
+        [this](std::uint64_t w) { host->run(w); });
+  }
+
+  void encode_frames(int n) {
+    for (int i = 0; i < n; ++i) {
+      enc->encode(video.frame(enc->encoder().frames_encoded() %
+                              video.total_frames()));
+    }
+  }
+};
+
+TEST(AdaptiveEncoder, StartsAtDemandingPreset) {
+  Rig rig;
+  EXPECT_EQ(rig.enc->level(), 0);
+  EXPECT_EQ(rig.enc->level_name(), "exhaustive-5ref");
+}
+
+TEST(AdaptiveEncoder, BeatsPerFrame) {
+  Rig rig;
+  rig.encode_frames(10);
+  EXPECT_EQ(rig.enc->heartbeat().global().count(), 10u);
+}
+
+TEST(AdaptiveEncoder, BeatTagsCarryPresetLevel) {
+  Rig rig;
+  rig.encode_frames(5);
+  for (const auto& rec : rig.enc->heartbeat().global().history(5)) {
+    EXPECT_EQ(rec.tag, 0u);  // still on rung 0 (no check before frame 40)
+  }
+}
+
+TEST(AdaptiveEncoder, ClimbsLadderWhenTooSlow) {
+  AdaptiveEncoderOptions opts;
+  opts.check_every_frames = 10;  // adapt faster for the test
+  opts.window = 10;
+  Rig rig(opts, /*start_fps=*/8.8);
+  rig.encode_frames(200);
+  // 8.8 << 30: the encoder must have abandoned the demanding preset.
+  EXPECT_GT(rig.enc->level(), 0);
+  EXPECT_GT(rig.enc->adaptations(), 0);
+}
+
+TEST(AdaptiveEncoder, ReachesTargetRate) {
+  AdaptiveEncoderOptions opts;
+  opts.check_every_frames = 20;
+  opts.window = 20;
+  Rig rig(opts, 8.8);
+  rig.encode_frames(400);
+  const double rate = rig.enc->heartbeat().global().rate(20);
+  EXPECT_GE(rate, 30.0) << "final level " << rig.enc->level_name();
+}
+
+TEST(AdaptiveEncoder, NoAdaptationWhenDisabled) {
+  AdaptiveEncoderOptions opts;
+  opts.adapt = false;
+  Rig rig(opts, 8.8);
+  rig.encode_frames(120);
+  EXPECT_EQ(rig.enc->level(), 0);
+  EXPECT_EQ(rig.enc->adaptations(), 0);
+  // The unadapted encoder stays slow — the paper's "unmodified" baseline.
+  EXPECT_LT(rig.enc->heartbeat().global().rate(40), 12.0);
+}
+
+TEST(AdaptiveEncoder, HoldsWhenAlreadyFastEnough) {
+  AdaptiveEncoderOptions opts;
+  opts.check_every_frames = 10;
+  // Start fast enough that rung 0 already beats the target.
+  Rig rig(opts, /*start_fps=*/50.0);
+  rig.encode_frames(100);
+  EXPECT_EQ(rig.enc->level(), 0);
+}
+
+TEST(AdaptiveEncoder, TargetsRegisteredOnHeartbeat) {
+  Rig rig;
+  EXPECT_DOUBLE_EQ(rig.enc->heartbeat().global().target().min_bps, 30.0);
+  EXPECT_TRUE(std::isinf(rig.enc->heartbeat().global().target().max_bps));
+}
+
+TEST(AdaptiveEncoder, TwoSidedTargetRecoversQuality) {
+  // Extension: with a finite max, overshooting lets the encoder walk back
+  // down toward better quality.
+  AdaptiveEncoderOptions opts;
+  opts.target_max_fps = 60.0;
+  opts.check_every_frames = 10;
+  opts.window = 10;
+  opts.initial_level = kPresetCount - 1;
+  Rig rig(opts, /*start_fps=*/400.0);  // absurdly fast host
+  rig.encode_frames(200);
+  // Too fast at the fastest rung: should have recovered quality rungs.
+  EXPECT_LT(rig.enc->level(), kPresetCount - 1);
+}
+
+// ------------------------------------------------ Section 5.4 (fault) loop
+
+TEST(AdaptiveEncoder, RecoversFromCoreFailure) {
+  AdaptiveEncoderOptions opts;
+  opts.check_every_frames = 10;
+  opts.window = 10;
+  // Start on a mid-ladder rung calibrated to ~32 fps on 8 cores (the
+  // Section 5.4 setup: "initialized with a parameter set that can achieve
+  // a heart rate of 30 beat/s").
+  opts.initial_level = 4;
+  Rig rig(opts, /*start_fps=*/32.0, 8);
+
+  rig.encode_frames(100);
+  const double before = rig.enc->heartbeat().global().rate(10);
+  EXPECT_GE(before, 30.0);
+  const int level_before = rig.enc->level();
+
+  // Kill three cores.
+  rig.host->fail_core();
+  rig.host->fail_core();
+  rig.host->fail_core();
+  rig.encode_frames(150);
+  const double after = rig.enc->heartbeat().global().rate(10);
+  EXPECT_GE(after, 30.0) << "adaptive encoder failed to recover";
+  EXPECT_GT(rig.enc->level(), level_before);  // paid with quality
+}
+
+TEST(AdaptiveEncoder, UnmodifiedEncoderDegradesOnCoreFailure) {
+  AdaptiveEncoderOptions opts;
+  opts.adapt = false;
+  opts.initial_level = 4;
+  Rig rig(opts, /*start_fps=*/32.0, 8);
+  rig.encode_frames(100);
+  const double before = rig.enc->heartbeat().global().rate(10);
+  rig.host->fail_core();
+  rig.host->fail_core();
+  rig.host->fail_core();
+  rig.encode_frames(100);
+  const double after = rig.enc->heartbeat().global().rate(10);
+  EXPECT_LT(after, before * 0.85);  // no adaptation: rate just drops
+}
+
+}  // namespace
+}  // namespace hb::codec

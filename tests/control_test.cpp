@@ -1,0 +1,236 @@
+// Controllers: step (the paper's policy), PI (ablation), KnobLadder.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "control/knob_ladder.hpp"
+#include "control/pi_controller.hpp"
+#include "control/step_controller.hpp"
+
+namespace hb::control {
+namespace {
+
+constexpr core::TargetRate kTarget{30.0, 35.0};
+
+TEST(StepController, RaisesWhenBelowMin) {
+  StepController c;
+  EXPECT_EQ(c.decide(20.0, kTarget, 3, 1, 8), 4);
+}
+
+TEST(StepController, LowersWhenAboveMax) {
+  StepController c;
+  EXPECT_EQ(c.decide(40.0, kTarget, 3, 1, 8), 2);
+}
+
+TEST(StepController, HoldsInsideDeadband) {
+  StepController c;
+  EXPECT_EQ(c.decide(32.0, kTarget, 3, 1, 8), 3);
+  EXPECT_EQ(c.decide(30.0, kTarget, 3, 1, 8), 3);  // boundary inclusive
+  EXPECT_EQ(c.decide(35.0, kTarget, 3, 1, 8), 3);
+}
+
+TEST(StepController, ClampsToRange) {
+  StepController c;
+  EXPECT_EQ(c.decide(20.0, kTarget, 8, 1, 8), 8);
+  EXPECT_EQ(c.decide(40.0, kTarget, 1, 1, 8), 1);
+}
+
+TEST(StepController, OneStepAtATime) {
+  StepController c;
+  // Even a huge error moves one level per decision.
+  EXPECT_EQ(c.decide(0.1, kTarget, 1, 1, 8), 2);
+  EXPECT_EQ(c.decide(0.1, kTarget, 2, 1, 8), 3);
+}
+
+TEST(StepController, PatienceDelaysAction) {
+  StepController c({.patience = 3});
+  EXPECT_EQ(c.decide(10.0, kTarget, 4, 1, 8), 4);  // strike 1
+  EXPECT_EQ(c.decide(10.0, kTarget, 4, 1, 8), 4);  // strike 2
+  EXPECT_EQ(c.decide(10.0, kTarget, 4, 1, 8), 5);  // strike 3: act
+}
+
+TEST(StepController, PatienceResetsOnDirectionFlip) {
+  StepController c({.patience = 2});
+  EXPECT_EQ(c.decide(10.0, kTarget, 4, 1, 8), 4);  // low strike 1
+  EXPECT_EQ(c.decide(50.0, kTarget, 4, 1, 8), 4);  // high strike 1 (reset)
+  EXPECT_EQ(c.decide(50.0, kTarget, 4, 1, 8), 3);  // high strike 2: act
+}
+
+TEST(StepController, PatienceResetsInsideBand) {
+  StepController c({.patience = 2});
+  EXPECT_EQ(c.decide(10.0, kTarget, 4, 1, 8), 4);
+  EXPECT_EQ(c.decide(32.0, kTarget, 4, 1, 8), 4);  // in band: reset
+  EXPECT_EQ(c.decide(10.0, kTarget, 4, 1, 8), 4);  // strike 1 again
+  EXPECT_EQ(c.decide(10.0, kTarget, 4, 1, 8), 5);
+}
+
+TEST(StepController, CooldownSuppressesFollowups) {
+  StepController c({.cooldown = 2});
+  EXPECT_EQ(c.decide(10.0, kTarget, 4, 1, 8), 5);  // act
+  EXPECT_EQ(c.decide(10.0, kTarget, 5, 1, 8), 5);  // cooling
+  EXPECT_EQ(c.decide(10.0, kTarget, 5, 1, 8), 5);  // cooling
+  EXPECT_EQ(c.decide(10.0, kTarget, 5, 1, 8), 6);  // act again
+}
+
+TEST(StepController, ResetClearsState) {
+  StepController c({.patience = 2, .cooldown = 5});
+  c.decide(10.0, kTarget, 4, 1, 8);
+  c.reset();
+  // After reset, patience starts over (no action on first strike).
+  EXPECT_EQ(c.decide(10.0, kTarget, 4, 1, 8), 4);
+  EXPECT_EQ(c.decide(10.0, kTarget, 4, 1, 8), 5);
+}
+
+TEST(StepController, InfiniteRateTreatedAsTooFast) {
+  StepController c;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(c.decide(inf, kTarget, 4, 1, 8), 3);
+}
+
+TEST(PiController, HoldsInsideBandAndBleedsIntegral) {
+  PiController c;
+  EXPECT_EQ(c.decide(32.0, kTarget, 4, 1, 8), 4);
+}
+
+TEST(PiController, LargeErrorJumpsMultipleLevels) {
+  PiController c({.kp = 4.0, .ki = 0.0});
+  // rate 8 vs midpoint 32.5: e = 0.7538, kp*e = 3.02 -> up 3 levels.
+  EXPECT_EQ(c.decide(8.0, kTarget, 1, 1, 8), 4);
+}
+
+TEST(PiController, SmallErrorStepsOne) {
+  PiController c({.kp = 4.0, .ki = 0.0});
+  // rate 28 vs 32.5: e = 0.138, kp*e = 0.55 -> rounds to +1.
+  EXPECT_EQ(c.decide(28.0, kTarget, 4, 1, 8), 5);
+}
+
+TEST(PiController, IntegralAccumulates) {
+  PiController c({.kp = 0.0, .ki = 0.4});
+  // e = 0.2 each time; integral grows until the rounded delta is 1.
+  int level = 4;
+  const double rate = 26.0;  // e = 0.2
+  int changed_at = -1;
+  for (int i = 0; i < 10; ++i) {
+    const int next = c.decide(rate, kTarget, level, 1, 8);
+    if (next != level) {
+      changed_at = i;
+      break;
+    }
+  }
+  EXPECT_GE(changed_at, 1);  // not immediately: integral had to build up
+}
+
+TEST(PiController, RespectsClamp) {
+  PiController c({.kp = 100.0, .ki = 0.0});
+  EXPECT_EQ(c.decide(1.0, kTarget, 4, 1, 8), 8);
+  EXPECT_EQ(c.decide(1000.0, kTarget, 4, 1, 8), 1);
+}
+
+TEST(PiController, IgnoresDegenerateInput) {
+  PiController c;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(c.decide(inf, kTarget, 4, 1, 8), 4);
+  EXPECT_EQ(c.decide(10.0, core::TargetRate{0.0, 0.0}, 4, 1, 8), 4);
+}
+
+TEST(PiController, ResetClearsIntegral) {
+  PiController c({.kp = 0.0, .ki = 10.0});
+  c.decide(10.0, kTarget, 4, 4, 4);  // wind up (clamped level)
+  c.reset();
+  // With kp=0 and a fresh integral, first decision moves by ki*e only.
+  const int next = c.decide(26.0, kTarget, 4, 1, 8);
+  EXPECT_LE(std::abs(next - 4), 2);
+}
+
+// ---------------------------------------------------------------- ladder
+
+struct Preset {
+  int speed = 0;
+};
+
+KnobLadder<Preset> make_ladder() {
+  return KnobLadder<Preset>({
+      {"best", {0}},
+      {"good", {1}},
+      {"fast", {2}},
+      {"fastest", {3}},
+  });
+}
+
+TEST(KnobLadder, StartsAtRequestedRung) {
+  auto ladder = make_ladder();
+  EXPECT_EQ(ladder.level(), 0);
+  EXPECT_EQ(ladder.current_name(), "best");
+  EXPECT_TRUE(ladder.at_bottom());
+  EXPECT_FALSE(ladder.at_top());
+
+  KnobLadder<Preset> mid({{"a", {0}}, {"b", {1}}}, 1);
+  EXPECT_EQ(mid.level(), 1);
+  EXPECT_TRUE(mid.at_top());
+}
+
+TEST(KnobLadder, InitialLevelClamped) {
+  KnobLadder<Preset> l({{"a", {0}}, {"b", {1}}}, 99);
+  EXPECT_EQ(l.level(), 1);
+}
+
+TEST(KnobLadder, ObserveMovesWithController) {
+  auto ladder = make_ladder();
+  StepController c;
+  // Too slow: climb toward faster presets.
+  EXPECT_TRUE(ladder.observe(c, 10.0, kTarget));
+  EXPECT_EQ(ladder.current_name(), "good");
+  EXPECT_TRUE(ladder.observe(c, 10.0, kTarget));
+  EXPECT_EQ(ladder.current_name(), "fast");
+  // On target: hold.
+  EXPECT_FALSE(ladder.observe(c, 32.0, kTarget));
+  // Too fast: recover quality.
+  EXPECT_TRUE(ladder.observe(c, 50.0, kTarget));
+  EXPECT_EQ(ladder.current_name(), "good");
+}
+
+TEST(KnobLadder, ObserveClampsAtEnds) {
+  auto ladder = make_ladder();
+  StepController c;
+  for (int i = 0; i < 10; ++i) ladder.observe(c, 1.0, kTarget);
+  EXPECT_TRUE(ladder.at_top());
+  EXPECT_EQ(ladder.current().speed, 3);
+  for (int i = 0; i < 10; ++i) ladder.observe(c, 100.0, kTarget);
+  EXPECT_TRUE(ladder.at_bottom());
+}
+
+TEST(KnobLadder, SetLevelDirect) {
+  auto ladder = make_ladder();
+  ladder.set_level(2);
+  EXPECT_EQ(ladder.current_name(), "fast");
+}
+
+// Property: from any starting level, a constant out-of-range rate drives the
+// step controller monotonically to the appropriate end.
+class StepConvergence : public ::testing::TestWithParam<std::tuple<int, bool>> {
+};
+
+TEST_P(StepConvergence, ReachesBoundary) {
+  const auto [start, too_slow] = GetParam();
+  StepController c;
+  int level = start;
+  const double rate = too_slow ? 5.0 : 80.0;
+  for (int i = 0; i < 20; ++i) {
+    const int next = c.decide(rate, kTarget, level, 0, 10);
+    // Monotone movement in the correct direction.
+    if (too_slow) {
+      EXPECT_GE(next, level);
+    } else {
+      EXPECT_LE(next, level);
+    }
+    level = next;
+  }
+  EXPECT_EQ(level, too_slow ? 10 : 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StepConvergence,
+                         ::testing::Combine(::testing::Values(0, 3, 5, 10),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace hb::control

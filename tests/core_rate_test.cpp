@@ -1,0 +1,134 @@
+// Unit and property tests for the heart-rate math in core/rate.hpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/rate.hpp"
+#include "test_support.hpp"
+#include "util/time.hpp"
+
+namespace hb::core {
+namespace {
+
+using hb::test::at_times;
+using hb::test::evenly_spaced;
+using util::kNsPerSec;
+
+TEST(WindowRate, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(window_rate({}), 0.0);
+}
+
+TEST(WindowRate, SingleRecordIsZero) {
+  const auto recs = evenly_spaced(1, kNsPerSec);
+  EXPECT_DOUBLE_EQ(window_rate(recs), 0.0);
+}
+
+TEST(WindowRate, TwoRecordsOneSecondApart) {
+  const auto recs = at_times({0, kNsPerSec});
+  EXPECT_DOUBLE_EQ(window_rate(recs), 1.0);
+}
+
+TEST(WindowRate, TenHzEvenSpacing) {
+  // 11 beats 100ms apart: 10 intervals over 1s = 10 beats/s.
+  const auto recs = evenly_spaced(11, kNsPerSec / 10);
+  EXPECT_DOUBLE_EQ(window_rate(recs), 10.0);
+}
+
+TEST(WindowRate, IntervalsCountNotBeats) {
+  // n beats over span T give (n-1)/T, not n/T.
+  const auto recs = evenly_spaced(5, kNsPerSec);
+  EXPECT_DOUBLE_EQ(window_rate(recs), 1.0);
+}
+
+TEST(WindowRate, UnevenSpacingUsesEndpoints) {
+  // Only first/last matter for the average.
+  const auto recs = at_times({0, 1, 2, 4 * kNsPerSec});
+  EXPECT_DOUBLE_EQ(window_rate(recs), 3.0 / 4.0);
+}
+
+TEST(WindowRate, ZeroSpanIsInfinite) {
+  const auto recs = at_times({5, 5, 5});
+  EXPECT_TRUE(std::isinf(window_rate(recs)));
+}
+
+TEST(WindowRate, SubSecondRates) {
+  // 2 beats 100s apart: 0.01 beats/s (streamcluster territory, Table 2).
+  const auto recs = at_times({0, 100 * kNsPerSec});
+  EXPECT_DOUBLE_EQ(window_rate(recs), 0.01);
+}
+
+TEST(InstantRate, UsesLastIntervalOnly) {
+  const auto recs = at_times({0, 10 * kNsPerSec, 10 * kNsPerSec + kNsPerSec / 2});
+  EXPECT_DOUBLE_EQ(instant_rate(recs), 2.0);
+}
+
+TEST(InstantRate, FewRecords) {
+  EXPECT_DOUBLE_EQ(instant_rate({}), 0.0);
+  EXPECT_DOUBLE_EQ(instant_rate(evenly_spaced(1, kNsPerSec)), 0.0);
+}
+
+TEST(MeanInterval, EvenSpacing) {
+  const auto recs = evenly_spaced(5, 250);
+  EXPECT_DOUBLE_EQ(mean_interval_ns(recs), 250.0);
+}
+
+TEST(MeanInterval, FewRecordsIsZero) {
+  EXPECT_DOUBLE_EQ(mean_interval_ns(evenly_spaced(1, 100)), 0.0);
+}
+
+TEST(Jitter, EvenSpacingIsZero) {
+  const auto recs = evenly_spaced(10, 1000);
+  EXPECT_DOUBLE_EQ(interval_jitter_ns(recs), 0.0);
+}
+
+TEST(Jitter, KnownSpread) {
+  // Intervals: 100, 300 -> sample stddev = sqrt(((100-200)^2+(300-200)^2)/1)
+  const auto recs = at_times({0, 100, 400});
+  EXPECT_NEAR(interval_jitter_ns(recs), std::sqrt(20000.0), 1e-9);
+}
+
+TEST(Jitter, FewRecordsIsZero) {
+  EXPECT_DOUBLE_EQ(interval_jitter_ns(at_times({0, 100})), 0.0);
+}
+
+// Property sweep: for any (count, interval) grid the computed rate matches
+// the closed form (count-1)/((count-1)*interval) = 1/interval.
+class RateGrid : public ::testing::TestWithParam<
+                     std::tuple<std::size_t, util::TimeNs>> {};
+
+TEST_P(RateGrid, MatchesClosedForm) {
+  const auto [n, interval] = GetParam();
+  const auto recs = evenly_spaced(n, interval);
+  const double expect =
+      n < 2 ? 0.0 : static_cast<double>(kNsPerSec) / static_cast<double>(interval);
+  EXPECT_NEAR(window_rate(recs), expect, expect * 1e-12);
+  if (n >= 2) {
+    EXPECT_NEAR(mean_interval_ns(recs), static_cast<double>(interval), 1e-9);
+    EXPECT_DOUBLE_EQ(interval_jitter_ns(recs), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RateGrid,
+    ::testing::Combine(
+        ::testing::Values<std::size_t>(0, 1, 2, 3, 20, 101),
+        ::testing::Values<util::TimeNs>(1, 1000, kNsPerSec / 561,
+                                        kNsPerSec / 10, kNsPerSec,
+                                        50 * kNsPerSec)));
+
+// Property: the rate is invariant under time translation.
+class RateTranslation : public ::testing::TestWithParam<util::TimeNs> {};
+
+TEST_P(RateTranslation, ShiftInvariant) {
+  const auto base = evenly_spaced(20, 12345);
+  const auto shifted = evenly_spaced(20, 12345, GetParam());
+  EXPECT_DOUBLE_EQ(window_rate(base), window_rate(shifted));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RateTranslation,
+                         ::testing::Values<util::TimeNs>(
+                             1, 1'000'000, kNsPerSec, 86400 * kNsPerSec));
+
+}  // namespace
+}  // namespace hb::core

@@ -1,0 +1,86 @@
+// Tag-aware analysis (paper §3: frame-type tags, sequence-number tags,
+// tag-filtered history).
+#include <gtest/gtest.h>
+
+#include "core/tags.hpp"
+#include "test_support.hpp"
+#include "util/time.hpp"
+
+namespace hb::core {
+namespace {
+
+using hb::test::evenly_spaced;
+using util::kNsPerSec;
+
+std::vector<HeartbeatRecord> tagged(std::initializer_list<std::uint64_t> tags,
+                                    util::TimeNs interval = kNsPerSec) {
+  auto records = evenly_spaced(tags.size(), interval);
+  std::size_t i = 0;
+  for (auto t : tags) records[i++].tag = t;
+  return records;
+}
+
+TEST(FilterByTag, KeepsMatchingInOrder) {
+  const auto records = tagged({1, 2, 1, 3, 1});
+  const auto ones = filter_by_tag(records, 1);
+  ASSERT_EQ(ones.size(), 3u);
+  EXPECT_EQ(ones[0].seq, 0u);
+  EXPECT_EQ(ones[1].seq, 2u);
+  EXPECT_EQ(ones[2].seq, 4u);
+}
+
+TEST(FilterByTag, NoMatchesEmpty) {
+  EXPECT_TRUE(filter_by_tag(tagged({1, 2}), 9).empty());
+  EXPECT_TRUE(filter_by_tag({}, 1).empty());
+}
+
+TEST(TagRate, RateOfSubsequence) {
+  // I-frames (tag 1) every 4th beat, beats 1s apart -> I-frame rate 0.25/s.
+  const auto records = tagged({1, 2, 2, 2, 1, 2, 2, 2, 1});
+  EXPECT_NEAR(tag_rate(records, 1), 0.25, 1e-12);
+  // P-frames: 6 beats at indices 1,2,3,5,6,7 -> 5 intervals over 6 s.
+  EXPECT_NEAR(tag_rate(records, 2), 5.0 / 6.0, 1e-12);
+}
+
+TEST(TagRate, SingleMatchIsZero) {
+  EXPECT_DOUBLE_EQ(tag_rate(tagged({1, 2, 2}), 1), 0.0);
+}
+
+TEST(TagHistogram, CountsPerTag) {
+  const auto histogram = tag_histogram(tagged({5, 5, 7, 5, 9}));
+  EXPECT_EQ(histogram.size(), 3u);
+  EXPECT_EQ(histogram.at(5), 3u);
+  EXPECT_EQ(histogram.at(7), 1u);
+  EXPECT_EQ(histogram.at(9), 1u);
+}
+
+TEST(SequenceCheck, CleanSequence) {
+  const auto check = check_tag_sequence(tagged({10, 11, 12, 13}));
+  EXPECT_EQ(check.missing, 0u);
+  EXPECT_EQ(check.reordered, 0u);
+}
+
+TEST(SequenceCheck, DetectsDrops) {
+  // 2 missing between 11 and 14, 1 missing between 14 and 16.
+  const auto check = check_tag_sequence(tagged({10, 11, 14, 16}));
+  EXPECT_EQ(check.missing, 3u);
+  EXPECT_EQ(check.reordered, 0u);
+}
+
+TEST(SequenceCheck, DetectsReordering) {
+  const auto check = check_tag_sequence(tagged({10, 12, 11, 13}));
+  EXPECT_EQ(check.reordered, 1u);
+  // Gaps are counted per transition: 10->12 skips 11, and 11->13 skips 12
+  // again (the checker sees a gap, not that 12 arrived early).
+  EXPECT_EQ(check.missing, 2u);
+}
+
+TEST(SequenceCheck, EmptyAndSingle) {
+  const auto empty = check_tag_sequence({});
+  EXPECT_EQ(empty.missing, 0u);
+  const auto one = check_tag_sequence(tagged({5}));
+  EXPECT_EQ(one.missing, 0u);
+}
+
+}  // namespace
+}  // namespace hb::core

@@ -1,0 +1,158 @@
+// Work-queue runtime (paper §2.5): worker mechanics, dispatcher policies,
+// and the headline property — heartbeat-aware dispatch beats speed-blind
+// dispatch on asymmetric workers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/work_queue.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace hb::runtime {
+namespace {
+
+struct QueueFixture : ::testing::Test {
+  std::shared_ptr<util::ManualClock> clock =
+      std::make_shared<util::ManualClock>();
+  WorkQueueSim sim{clock};
+};
+
+TEST_F(QueueFixture, WorkerProcessesAtItsSpeed) {
+  auto& w = sim.add_worker("w", 2.0);  // 2 units/s
+  w.enqueue(1.0);
+  w.enqueue(1.0);
+  sim.tick(0.5);  // 1 unit: first task done
+  EXPECT_EQ(w.completed_tasks(), 1u);
+  EXPECT_EQ(w.queued_tasks(), 1u);
+  sim.tick(0.5);
+  EXPECT_EQ(w.completed_tasks(), 2u);
+  EXPECT_TRUE(sim.drained());
+}
+
+TEST_F(QueueFixture, WorkerBeatsPerCompletedTask) {
+  auto& w = sim.add_worker("w", 1.0);
+  for (int i = 0; i < 5; ++i) w.enqueue(1.0);
+  for (int i = 0; i < 10; ++i) sim.tick(0.5);
+  EXPECT_EQ(w.channel().count(), 5u);
+}
+
+TEST_F(QueueFixture, PartialProgressCarries) {
+  auto& w = sim.add_worker("w", 1.0);
+  w.enqueue(1.0);
+  // Exact binary fractions so progress sums without rounding residue.
+  sim.tick(0.75);
+  EXPECT_EQ(w.completed_tasks(), 0u);
+  EXPECT_NEAR(w.queued_work(), 0.25, 1e-12);
+  sim.tick(0.25);
+  EXPECT_EQ(w.completed_tasks(), 1u);
+}
+
+TEST_F(QueueFixture, OneTickCanCompleteManyTasks) {
+  auto& w = sim.add_worker("w", 10.0);
+  for (int i = 0; i < 5; ++i) w.enqueue(1.0);
+  sim.tick(1.0);
+  EXPECT_EQ(w.completed_tasks(), 5u);
+}
+
+TEST_F(QueueFixture, RoundRobinCycles) {
+  sim.add_worker("a", 1.0);
+  sim.add_worker("b", 1.0);
+  sim.add_worker("c", 1.0);
+  RoundRobinDispatcher rr;
+  for (int i = 0; i < 6; ++i) sim.submit(1.0, rr);
+  for (const auto& w : sim.workers()) EXPECT_EQ(w->queued_tasks(), 2u);
+}
+
+TEST_F(QueueFixture, ShortestQueuePicksLeastBacklogged) {
+  auto& a = sim.add_worker("a", 1.0);
+  sim.add_worker("b", 1.0);
+  a.enqueue(1.0);
+  a.enqueue(1.0);
+  ShortestQueueDispatcher sq;
+  sim.submit(1.0, sq);
+  EXPECT_EQ(sim.workers()[1]->queued_tasks(), 1u);
+}
+
+TEST_F(QueueFixture, HeartbeatDispatcherProbesColdWorkers) {
+  sim.add_worker("a", 1.0);
+  sim.add_worker("b", 1.0);
+  HeartbeatDispatcher hb;
+  // With no beats yet, both look available; tasks spread rather than pile.
+  sim.submit(1.0, hb);
+  sim.submit(1.0, hb);
+  EXPECT_EQ(sim.workers()[0]->queued_tasks(), 1u);
+  EXPECT_EQ(sim.workers()[1]->queued_tasks(), 1u);
+}
+
+TEST_F(QueueFixture, HeartbeatDispatcherFavorsFastWorkerOnceObserved) {
+  auto& fast = sim.add_worker("fast", 4.0);
+  auto& slow = sim.add_worker("slow", 1.0);
+  HeartbeatDispatcher hb;
+  // Warm up: give both some work so rates become observable.
+  fast.enqueue(1.0);
+  slow.enqueue(1.0);
+  for (int i = 0; i < 40; ++i) sim.tick(0.25);
+  ASSERT_GT(fast.channel().count(), 0u);
+  ASSERT_GT(slow.channel().count(), 0u);
+  // fast beats 4x the rate... but a single task pair isn't enough history;
+  // feed a stream and count where it goes.
+  int to_fast = 0, to_slow = 0;
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t pick = hb.pick(sim.workers(), 1.0);
+    (pick == 0 ? to_fast : to_slow)++;
+    sim.workers()[pick]->enqueue(1.0);
+    sim.tick(0.25);
+  }
+  EXPECT_GT(to_fast, 2 * to_slow);
+}
+
+// The §2.5 claim, as a property: with asymmetric workers, heartbeat dispatch
+// drains a batch strictly faster than round-robin.
+class MakespanSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MakespanSweep, HeartbeatBeatsRoundRobinOnAsymmetry) {
+  const double asymmetry = GetParam();  // fast worker speed (slow = 1)
+  auto run = [&](std::unique_ptr<Dispatcher> d) {
+    auto clock = std::make_shared<util::ManualClock>();
+    WorkQueueSim sim(clock);
+    sim.add_worker("fast", asymmetry);
+    sim.add_worker("slow", 1.0);
+    // Trickle tasks in while ticking (rates must be observable), then drain.
+    for (int i = 0; i < 100; ++i) {
+      sim.submit(1.0, *d);
+      sim.tick(0.05);
+    }
+    return sim.run_to_drain(0.05, 10000.0) + 100 * 0.05;
+  };
+  const double rr = run(std::make_unique<RoundRobinDispatcher>());
+  const double hb = run(std::make_unique<HeartbeatDispatcher>());
+  EXPECT_LT(hb, rr) << "heartbeat dispatch should win at asymmetry "
+                    << asymmetry;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MakespanSweep,
+                         ::testing::Values(2.0, 4.0, 8.0));
+
+TEST_F(QueueFixture, SymmetricWorkersNoRegression) {
+  // With equal workers, heartbeat dispatch must not be (much) worse than
+  // round-robin: same total work, same speeds.
+  auto run = [&](std::unique_ptr<Dispatcher> d) {
+    auto c = std::make_shared<util::ManualClock>();
+    WorkQueueSim s(c);
+    s.add_worker("a", 2.0);
+    s.add_worker("b", 2.0);
+    for (int i = 0; i < 60; ++i) {
+      s.submit(1.0, *d);
+      s.tick(0.05);
+    }
+    return s.run_to_drain(0.05, 10000.0);
+  };
+  const double rr = run(std::make_unique<RoundRobinDispatcher>());
+  const double hb = run(std::make_unique<HeartbeatDispatcher>());
+  EXPECT_LE(hb, rr * 1.1);
+}
+
+}  // namespace
+}  // namespace hb::runtime

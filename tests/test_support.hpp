@@ -1,0 +1,38 @@
+// Shared helpers for the heartbeat test suites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/record.hpp"
+#include "util/time.hpp"
+
+namespace hb::test {
+
+/// Build a history of `n` records spaced `interval_ns` apart starting at
+/// `start_ns`, with seq 0..n-1.
+inline std::vector<core::HeartbeatRecord> evenly_spaced(
+    std::size_t n, util::TimeNs interval_ns, util::TimeNs start_ns = 0) {
+  std::vector<core::HeartbeatRecord> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].timestamp_ns = start_ns + static_cast<util::TimeNs>(i) * interval_ns;
+    out[i].seq = i;
+  }
+  return out;
+}
+
+/// Records at explicit timestamps.
+inline std::vector<core::HeartbeatRecord> at_times(
+    std::initializer_list<util::TimeNs> times) {
+  std::vector<core::HeartbeatRecord> out;
+  std::uint64_t seq = 0;
+  for (auto t : times) {
+    core::HeartbeatRecord r;
+    r.timestamp_ns = t;
+    r.seq = seq++;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace hb::test
