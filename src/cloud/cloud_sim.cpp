@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/memory_store.hpp"
+#include "hub/hub.hpp"
 #include "util/time.hpp"
 
 namespace hb::cloud {
@@ -28,6 +29,7 @@ int CloudSim::add_vm(VmSpec spec) {
                          std::numeric_limits<double>::infinity());
   vm.spec = std::move(spec);
   vms_.push_back(std::move(vm));
+  if (hub_) hub_ids_.push_back(register_with_hub(vms_.back()));
   // First-fit by demand headroom.
   const int id = static_cast<int>(vms_.size()) - 1;
   machine_of_.push_back(0);
@@ -36,6 +38,19 @@ int CloudSim::add_vm(VmSpec spec) {
     if (machine_demand(m) <= capacity_) break;
   }
   return id;
+}
+
+hub::AppId CloudSim::register_with_hub(const Vm& vm) {
+  return hub_->register_app(
+      vm.spec.name, core::TargetRate{vm.spec.target_min_bps,
+                                     std::numeric_limits<double>::infinity()});
+}
+
+void CloudSim::attach_hub(std::shared_ptr<hub::HeartbeatHub> hub) {
+  assert(hub);
+  hub_ = std::move(hub);
+  hub_ids_.clear();
+  for (const Vm& vm : vms_) hub_ids_.push_back(register_with_hub(vm));
 }
 
 void CloudSim::migrate(int vm, int machine) {
@@ -98,6 +113,15 @@ void CloudSim::step(double dt_seconds) {
       while (vm.pending_work >= vm.spec.work_per_beat) {
         vm.pending_work -= vm.spec.work_per_beat;
         vm.channel->beat();
+        if (hub_) {
+          // Mirror a record stamped from the SIM clock (not hub.beat(),
+          // which would stamp the hub's own clock): hub rates then agree
+          // with per-VM reader rates even if the hub keeps a different
+          // clock. Staleness queries still need a shared clock.
+          core::HeartbeatRecord rec;
+          rec.timestamp_ns = clock_->now();
+          hub_->ingest(hub_ids_[v], rec);
+        }
       }
     }
   }

@@ -23,7 +23,12 @@
 
 #include "core/channel.hpp"
 #include "core/reader.hpp"
+#include "hub/summary.hpp"
 #include "util/clock.hpp"
+
+namespace hb::hub {
+class HeartbeatHub;
+}
 
 namespace hb::cloud {
 
@@ -46,6 +51,16 @@ class CloudSim {
            std::shared_ptr<util::ManualClock> clock);
 
   int add_vm(VmSpec spec);  ///< placed on the first machine with room
+
+  /// Register every current and future VM with a heartbeat aggregation hub:
+  /// each VM becomes a hub app (named by its VmSpec, target [min, inf)) and
+  /// every beat the sim emits is mirrored into the hub, stamped from the
+  /// sim's clock — so hub rates match per-VM reader rates whatever clock
+  /// the hub holds. Give the hub the sim's ManualClock if you also want
+  /// meaningful HubView::staleness_ns. Cluster managers can then watch the
+  /// whole fleet through one HubView instead of one reader per VM.
+  /// VM names should be unique — the hub keys apps by name.
+  void attach_hub(std::shared_ptr<hub::HeartbeatHub> hub);
 
   int machines() const { return static_cast<int>(machine_of_.size() ? used_machines() : 0); }
   int total_machines() const { return num_machines_; }
@@ -87,11 +102,15 @@ class CloudSim {
     std::shared_ptr<core::Channel> channel;
   };
 
+  hub::AppId register_with_hub(const Vm& vm);
+
   int num_machines_;
   double capacity_;
   std::shared_ptr<util::ManualClock> clock_;
   std::vector<Vm> vms_;
   std::vector<int> machine_of_;
+  std::shared_ptr<hub::HeartbeatHub> hub_;
+  std::vector<hub::AppId> hub_ids_;  ///< parallel to vms_ when hub_ is set
 };
 
 /// Options for HeartbeatConsolidator (namespace scope: a nested struct with

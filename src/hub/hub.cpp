@@ -1,0 +1,86 @@
+#include "hub/hub.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_id.hpp"
+
+namespace hb::hub {
+
+namespace {
+
+HubOptions normalize(HubOptions opts) {
+  if (opts.shard_count == 0) opts.shard_count = 1;
+  if (opts.batch_capacity == 0) opts.batch_capacity = 1;
+  if (opts.window_capacity < 2) opts.window_capacity = 2;
+  if (!opts.clock) opts.clock = util::MonotonicClock::instance();
+  return opts;
+}
+
+}  // namespace
+
+HeartbeatHub::HeartbeatHub(HubOptions opts) : opts_(normalize(std::move(opts))) {
+  const ShardConfig config{opts_.batch_capacity, opts_.window_capacity,
+                           opts_.rate_window};
+  shards_.reserve(opts_.shard_count);
+  for (std::size_t i = 0; i < opts_.shard_count; ++i) {
+    shards_.push_back(
+        std::make_unique<HubShard>(static_cast<std::uint32_t>(i), config));
+  }
+}
+
+AppId HeartbeatHub::register_app(const std::string& name,
+                                 core::TargetRate target) {
+  std::lock_guard lock(names_mu_);
+  auto it = names_.find(name);
+  if (it != names_.end()) return it->second;
+  const std::uint32_t shard = shard_of(name);
+  const std::uint32_t slot = shards_[shard]->add_app(name, target);
+  const AppId id = make_app_id(shard, slot);
+  names_.emplace(name, id);
+  return id;
+}
+
+AppId HeartbeatHub::id_of(const std::string& name) const {
+  std::lock_guard lock(names_mu_);
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    throw std::out_of_range("HeartbeatHub: unknown app \"" + name + "\"");
+  }
+  return it->second;
+}
+
+std::uint32_t HeartbeatHub::shard_of(const std::string& name) const {
+  return static_cast<std::uint32_t>(fnv1a64(name) % shards_.size());
+}
+
+void HeartbeatHub::ingest(AppId id, const core::HeartbeatRecord& rec) {
+  shards_.at(app_id_shard(id))->enqueue(app_id_slot(id), rec);
+}
+
+void HeartbeatHub::ingest(AppId id,
+                          std::span<const core::HeartbeatRecord> recs) {
+  shards_.at(app_id_shard(id))->enqueue(app_id_slot(id), recs);
+}
+
+void HeartbeatHub::beat(AppId id, std::uint64_t tag) {
+  core::HeartbeatRecord rec;
+  rec.timestamp_ns = opts_.clock->now();
+  rec.tag = tag;
+  rec.thread_id = util::current_thread_id();
+  ingest(id, rec);
+}
+
+void HeartbeatHub::set_target(AppId id, core::TargetRate target) {
+  shards_.at(app_id_shard(id))->set_target(app_id_slot(id), target);
+}
+
+void HeartbeatHub::flush() {
+  for (auto& shard : shards_) shard->flush();
+}
+
+std::size_t HeartbeatHub::app_count() const {
+  std::lock_guard lock(names_mu_);
+  return names_.size();
+}
+
+}  // namespace hb::hub

@@ -1,0 +1,119 @@
+// HeartbeatHub: sharded, multi-tenant aggregation of heartbeat streams.
+//
+// The paper's observers (Figure 1b) each attach to one application's
+// channel. That is the right interface for one scheduler watching one app,
+// but the ROADMAP north star — heavy traffic from thousands of producers —
+// needs a fan-in point: a hub that ingests beats from many concurrent
+// Heartbeat producers and answers aggregate questions cheaply.
+//
+// Architecture:
+//
+//   producers ──beat/ingest──▶ shard[hash(app) % N]   (lock-striped)
+//                                │  raw-record batch (batch_capacity)
+//                                ▼  flush: amortized window + histogram
+//                              per-app sliding-window summaries
+//                                ▼
+//   HubView ◀── per-app / per-tag / cluster rollups (copies, coherent)
+//
+// Determinism: all timestamps flow through the hub's util::Clock, shard
+// assignment uses a fixed FNV-1a hash (not std::hash), and view queries
+// force a flush first — so a single-threaded driver under a ManualClock
+// gets bit-identical summaries on every run (the LabOps-style CI-testable
+// simulation discipline).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/record.hpp"
+#include "hub/shard.hpp"
+#include "hub/summary.hpp"
+#include "util/clock.hpp"
+
+namespace hb::hub {
+
+struct HubOptions {
+  /// Lock stripes; clamped to >= 1. Sizing rule of thumb: ~1-2x the
+  /// expected number of concurrently beating producers.
+  std::size_t shard_count = 8;
+  /// Raw beats buffered per shard before a flush (the ingest batch).
+  std::size_t batch_capacity = 64;
+  /// Sliding-window size per app, in beats.
+  std::size_t window_capacity = 256;
+  /// Beats per rate computation; 0 = the whole sliding window.
+  std::uint32_t rate_window = 0;
+  /// Timestamp source for beat(); null selects the process monotonic clock.
+  std::shared_ptr<util::Clock> clock;
+};
+
+class HeartbeatHub {
+ public:
+  explicit HeartbeatHub(HubOptions opts = {});
+
+  HeartbeatHub(const HeartbeatHub&) = delete;
+  HeartbeatHub& operator=(const HeartbeatHub&) = delete;
+
+  /// Register an application by name. Idempotent: re-registering a name
+  /// returns the existing id (the target is left unchanged). Thread-safe.
+  AppId register_app(const std::string& name,
+                     core::TargetRate target = core::TargetRate{
+                         0.0, std::numeric_limits<double>::infinity()});
+
+  /// Id of a registered app, or nullopt-like: throws std::out_of_range if
+  /// unknown. Use register_app for get-or-create semantics.
+  AppId id_of(const std::string& name) const;
+
+  /// Shard an app name routes to (exposed for tests and the bench).
+  std::uint32_t shard_of(const std::string& name) const;
+
+  /// Ingest a pre-stamped record (transport adapters, replayed logs).
+  void ingest(AppId id, const core::HeartbeatRecord& rec);
+
+  /// Ingest a batch of pre-stamped records for one app in one lock acquire.
+  void ingest(AppId id, std::span<const core::HeartbeatRecord> recs);
+
+  /// Producer convenience: stamp "now" on the hub clock and ingest.
+  void beat(AppId id, std::uint64_t tag = 0);
+
+  /// Update a registered app's target range (observers see it in summaries).
+  void set_target(AppId id, core::TargetRate target);
+
+  /// Force every shard to drain its batch (deterministic snapshots).
+  void flush();
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t app_count() const;
+  const HubOptions& options() const { return opts_; }
+  const std::shared_ptr<util::Clock>& clock() const { return opts_.clock; }
+
+  /// Internal access for HubView (shards flush on query). Bounds-checked:
+  /// an AppId from a different hub throws instead of indexing wild.
+  HubShard& shard(std::size_t i) { return *shards_.at(i); }
+
+ private:
+  HubOptions opts_;
+  std::vector<std::unique_ptr<HubShard>> shards_;
+
+  mutable std::mutex names_mu_;
+  std::unordered_map<std::string, AppId> names_;
+};
+
+/// Stable 64-bit FNV-1a (shard routing must not depend on the C++ runtime's
+/// std::hash, which may differ across libstdc++ versions).
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace hb::hub

@@ -1,0 +1,248 @@
+#include "hub/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/time.hpp"
+
+namespace hb::hub {
+
+namespace {
+
+/// Clamp a histogram percentile into the window-exact [min, max] range
+/// (the histogram's own bounds cover everything since reset, which may be
+/// wider than the current sliding window after evictions).
+std::uint64_t clamped_percentile(const util::LatencyHistogram& hist, double p,
+                                 std::uint64_t lo, std::uint64_t hi) {
+  return std::clamp(hist.percentile(p), lo, hi);
+}
+
+}  // namespace
+
+HubShard::HubShard(std::uint32_t index, ShardConfig config)
+    : index_(index), config_(config) {
+  batch_.reserve(config_.batch_capacity);
+}
+
+std::uint32_t HubShard::add_app(std::string name, core::TargetRate target) {
+  std::lock_guard lock(mu_);
+  AppState app(config_);
+  app.name = std::move(name);
+  app.target = target;
+  const auto slot = static_cast<std::uint32_t>(apps_.size());
+  app.cached.name = app.name;
+  app.cached.id = make_app_id(index_, slot);
+  app.cached.shard = index_;
+  app.cached.target = target;
+  apps_.push_back(std::move(app));
+  return slot;
+}
+
+std::size_t HubShard::app_count() const {
+  std::lock_guard lock(mu_);
+  return apps_.size();
+}
+
+void HubShard::enqueue(std::uint32_t slot, const core::HeartbeatRecord& rec) {
+  std::lock_guard lock(mu_);
+  check_slot_locked(slot);
+  batch_.emplace_back(slot, rec);
+  ++ingested_;
+  if (batch_.size() >= config_.batch_capacity) flush_locked();
+}
+
+void HubShard::enqueue(std::uint32_t slot,
+                       std::span<const core::HeartbeatRecord> recs) {
+  std::lock_guard lock(mu_);
+  check_slot_locked(slot);
+  for (const auto& rec : recs) {
+    batch_.emplace_back(slot, rec);
+    ++ingested_;
+    if (batch_.size() >= config_.batch_capacity) flush_locked();
+  }
+}
+
+void HubShard::check_slot_locked(std::uint32_t slot) const {
+  if (slot >= apps_.size()) {
+    // An AppId minted by a different hub: reject before it reaches the
+    // batch, where apply_locked indexes unchecked.
+    throw std::out_of_range("HubShard: AppId slot not registered here");
+  }
+}
+
+void HubShard::set_target(std::uint32_t slot, core::TargetRate target) {
+  std::lock_guard lock(mu_);
+  AppState& app = apps_.at(slot);
+  app.target = target;
+  app.dirty = true;
+}
+
+void HubShard::flush() {
+  std::lock_guard lock(mu_);
+  flush_locked();
+}
+
+AppSummary HubShard::summary(std::uint32_t slot) {
+  std::lock_guard lock(mu_);
+  flush_locked();
+  return apps_.at(slot).cached;
+}
+
+void HubShard::collect(std::vector<AppSummary>& out) {
+  std::lock_guard lock(mu_);
+  flush_locked();
+  for (const AppState& app : apps_) out.push_back(app.cached);
+}
+
+void HubShard::collect_cluster(ClusterAccum& accum) {
+  std::lock_guard lock(mu_);
+  flush_locked();
+  ClusterSummary& sum = accum.sum;
+  for (const AppState& app : apps_) {
+    const AppSummary& s = app.cached;
+    ++sum.apps;
+    sum.total_beats += s.total_beats;
+    sum.window_beats += s.window_beats;
+    if (std::isfinite(s.rate_bps)) sum.aggregate_rate_bps += s.rate_bps;
+    if (s.window_beats >= 2 && s.target.contains(s.rate_bps)) {
+      ++sum.meeting_target;
+    }
+    if (s.target.min_bps > 0.0 && s.rate_bps < s.target.min_bps) {
+      ++sum.deficient;
+    }
+    sum.last_beat_ns = std::max(sum.last_beat_ns, s.last_beat_ns);
+    if (app.intervals.size() > 0) {
+      accum.intervals.merge(app.hist);
+      if (!accum.any_interval) {
+        sum.interval_min_ns = s.interval_min_ns;
+        sum.interval_max_ns = s.interval_max_ns;
+        accum.any_interval = true;
+      } else {
+        sum.interval_min_ns = std::min(sum.interval_min_ns, s.interval_min_ns);
+        sum.interval_max_ns = std::max(sum.interval_max_ns, s.interval_max_ns);
+      }
+    }
+  }
+}
+
+void HubShard::collect_tags(std::map<std::uint64_t, TagSummary>& out) {
+  std::lock_guard lock(mu_);
+  flush_locked();
+  for (const AppState& app : apps_) {
+    for (const auto& [tag, count] : app.tag_counts) {
+      TagSummary& t = out[tag];
+      t.tag = tag;
+      t.beats += count;
+      ++t.apps;
+    }
+  }
+}
+
+ShardStats HubShard::stats() const {
+  std::lock_guard lock(mu_);
+  ShardStats s;
+  s.shard = index_;
+  s.apps = apps_.size();
+  s.ingested = ingested_;
+  s.flushes = flushes_;
+  s.pending = batch_.size();
+  return s;
+}
+
+void HubShard::flush_locked() {
+  if (!batch_.empty()) {
+    for (const auto& [slot, rec] : batch_) apply_locked(slot, rec);
+    batch_.clear();
+    ++flushes_;
+  }
+  // Refresh outside the batch check: set_target dirties an app without
+  // enqueueing anything, and must still be visible to the next query.
+  for (AppState& app : apps_) {
+    if (app.dirty) refresh_locked(app);
+  }
+}
+
+void HubShard::apply_locked(std::uint32_t slot, const core::HeartbeatRecord& rec) {
+  AppState& app = apps_[slot];
+  ++app.total_beats;
+
+  if (app.has_last) {
+    // Out-of-order or same-tick beats clamp to a zero interval rather than
+    // wrapping; the rate math keeps its own zero-span convention.
+    const std::uint64_t interval =
+        rec.timestamp_ns > app.last_beat_ns
+            ? static_cast<std::uint64_t>(rec.timestamp_ns - app.last_beat_ns)
+            : 0;
+    if (app.intervals.size() == app.intervals.capacity()) {
+      app.hist.forget(app.intervals.back(app.intervals.size() - 1));
+    }
+    app.intervals.push(interval);
+    app.hist.record(interval);
+  }
+  app.has_last = true;
+  app.last_beat_ns = rec.timestamp_ns;
+
+  if (app.window.size() == app.window.capacity()) {
+    // Evict the oldest record from the windowed tag counts.
+    const core::HeartbeatRecord& oldest = app.window.back(app.window.size() - 1);
+    auto it = app.tag_counts.find(oldest.tag);
+    if (it != app.tag_counts.end() && --it->second == 0) {
+      app.tag_counts.erase(it);
+    }
+  }
+  app.window.push(rec);
+  ++app.tag_counts[rec.tag];
+  app.dirty = true;
+}
+
+void HubShard::refresh_locked(AppState& app) {
+  AppSummary& s = app.cached;
+  s.target = app.target;
+  s.total_beats = app.total_beats;
+  s.window_beats = app.window.size();
+  s.last_beat_ns = app.last_beat_ns;
+
+  // Windowed rate, same (n-1)/span semantics as core::window_rate, computed
+  // straight off the ring ends (no copy). As in core/reader.cpp, a rate
+  // window of 1 still reads 2 records: rate(1) is the instantaneous rate,
+  // not a constant 0.
+  const std::size_t have = app.window.size();
+  std::size_t w = config_.rate_window == 0
+                      ? have
+                      : std::min<std::size_t>(
+                            std::max<std::size_t>(config_.rate_window, 2), have);
+  if (w < 2) {
+    s.rate_bps = 0.0;
+  } else {
+    const util::TimeNs span =
+        app.window.back(0).timestamp_ns - app.window.back(w - 1).timestamp_ns;
+    s.rate_bps = span > 0
+                     ? static_cast<double>(w - 1) / util::to_seconds(span)
+                     : std::numeric_limits<double>::infinity();
+  }
+
+  const std::size_t n_intervals = app.intervals.size();
+  if (n_intervals == 0) {
+    s.interval_min_ns = s.interval_max_ns = 0;
+    s.interval_mean_ns = 0.0;
+    s.interval_p50_ns = s.interval_p95_ns = s.interval_p99_ns = 0;
+  } else {
+    std::uint64_t lo = app.intervals.back(0), hi = lo;
+    for (std::size_t i = 1; i < n_intervals; ++i) {
+      const std::uint64_t v = app.intervals.back(i);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    s.interval_min_ns = lo;
+    s.interval_max_ns = hi;
+    s.interval_mean_ns = app.hist.mean();
+    s.interval_p50_ns = clamped_percentile(app.hist, 50.0, lo, hi);
+    s.interval_p95_ns = clamped_percentile(app.hist, 95.0, lo, hi);
+    s.interval_p99_ns = clamped_percentile(app.hist, 99.0, lo, hi);
+  }
+  app.dirty = false;
+}
+
+}  // namespace hb::hub

@@ -1,0 +1,123 @@
+// HubShard: one lock stripe of the heartbeat aggregation hub.
+//
+// A shard owns a subset of the registered apps (assigned by name hash) and
+// a single raw-record batch buffer shared by those apps. Producers only pay
+// for a mutex acquire plus a vector push per beat; the expensive work —
+// sliding-window maintenance, interval histograms, summary refresh — runs
+// once per batch flush, amortized over batch_capacity beats. Everything a
+// shard hands out is a copy, so observers never hold references into state
+// guarded by the stripe lock.
+//
+// Scaling shape (what bench/hub_throughput measures): more shards means
+// (a) fewer producers contending per stripe and (b) fewer co-resident apps
+// whose summaries each flush must refresh, so per-beat cost falls as the
+// shard count grows even before true parallelism kicks in.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/record.hpp"
+#include "hub/summary.hpp"
+#include "util/histogram.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace hb::hub {
+
+/// Sizing knobs a shard needs (subset of HubOptions, kept separately so the
+/// shard does not depend on the hub header).
+struct ShardConfig {
+  std::size_t batch_capacity = 64;    ///< raw records buffered before a flush
+  std::size_t window_capacity = 256;  ///< sliding-window beats per app
+  std::uint32_t rate_window = 0;      ///< beats for rate; 0 = whole window
+};
+
+/// Accumulator for cluster-wide rollups; filled shard by shard.
+struct ClusterAccum {
+  ClusterSummary sum;
+  util::LatencyHistogram intervals;
+  bool any_interval = false;
+};
+
+class HubShard {
+ public:
+  HubShard(std::uint32_t index, ShardConfig config);
+
+  HubShard(const HubShard&) = delete;
+  HubShard& operator=(const HubShard&) = delete;
+
+  /// Add an app to this shard; returns its slot. Thread-safe.
+  std::uint32_t add_app(std::string name, core::TargetRate target);
+
+  std::uint32_t index() const { return index_; }
+  std::size_t app_count() const;
+
+  /// Append one raw beat to the batch; flushes when the batch fills.
+  void enqueue(std::uint32_t slot, const core::HeartbeatRecord& rec);
+
+  /// Append many raw beats for one app (amortizes the lock acquire).
+  void enqueue(std::uint32_t slot, std::span<const core::HeartbeatRecord> recs);
+
+  void set_target(std::uint32_t slot, core::TargetRate target);
+
+  /// Drain the pending batch and refresh touched summaries.
+  void flush();
+
+  /// Flush, then copy out one app's summary.
+  AppSummary summary(std::uint32_t slot);
+
+  /// Flush, then append every app's summary to `out`.
+  void collect(std::vector<AppSummary>& out);
+
+  /// Flush, then fold this shard's apps into a cluster rollup.
+  void collect_cluster(ClusterAccum& accum);
+
+  /// Flush, then fold windowed per-tag beat counts into `out`.
+  void collect_tags(std::map<std::uint64_t, TagSummary>& out);
+
+  ShardStats stats() const;
+
+ private:
+  struct AppState {
+    std::string name;
+    core::TargetRate target;
+    std::uint64_t total_beats = 0;
+    util::TimeNs last_beat_ns = 0;
+    bool has_last = false;  ///< at least one beat seen (first has no interval)
+    util::RingBuffer<core::HeartbeatRecord> window;
+    util::RingBuffer<std::uint64_t> intervals;  ///< windowed, drives `hist`
+    util::LatencyHistogram hist;                ///< exactly the ring's values
+    std::unordered_map<std::uint64_t, std::uint64_t> tag_counts;  ///< windowed
+    AppSummary cached;
+    bool dirty = false;
+
+    // A window of N records spans N-1 intervals; sizing the interval ring
+    // any larger would leak one interval older than the sliding window
+    // into min/max/percentiles.
+    explicit AppState(const ShardConfig& config)
+        : window(config.window_capacity),
+          intervals(config.window_capacity > 1 ? config.window_capacity - 1
+                                               : 1) {}
+  };
+
+  void flush_locked();
+  void apply_locked(std::uint32_t slot, const core::HeartbeatRecord& rec);
+  void refresh_locked(AppState& app);
+  void check_slot_locked(std::uint32_t slot) const;  ///< throws out_of_range
+
+  const std::uint32_t index_;
+  const ShardConfig config_;
+
+  mutable std::mutex mu_;
+  std::vector<AppState> apps_;
+  std::vector<std::pair<std::uint32_t, core::HeartbeatRecord>> batch_;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace hb::hub

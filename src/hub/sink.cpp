@@ -1,0 +1,53 @@
+#include "hub/sink.hpp"
+
+#include <cassert>
+
+#include "core/memory_store.hpp"
+#include "hub/hub.hpp"
+
+namespace hb::hub {
+
+HubSink::HubSink(std::shared_ptr<core::BeatStore> inner,
+                 std::shared_ptr<HeartbeatHub> hub, AppId id)
+    : inner_(std::move(inner)), hub_(std::move(hub)), id_(id) {
+  assert(inner_ && hub_);
+}
+
+std::uint64_t HubSink::append(const core::HeartbeatRecord& rec) {
+  const std::uint64_t seq = inner_->append(rec);
+  core::HeartbeatRecord mirrored = rec;
+  mirrored.seq = seq;
+  hub_->ingest(id_, mirrored);
+  return seq;
+}
+
+void HubSink::set_target(core::TargetRate t) {
+  inner_->set_target(t);
+  hub_->set_target(id_, t);
+}
+
+core::StoreFactory HubSink::wrap_factory(std::shared_ptr<HeartbeatHub> hub,
+                                         core::StoreFactory inner_factory) {
+  assert(hub);
+  if (!inner_factory) {
+    inner_factory = [](const core::StoreSpec& spec) {
+      return std::make_shared<core::MemoryStore>(
+          spec.capacity, /*synchronized=*/true, spec.default_window);
+    };
+  }
+  return [hub = std::move(hub), inner_factory = std::move(inner_factory)](
+             const core::StoreSpec& spec) -> std::shared_ptr<core::BeatStore> {
+    auto inner = inner_factory(spec);
+    if (!spec.shared) return inner;  // local channels: no hub mirroring
+    // "<app>.global" -> "<app>"; odd names register verbatim.
+    std::string app = spec.channel_name;
+    if (const auto dot = app.rfind(".global");
+        dot != std::string::npos && dot + 7 == app.size()) {
+      app.resize(dot);
+    }
+    const AppId id = hub->register_app(app, inner->target());
+    return std::make_shared<HubSink>(std::move(inner), hub, id);
+  };
+}
+
+}  // namespace hb::hub

@@ -1,0 +1,68 @@
+// HubSink: feed any existing heartbeat transport into the hub.
+//
+// A BeatStore decorator — appends (and target changes) pass through to the
+// wrapped store unchanged, and every appended record is mirrored into the
+// hub, already stamped with its store-assigned sequence number. Because it
+// is "just another store", any producer path that takes a StoreFactory
+// (Heartbeat, the shm/filelog transports, the C API underneath) can feed
+// the hub without knowing it exists:
+//
+//   auto hub = std::make_shared<hub::HeartbeatHub>();
+//   core::HeartbeatOptions opts;
+//   opts.store_factory = hub::HubSink::wrap_factory(hub);  // or wrap shm/log
+//   core::Heartbeat hb(opts);   // beats now reach both the store and the hub
+//
+// Only shared (global) channels are mirrored by wrap_factory: thread-local
+// channels would double-count the app if the producer beats on both levels.
+#pragma once
+
+#include <memory>
+
+#include "core/heartbeat.hpp"
+#include "core/store.hpp"
+#include "hub/summary.hpp"
+
+namespace hb::hub {
+
+class HeartbeatHub;
+
+class HubSink final : public core::BeatStore {
+ public:
+  /// Mirrors appends on `inner` into `hub` under app `id`. Both non-null;
+  /// the sink shares ownership of both.
+  HubSink(std::shared_ptr<core::BeatStore> inner,
+          std::shared_ptr<HeartbeatHub> hub, AppId id);
+
+  std::uint64_t append(const core::HeartbeatRecord& rec) override;
+  std::uint64_t count() const override { return inner_->count(); }
+  std::size_t capacity() const override { return inner_->capacity(); }
+  std::vector<core::HeartbeatRecord> history(std::size_t n) const override {
+    return inner_->history(n);
+  }
+  void set_target(core::TargetRate t) override;
+  void set_default_window(std::uint32_t w) override {
+    inner_->set_default_window(w);
+  }
+  std::uint32_t default_window() const override {
+    return inner_->default_window();
+  }
+  core::TargetRate target() const override { return inner_->target(); }
+
+  const std::shared_ptr<core::BeatStore>& inner() const { return inner_; }
+  AppId app_id() const { return id_; }
+
+  /// StoreFactory adapter: builds the inner store with `inner_factory`
+  /// (default: the in-process MemoryStore factory Heartbeat uses), then
+  /// wraps shared channels in a HubSink. The hub app is registered as the
+  /// channel's application name (the "<app>.global" prefix). Local
+  /// ("<app>.t<tid>") channels pass through unwrapped.
+  static core::StoreFactory wrap_factory(std::shared_ptr<HeartbeatHub> hub,
+                                         core::StoreFactory inner_factory = {});
+
+ private:
+  std::shared_ptr<core::BeatStore> inner_;
+  std::shared_ptr<HeartbeatHub> hub_;
+  AppId id_;
+};
+
+}  // namespace hb::hub

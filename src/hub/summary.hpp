@@ -1,0 +1,90 @@
+// Summary types published by the heartbeat aggregation hub.
+//
+// The hub's contract with consumers (schedulers, fault detectors, cloud
+// managers) is a set of plain-value snapshots: per-app windowed summaries,
+// per-tag rollups, and a cluster-wide rollup. Observers get copies, never
+// references into shard state, so a snapshot stays coherent while shards
+// keep ingesting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/record.hpp"
+#include "util/time.hpp"
+
+namespace hb::hub {
+
+/// Opaque routing handle: identifies a registered app and the shard that
+/// owns it. Obtained from HeartbeatHub::register_app.
+using AppId = std::uint64_t;
+
+/// AppId packs (shard, slot) so ingestion routes in O(1), no name lookup.
+constexpr AppId make_app_id(std::uint32_t shard, std::uint32_t slot) {
+  return (static_cast<AppId>(shard) << 32) | slot;
+}
+constexpr std::uint32_t app_id_shard(AppId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+constexpr std::uint32_t app_id_slot(AppId id) {
+  return static_cast<std::uint32_t>(id & 0xffffffffu);
+}
+
+/// One application's sliding-window summary, as of its last batch flush.
+/// "Latency" throughout is the inter-beat interval in nanoseconds — the
+/// paper's heart-rate signal seen from the other side.
+struct AppSummary {
+  std::string name;
+  AppId id = 0;
+  std::uint32_t shard = 0;
+
+  std::uint64_t total_beats = 0;   ///< beats ever ingested for this app
+  std::uint64_t window_beats = 0;  ///< beats inside the sliding window
+  double rate_bps = 0.0;           ///< windowed rate, core (n-1)/span rule
+  util::TimeNs last_beat_ns = 0;   ///< timestamp of the newest beat (0: none)
+  core::TargetRate target;         ///< registered goal, as in the paper
+
+  std::uint64_t interval_min_ns = 0;   ///< exact, over the window
+  std::uint64_t interval_max_ns = 0;   ///< exact, over the window
+  double interval_mean_ns = 0.0;
+  std::uint64_t interval_p50_ns = 0;   ///< histogram bucket (<= 12.5% error)
+  std::uint64_t interval_p95_ns = 0;
+  std::uint64_t interval_p99_ns = 0;
+};
+
+/// Rollup of one tag value across every app's sliding window (frame types,
+/// phase ids, shard-wide progress markers — paper, Section 3).
+struct TagSummary {
+  std::uint64_t tag = 0;
+  std::uint64_t beats = 0;  ///< windowed beats carrying this tag
+  std::uint32_t apps = 0;   ///< distinct apps that emitted it
+};
+
+/// Cluster-wide rollup across all registered apps.
+struct ClusterSummary {
+  std::uint64_t apps = 0;
+  std::uint64_t total_beats = 0;      ///< sum of per-app total_beats
+  std::uint64_t window_beats = 0;     ///< sum of per-app window_beats
+  double aggregate_rate_bps = 0.0;    ///< sum of per-app windowed rates
+  std::uint64_t meeting_target = 0;   ///< apps whose rate is inside their band
+  std::uint64_t deficient = 0;        ///< apps below their registered min
+  util::TimeNs last_beat_ns = 0;      ///< newest beat cluster-wide
+
+  /// Inter-beat interval distribution merged across all apps' windows.
+  std::uint64_t interval_min_ns = 0;
+  std::uint64_t interval_max_ns = 0;
+  std::uint64_t interval_p50_ns = 0;
+  std::uint64_t interval_p95_ns = 0;
+  std::uint64_t interval_p99_ns = 0;
+};
+
+/// Per-shard ingestion counters (observability for the bench and tests).
+struct ShardStats {
+  std::uint32_t shard = 0;
+  std::uint64_t apps = 0;
+  std::uint64_t ingested = 0;  ///< raw beats accepted into the batch
+  std::uint64_t flushes = 0;   ///< batch flushes (full or forced)
+  std::uint64_t pending = 0;   ///< raw beats currently buffered
+};
+
+}  // namespace hb::hub

@@ -1,0 +1,103 @@
+#include "hub/view.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "hub/hub.hpp"
+#include "util/clock.hpp"
+
+namespace hb::hub {
+
+std::optional<AppSummary> HubView::app(const std::string& name) const {
+  try {
+    return app(hub_->id_of(name));
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+AppSummary HubView::app(AppId id) const {
+  return hub_->shard(app_id_shard(id)).summary(app_id_slot(id));
+}
+
+std::vector<AppSummary> HubView::apps() const {
+  std::vector<AppSummary> out = apps_unsorted();
+  std::sort(out.begin(), out.end(),
+            [](const AppSummary& a, const AppSummary& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::vector<AppSummary> HubView::apps_unsorted() const {
+  std::vector<AppSummary> out;
+  out.reserve(hub_->app_count());
+  for (std::size_t i = 0; i < hub_->shard_count(); ++i) {
+    hub_->shard(i).collect(out);
+  }
+  return out;
+}
+
+ClusterSummary HubView::cluster() const {
+  ClusterAccum accum;
+  for (std::size_t i = 0; i < hub_->shard_count(); ++i) {
+    hub_->shard(i).collect_cluster(accum);
+  }
+  ClusterSummary& sum = accum.sum;
+  if (accum.any_interval) {
+    const auto clamp = [&](double p) {
+      return std::clamp(accum.intervals.percentile(p), sum.interval_min_ns,
+                        sum.interval_max_ns);
+    };
+    sum.interval_p50_ns = clamp(50.0);
+    sum.interval_p95_ns = clamp(95.0);
+    sum.interval_p99_ns = clamp(99.0);
+  }
+  return sum;
+}
+
+std::vector<TagSummary> HubView::tags() const {
+  std::map<std::uint64_t, TagSummary> by_tag;
+  for (std::size_t i = 0; i < hub_->shard_count(); ++i) {
+    hub_->shard(i).collect_tags(by_tag);
+  }
+  std::vector<TagSummary> out;
+  out.reserve(by_tag.size());
+  for (const auto& [_, summary] : by_tag) out.push_back(summary);
+  return out;
+}
+
+TagSummary HubView::tag(std::uint64_t t) const {
+  for (const TagSummary& s : tags()) {
+    if (s.tag == t) return s;
+  }
+  TagSummary none;
+  none.tag = t;
+  return none;
+}
+
+std::vector<ShardStats> HubView::shard_stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(hub_->shard_count());
+  for (std::size_t i = 0; i < hub_->shard_count(); ++i) {
+    out.push_back(hub_->shard(i).stats());
+  }
+  return out;
+}
+
+double HubView::rate(const std::string& name) const {
+  const auto summary = app(name);
+  return summary ? summary->rate_bps : 0.0;
+}
+
+std::optional<util::TimeNs> HubView::staleness_ns(const std::string& name) const {
+  const auto summary = app(name);
+  if (!summary) return std::nullopt;
+  if (summary->last_beat_ns == 0 && summary->total_beats == 0) {
+    return hub_->clock()->now();
+  }
+  return hub_->clock()->now() - summary->last_beat_ns;
+}
+
+}  // namespace hb::hub

@@ -1,0 +1,76 @@
+// HubView: the observer-facing query API of the heartbeat hub.
+//
+// Consumers (GlobalScheduler, fault detectors, dashboards) hold a HubView
+// and ask aggregate questions — one call returns every app's summary, a
+// per-tag rollup, or the cluster-wide picture — instead of polling each
+// application's channel one by one. Every query forces the relevant shards
+// to drain their ingest batches first, so answers always reflect all beats
+// ingested so far (and are deterministic under a ManualClock).
+//
+// A HubView is a cheap value object. Constructed from a shared_ptr it also
+// keeps the hub alive; constructed from a reference the caller owns the
+// lifetime (the usual pattern for stack-allocated hubs in tests).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hub/summary.hpp"
+#include "util/time.hpp"
+
+namespace hb::hub {
+
+class HeartbeatHub;
+
+class HubView {
+ public:
+  /// Non-owning: `hub` must outlive the view.
+  explicit HubView(HeartbeatHub& hub) : hub_(&hub) {}
+
+  /// Owning: the view keeps the hub alive.
+  explicit HubView(std::shared_ptr<HeartbeatHub> hub)
+      : hub_(hub.get()), owner_(std::move(hub)) {}
+
+  /// One app's windowed summary; nullopt if the name is not registered.
+  std::optional<AppSummary> app(const std::string& name) const;
+
+  /// Summary by id (O(1) routing; id must come from this hub).
+  AppSummary app(AppId id) const;
+
+  /// Every registered app's summary, sorted by name.
+  std::vector<AppSummary> apps() const;
+
+  /// Every registered app's summary in shard order (no sort) — the cheap
+  /// path for hot polling loops that index the result themselves.
+  std::vector<AppSummary> apps_unsorted() const;
+
+  /// Cluster-wide rollup across all apps.
+  ClusterSummary cluster() const;
+
+  /// Windowed beat counts per tag, across all apps, ascending by tag.
+  std::vector<TagSummary> tags() const;
+
+  /// One tag's rollup; a zeroed summary if nobody emitted it.
+  TagSummary tag(std::uint64_t t) const;
+
+  /// Per-shard ingestion counters (no flush: reports live batch fill).
+  std::vector<ShardStats> shard_stats() const;
+
+  /// Convenience: windowed rate of one app (0 if unknown or < 2 beats).
+  double rate(const std::string& name) const;
+
+  /// Nanoseconds since an app's newest ingested beat, on the hub clock;
+  /// nullopt if the name is unknown. The hub-side liveness signal.
+  std::optional<util::TimeNs> staleness_ns(const std::string& name) const;
+
+  HeartbeatHub& hub() const { return *hub_; }
+
+ private:
+  HeartbeatHub* hub_;
+  std::shared_ptr<HeartbeatHub> owner_;
+};
+
+}  // namespace hb::hub

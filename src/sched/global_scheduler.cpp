@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "hub/hub.hpp"
 
 namespace hb::sched {
 
@@ -11,19 +14,43 @@ GlobalScheduler::GlobalScheduler(GlobalSchedulerOptions opts) : opts_(opts) {
   if (opts_.min_cores_per_app < 0) opts_.min_cores_per_app = 0;
 }
 
-int GlobalScheduler::add_app(std::string name, core::HeartbeatReader reader,
-                             Actuator actuator) {
-  assert(actuator);
+GlobalScheduler::GlobalScheduler(GlobalSchedulerOptions opts, hub::HubView view)
+    : GlobalScheduler(opts) {
+  view_ = std::move(view);
+}
+
+int GlobalScheduler::add_app_impl(App app) {
+  assert(app.actuator);
   if (static_cast<int>(apps_.size() + 1) * opts_.min_cores_per_app >
       opts_.total_cores) {
     throw std::runtime_error(
         "GlobalScheduler: not enough cores for another app's minimum");
   }
-  App app{std::move(name), std::move(reader), std::move(actuator),
-          opts_.min_cores_per_app};
+  app.alloc = opts_.min_cores_per_app;
   app.actuator(app.alloc);
   apps_.push_back(std::move(app));
   return static_cast<int>(apps_.size()) - 1;
+}
+
+int GlobalScheduler::add_app(std::string name, core::HeartbeatReader reader,
+                             Actuator actuator) {
+  App app;
+  app.name = std::move(name);
+  app.reader = std::move(reader);
+  app.actuator = std::move(actuator);
+  return add_app_impl(std::move(app));
+}
+
+int GlobalScheduler::add_app(std::string name, Actuator actuator) {
+  if (!view_) {
+    throw std::logic_error(
+        "GlobalScheduler: hub-backed add_app requires construction from a "
+        "HubView");
+  }
+  App app;
+  app.name = std::move(name);
+  app.actuator = std::move(actuator);
+  return add_app_impl(std::move(app));
 }
 
 int GlobalScheduler::allocation(int app) const {
@@ -40,10 +67,38 @@ int GlobalScheduler::free_cores() const {
   return opts_.total_cores - used;
 }
 
-double GlobalScheduler::normalized_error(const App& app,
-                                         std::uint32_t window) {
-  const double rate = app.reader.current_rate(window);
-  const core::TargetRate target = app.reader.target();
+std::vector<GlobalScheduler::Snapshot> GlobalScheduler::observe() const {
+  std::vector<Snapshot> out(apps_.size());
+
+  // One cluster snapshot serves every hub-backed app this poll.
+  std::unordered_map<std::string, const hub::AppSummary*> by_name;
+  std::vector<hub::AppSummary> summaries;
+  if (view_) {
+    summaries = view_->apps_unsorted();  // keyed below; no need to sort
+    by_name.reserve(summaries.size());
+    for (const auto& s : summaries) by_name.emplace(s.name, &s);
+  }
+
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    const App& app = apps_[i];
+    Snapshot& snap = out[i];
+    if (app.reader) {
+      snap.rate = app.reader->current_rate(opts_.window);
+      snap.beats = app.reader->count();
+      snap.target = app.reader->target();
+    } else if (auto it = by_name.find(app.name); it != by_name.end()) {
+      snap.rate = it->second->rate_bps;
+      snap.beats = it->second->total_beats;
+      snap.target = it->second->target;
+    }
+    // Unknown hub names stay zeroed: treated as still warming up.
+  }
+  return out;
+}
+
+double GlobalScheduler::normalized_error(const Snapshot& snap) {
+  const double rate = snap.rate;
+  const core::TargetRate target = snap.target;
   if (!std::isfinite(rate) || rate <= 0.0) return 0.0;
   if (target.min_bps > 0.0 && rate < target.min_bps) {
     return (rate - target.min_bps) / target.min_bps;  // negative deficit
@@ -62,13 +117,14 @@ bool GlobalScheduler::poll() {
     return false;
   }
 
+  const std::vector<Snapshot> snaps = observe();
+
   // Find the neediest app (most negative error) among warmed-up apps.
   int needy = -1;
   double worst = -opts_.deficit_deadband;
   for (std::size_t i = 0; i < apps_.size(); ++i) {
-    const App& app = apps_[i];
-    if (app.reader.count() < opts_.warmup_beats) continue;
-    const double e = normalized_error(app, opts_.window);
+    if (snaps[i].beats < opts_.warmup_beats) continue;
+    const double e = normalized_error(snaps[i]);
     if (e < worst) {
       worst = e;
       needy = static_cast<int>(i);
@@ -77,9 +133,10 @@ bool GlobalScheduler::poll() {
   if (needy < 0) {
     // Nobody is starving. Reclaim one core from an app above its max (back
     // toward the "minimum resources" goal of Section 5.3).
-    for (auto& app : apps_) {
-      if (app.reader.count() < opts_.warmup_beats) continue;
-      if (normalized_error(app, opts_.window) > opts_.deficit_deadband &&
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      App& app = apps_[i];
+      if (snaps[i].beats < opts_.warmup_beats) continue;
+      if (normalized_error(snaps[i]) > opts_.deficit_deadband &&
           app.alloc > opts_.min_cores_per_app) {
         --app.alloc;
         app.actuator(app.alloc);
@@ -112,8 +169,8 @@ bool GlobalScheduler::poll() {
     if (static_cast<int>(i) == needy) continue;
     App& app = apps_[i];
     if (app.alloc <= opts_.min_cores_per_app) continue;
-    if (app.reader.count() < opts_.warmup_beats) continue;
-    const double e = normalized_error(app, opts_.window);
+    if (snaps[i].beats < opts_.warmup_beats) continue;
+    const double e = normalized_error(snaps[i]);
     if (e > donor_error) {
       donor_error = e;
       donor = static_cast<int>(i);

@@ -15,14 +15,23 @@
 // above its min — and gives it to the neediest app. Free cores are handed
 // out before anyone is taxed. One move per poll keeps the loop observable
 // and avoids thrash, mirroring the single-step policy of Section 5.3.
+//
+// Observation sources: each app is watched either through its own
+// HeartbeatReader (the paper's one-observer-per-channel shape) or through a
+// hub::HubView. Hub-backed scheduling reads ONE cluster snapshot per poll —
+// every app's windowed rate, beat count, and target in a single call —
+// instead of polling channels one by one, which is what makes thousands of
+// registered apps affordable.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/reader.hpp"
+#include "hub/view.hpp"
 
 namespace hb::sched {
 
@@ -30,6 +39,7 @@ struct GlobalSchedulerOptions {
   int total_cores = 8;
   int min_cores_per_app = 1;
   /// Rate window used for decisions; 0 = each app's default window.
+  /// (Hub-backed apps always use the hub's configured rate window.)
   std::uint32_t window = 0;
   /// Beats an app must have produced before it participates in decisions.
   std::uint64_t warmup_beats = 3;
@@ -48,10 +58,20 @@ class GlobalScheduler {
 
   explicit GlobalScheduler(GlobalSchedulerOptions opts = {});
 
-  /// Register an application. Initial allocation is min_cores_per_app
-  /// (actuated immediately). Returns the app's index.
+  /// Hub-backed scheduler: apps added by name are observed through `view`'s
+  /// cluster snapshot (one query per poll for all of them).
+  GlobalScheduler(GlobalSchedulerOptions opts, hub::HubView view);
+
+  /// Register an application observed through its own reader. Initial
+  /// allocation is min_cores_per_app (actuated immediately). Returns the
+  /// app's index.
   int add_app(std::string name, core::HeartbeatReader reader,
               Actuator actuator);
+
+  /// Register an application observed through the hub view (hub-backed
+  /// constructor only; throws std::logic_error otherwise). The name must be
+  /// the one registered with the hub.
+  int add_app(std::string name, Actuator actuator);
 
   /// Observe all apps, perform at most one reallocation. Returns true if an
   /// allocation changed.
@@ -62,20 +82,35 @@ class GlobalScheduler {
   std::size_t app_count() const { return apps_.size(); }
   int free_cores() const;
   std::uint64_t moves() const { return moves_; }
+  bool hub_backed() const { return view_.has_value(); }
 
  private:
   struct App {
     std::string name;
-    core::HeartbeatReader reader;
+    /// Engaged for reader-observed apps; hub-backed apps read the snapshot.
+    std::optional<core::HeartbeatReader> reader;
     Actuator actuator;
     int alloc = 0;
   };
 
+  /// What one poll knows about one app, regardless of observation source.
+  struct Snapshot {
+    double rate = 0.0;
+    std::uint64_t beats = 0;
+    core::TargetRate target;
+  };
+
+  int add_app_impl(App app);
+
+  /// Gather all snapshots: per-reader queries, or one hub cluster view.
+  std::vector<Snapshot> observe() const;
+
   /// Normalized target error: negative = deficient (below min), positive =
   /// surplus (above max), 0 in band. NaN-safe.
-  static double normalized_error(const App& app, std::uint32_t window);
+  static double normalized_error(const Snapshot& snap);
 
   GlobalSchedulerOptions opts_;
+  std::optional<hub::HubView> view_;
   std::vector<App> apps_;
   std::uint64_t moves_ = 0;
   int cooldown_left_ = 0;

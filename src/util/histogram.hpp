@@ -1,0 +1,117 @@
+// Fixed-bucket log-scale histogram for latency-style values.
+//
+// The hub's per-app sliding-window summaries need cheap, mergeable
+// percentiles (p50/p95/p99 of inter-beat intervals) over unbounded value
+// ranges — nanoseconds to minutes — without storing samples. This is the
+// standard fixed-bucket recipe (cf. HdrHistogram): log2 bucketing with 8
+// linear sub-buckets per octave, giving <= 12.5% relative error per bucket
+// at a fixed 496 * 8 bytes of state. record() is a couple of bit ops plus
+// one increment, so it is safe inside a shard's ingest critical section.
+//
+// Deterministic: identical value sequences produce identical summaries on
+// every host, which is what lets hub tests pin exact expectations under a
+// ManualClock.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace hb::util {
+
+class LatencyHistogram {
+ public:
+  /// 8 exact buckets for values 0..7, then 8 sub-buckets per octave up to
+  /// 2^64-1: (60 + 1) * 8 + 8 = 496 buckets total.
+  static constexpr std::size_t kBucketCount = 496;
+  static constexpr std::uint64_t kSubBuckets = 8;  // per octave
+
+  /// Index of the bucket containing `v`. Monotone in `v`.
+  static constexpr std::size_t bucket_index(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const int shift = msb - 3;  // keep the top 4 bits: 1xxx
+    const std::uint64_t top = v >> shift;  // in [8, 15]
+    return static_cast<std::size_t>(shift + 1) * 8 +
+           static_cast<std::size_t>(top - 8);
+  }
+
+  /// Inclusive upper bound of bucket `idx` (the value percentile() reports).
+  static constexpr std::uint64_t bucket_upper(std::size_t idx) {
+    if (idx < kSubBuckets) return idx;
+    const std::size_t shift = idx / 8 - 1;
+    const std::uint64_t lower = (std::uint64_t{8} + idx % 8) << shift;
+    return lower + ((std::uint64_t{1} << shift) - 1);
+  }
+
+  void record(std::uint64_t v) {
+    ++counts_[bucket_index(v)];
+    ++count_;
+    sum_ += static_cast<double>(v);
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  /// Remove one previously record()ed value (sliding-window eviction).
+  /// min()/max() keep tracking the extremes seen since the last reset();
+  /// callers that need window-exact bounds clamp externally (the hub scans
+  /// its interval ring). Precondition: `v` was recorded and not yet
+  /// forgotten.
+  void forget(std::uint64_t v) {
+    --counts_[bucket_index(v)];
+    --count_;
+    sum_ -= static_cast<double>(v);
+  }
+
+  /// Pointwise sum of two histograms (shard -> cluster rollups).
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+  }
+
+  void reset() { *this = LatencyHistogram{}; }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }  ///< exact
+  std::uint64_t max() const { return count_ ? max_ : 0; }  ///< exact
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Nearest-rank percentile, p in [0, 100]: the upper bound of the bucket
+  /// holding the ceil(p/100 * count)'th smallest value, clamped to the exact
+  /// observed [min, max]. Returns 0 when empty.
+  std::uint64_t percentile(double p) const {
+    if (count_ == 0) return 0;
+    if (p <= 0.0) return min();
+    if (p >= 100.0) return max();
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (rank == 0) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) {
+        const std::uint64_t v = bucket_upper(i);
+        if (v < min_) return min_;
+        if (v > max_) return max_;
+        return v;
+      }
+    }
+    return max_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace hb::util

@@ -2,10 +2,15 @@
 // degradation, consolidation and dedication decisions, failure detection.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "cloud/cloud_sim.hpp"
 #include "fault/failure_detector.hpp"
+#include "hub/hub.hpp"
+#include "hub/view.hpp"
 #include "util/clock.hpp"
 
 namespace hb::cloud {
@@ -152,6 +157,119 @@ TEST(CloudSimCtor, Validation) {
   auto clock = std::make_shared<util::ManualClock>();
   EXPECT_THROW(CloudSim(0, 10.0, clock), std::invalid_argument);
   EXPECT_THROW(CloudSim(2, 0.0, clock), std::invalid_argument);
+}
+
+// ------------------------------------------------- hub-fed fleet monitoring
+
+TEST_F(CloudFixture, AttachedHubMirrorsVmBeats) {
+  auto hub = std::make_shared<hub::HeartbeatHub>([&] {
+    hub::HubOptions opts;
+    opts.shard_count = 4;
+    opts.rate_window = 8;  // match the VM channels' default window
+    opts.clock = clock;
+    return opts;
+  }());
+  const int before = sim.add_vm(light_vm("early", 2.0));
+  sim.attach_hub(hub);  // picks up VMs added before AND after
+  const int after = sim.add_vm(light_vm("late", 3.0));
+
+  for (int i = 0; i < 100; ++i) sim.step(0.1);
+
+  hub::HubView view(*hub);
+  const auto early = view.app("early");
+  const auto late = view.app("late");
+  ASSERT_TRUE(early.has_value());
+  ASSERT_TRUE(late.has_value());
+  // The hub saw exactly the beats the VM channels emitted, with identical
+  // timestamps, so windowed rates agree bit-for-bit.
+  EXPECT_EQ(early->total_beats, sim.reader(before).count());
+  EXPECT_EQ(late->total_beats, sim.reader(after).count());
+  EXPECT_DOUBLE_EQ(early->rate_bps, sim.reader(before).current_rate(8));
+  EXPECT_DOUBLE_EQ(late->rate_bps, sim.reader(after).current_rate(8));
+  // Targets registered from the VmSpecs.
+  EXPECT_DOUBLE_EQ(early->target.min_bps, 0.9 * 2.0);
+}
+
+TEST_F(CloudFixture, HubWithDifferentClockStillGetsExactRates) {
+  // Regression: mirrored beats are stamped from the SIM clock, so a hub
+  // holding a different (default monotonic) clock still reports exact
+  // per-VM rates and beat counts.
+  auto hub = std::make_shared<hub::HeartbeatHub>([] {
+    hub::HubOptions opts;
+    opts.shard_count = 2;
+    opts.rate_window = 8;
+    return opts;  // no clock: defaults to the real MonotonicClock
+  }());
+  sim.attach_hub(hub);
+  const int v = sim.add_vm(light_vm("vm", 2.0));
+  for (int i = 0; i < 100; ++i) sim.step(0.1);
+
+  hub::HubView view(*hub);
+  EXPECT_EQ(view.app("vm")->total_beats, sim.reader(v).count());
+  EXPECT_DOUBLE_EQ(view.app("vm")->rate_bps, sim.reader(v).current_rate(8));
+}
+
+// The multi-producer stress scenario: a whole fleet beating through one hub,
+// with the consolidator packing machines at the same time. The hub's cluster
+// rollup must track the fleet exactly — no lost beats, coherent rollups —
+// which is what lets one dashboard watch "thousands of producers" instead of
+// one reader per VM.
+TEST(CloudHubStress, FleetOfVmsAggregatesExactly) {
+  auto clock = std::make_shared<util::ManualClock>();
+  CloudSim sim(8, /*capacity=*/10.0, clock);
+  auto hub = std::make_shared<hub::HeartbeatHub>([&] {
+    hub::HubOptions opts;
+    opts.shard_count = 4;
+    opts.batch_capacity = 32;
+    opts.rate_window = 8;
+    opts.clock = clock;
+    return opts;
+  }());
+  sim.attach_hub(hub);
+
+  constexpr int kVms = 48;
+  std::vector<int> vms;
+  for (int i = 0; i < kVms; ++i) {
+    // Mixed fleet: demands 0.5 .. 2.0, a third of them phased.
+    VmSpec spec;
+    spec.name = "vm-" + std::to_string(i);
+    const double demand = 0.5 + 0.5 * (i % 4);
+    if (i % 3 == 0) {
+      spec.phases = {{30.0, demand}, {30.0, demand * 2.0}};
+    } else {
+      spec.phases = {{60.0, demand}};
+    }
+    spec.work_per_beat = 1.0;
+    spec.target_min_bps = demand * 0.9;
+    vms.push_back(sim.add_vm(spec));
+  }
+
+  HeartbeatConsolidator consolidator;
+  for (int i = 0; i < 400; ++i) {
+    sim.step(0.1);
+    consolidator.poll(sim);
+  }
+
+  hub::HubView view(*hub);
+  // Exactness: every VM's hub summary equals its own channel.
+  std::uint64_t channel_total = 0;
+  for (const int v : vms) {
+    const auto s = view.app("vm-" + std::to_string(v));
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->total_beats, sim.reader(v).count()) << "vm " << v;
+    channel_total += sim.reader(v).count();
+  }
+  const hub::ClusterSummary c = view.cluster();
+  EXPECT_EQ(c.apps, static_cast<std::uint64_t>(kVms));
+  EXPECT_EQ(c.total_beats, channel_total);
+  EXPECT_GT(c.total_beats, 1000u);
+  // Aggregate rate is in the ballpark of total served demand (~60 units/s
+  // across 8 machines of capacity 10, minus contention).
+  EXPECT_GT(c.aggregate_rate_bps, 20.0);
+  // Most of the fleet meets its goal once the consolidator settles.
+  EXPECT_GT(c.meeting_target, static_cast<std::uint64_t>(kVms / 2));
+  // Tag rollup sees every VM (tag 0 beats from all of them).
+  EXPECT_EQ(view.tag(0).apps, static_cast<std::uint32_t>(kVms));
 }
 
 }  // namespace

@@ -1,0 +1,603 @@
+// HeartbeatHub: sharded multi-tenant aggregation — routing, batched
+// ingestion, windowed percentile summaries, concurrent producers, and
+// deterministic behavior under fake clocks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/heartbeat.hpp"
+#include "core/memory_store.hpp"
+#include "core/rate.hpp"
+#include "hub/hub.hpp"
+#include "hub/sink.hpp"
+#include "hub/view.hpp"
+#include "transport/registry.hpp"
+#include "util/clock.hpp"
+#include "util/time.hpp"
+
+namespace hb::hub {
+namespace {
+
+using util::kNsPerMs;
+using util::kNsPerSec;
+
+HubOptions manual_opts(std::shared_ptr<util::ManualClock> clock,
+                       std::size_t shards = 4, std::size_t batch = 8,
+                       std::size_t window = 64) {
+  HubOptions opts;
+  opts.shard_count = shards;
+  opts.batch_capacity = batch;
+  opts.window_capacity = window;
+  opts.clock = std::move(clock);
+  return opts;
+}
+
+// ------------------------------------------------------------ shard routing
+
+TEST(HubRouting, AppIdEncodesItsShard) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 8));
+  for (int i = 0; i < 64; ++i) {
+    const std::string name = "app" + std::to_string(i);
+    const AppId id = hub.register_app(name);
+    EXPECT_EQ(app_id_shard(id), hub.shard_of(name)) << name;
+    EXPECT_LT(app_id_shard(id), 8u);
+    EXPECT_EQ(hub.id_of(name), id);
+  }
+  EXPECT_EQ(hub.app_count(), 64u);
+}
+
+TEST(HubRouting, HashSpreadsAppsAcrossShards) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 8));
+  for (int i = 0; i < 256; ++i) {
+    hub.register_app("tenant-" + std::to_string(i));
+  }
+  HubView view(hub);
+  for (const ShardStats& s : view.shard_stats()) {
+    EXPECT_GT(s.apps, 0u) << "shard " << s.shard << " got no apps";
+  }
+}
+
+TEST(HubRouting, RoutingIsStableAcrossHubs) {
+  // FNV-1a, not std::hash: two hubs with the same shard count must agree.
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub a(manual_opts(clock, 16)), b(manual_opts(clock, 16));
+  for (const char* name : {"x264", "bodytrack", "streamcluster", "vm-41"}) {
+    EXPECT_EQ(a.shard_of(name), b.shard_of(name)) << name;
+  }
+}
+
+TEST(HubRouting, RegisterIsIdempotent) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock));
+  const AppId first = hub.register_app("x", core::TargetRate{1.0, 2.0});
+  const AppId again = hub.register_app("x", core::TargetRate{9.0, 9.0});
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(hub.app_count(), 1u);
+  HubView view(hub);
+  EXPECT_DOUBLE_EQ(view.app("x")->target.min_bps, 1.0);  // kept the original
+}
+
+TEST(HubRouting, SetTargetIsVisibleWithoutAnyBeats) {
+  // Regression: set_target dirties the app but enqueues nothing; the next
+  // query must still see the new target (flush refreshes dirty apps even
+  // with an empty batch).
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock));
+  const AppId id = hub.register_app("x", core::TargetRate{1.0, 2.0});
+  hub.set_target(id, core::TargetRate{5.0, 6.0});
+  HubView view(hub);
+  EXPECT_DOUBLE_EQ(view.app("x")->target.min_bps, 5.0);
+  EXPECT_DOUBLE_EQ(view.app("x")->target.max_bps, 6.0);
+}
+
+TEST(HubRouting, ForeignAppIdsThrowInsteadOfCorrupting) {
+  // Regression: an AppId minted by a different hub (valid shard, bogus
+  // slot) must throw, not index out of bounds at flush time.
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 4));
+  hub.register_app("only");
+  const AppId foreign_slot = make_app_id(0, 57);
+  const AppId foreign_shard = make_app_id(99, 0);
+  core::HeartbeatRecord rec;
+  EXPECT_THROW(hub.ingest(foreign_slot, rec), std::out_of_range);
+  EXPECT_THROW(hub.beat(foreign_shard), std::out_of_range);
+  EXPECT_THROW(HubView(hub).app(foreign_slot), std::out_of_range);
+}
+
+TEST(HubRouting, UnknownNamesAreNulloptOrThrow) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock));
+  HubView view(hub);
+  EXPECT_FALSE(view.app("nope").has_value());
+  EXPECT_FALSE(view.staleness_ns("nope").has_value());
+  EXPECT_DOUBLE_EQ(view.rate("nope"), 0.0);
+  EXPECT_THROW(hub.id_of("nope"), std::out_of_range);
+}
+
+// --------------------------------------------------------- batched ingestion
+
+TEST(HubBatching, BeatsBufferUntilBatchCapacity) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, /*shards=*/1, /*batch=*/8));
+  const AppId id = hub.register_app("a");
+  HubView view(hub);
+
+  for (int i = 0; i < 7; ++i) {
+    clock->advance(kNsPerMs);
+    hub.beat(id);
+  }
+  ShardStats s = view.shard_stats()[0];
+  EXPECT_EQ(s.pending, 7u);   // still buffered
+  EXPECT_EQ(s.flushes, 0u);
+  EXPECT_EQ(s.ingested, 7u);
+
+  clock->advance(kNsPerMs);
+  hub.beat(id);               // 8th beat fills the batch
+  s = view.shard_stats()[0];
+  EXPECT_EQ(s.pending, 0u);
+  EXPECT_EQ(s.flushes, 1u);
+}
+
+TEST(HubBatching, QueriesFlushPendingBeats) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 1, /*batch=*/1024));
+  const AppId id = hub.register_app("a");
+  HubView view(hub);
+  for (int i = 0; i < 5; ++i) {
+    clock->advance(kNsPerMs);
+    hub.beat(id);
+  }
+  // Far below batch capacity, but the query must still see every beat.
+  EXPECT_EQ(view.app("a")->total_beats, 5u);
+  EXPECT_EQ(view.shard_stats()[0].pending, 0u);
+}
+
+TEST(HubBatching, SpanIngestTakesOneLockAcquire) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 1, 4));
+  const AppId id = hub.register_app("a");
+  std::vector<core::HeartbeatRecord> recs(10);
+  for (int i = 0; i < 10; ++i) {
+    recs[i].timestamp_ns = (i + 1) * kNsPerMs;
+    recs[i].tag = 7;
+  }
+  hub.ingest(id, recs);
+  HubView view(hub);
+  const AppSummary s = *view.app("a");
+  EXPECT_EQ(s.total_beats, 10u);
+  EXPECT_EQ(view.tag(7).beats, 10u);
+  EXPECT_GE(view.shard_stats()[0].flushes, 2u);  // 10 beats / batch of 4
+}
+
+// ----------------------------------------------------------- rate semantics
+
+TEST(HubRates, WindowedRateMatchesCoreSemantics) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 2, 8, /*window=*/64));
+  const AppId id = hub.register_app("a");
+  HubView view(hub);
+  // 21 beats 100ms apart: 20 intervals over 2s -> 10 beats/s.
+  for (int i = 0; i < 21; ++i) {
+    clock->advance(kNsPerSec / 10);
+    hub.beat(id);
+  }
+  EXPECT_DOUBLE_EQ(view.rate("a"), 10.0);
+  const AppSummary s = *view.app("a");
+  EXPECT_EQ(s.window_beats, 21u);
+  EXPECT_EQ(s.last_beat_ns, clock->now());
+}
+
+TEST(HubRates, RateWindowOptionLimitsTheSpan) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HubOptions opts = manual_opts(clock, 1, 4, 64);
+  opts.rate_window = 5;
+  HeartbeatHub hub(opts);
+  const AppId id = hub.register_app("a");
+  // Slow early beats, fast recent beats: a 5-beat window sees only the
+  // fast tail.
+  for (int i = 0; i < 10; ++i) {
+    clock->advance(kNsPerSec);
+    hub.beat(id);
+  }
+  for (int i = 0; i < 10; ++i) {
+    clock->advance(kNsPerSec / 100);
+    hub.beat(id);
+  }
+  EXPECT_DOUBLE_EQ(HubView(hub).rate("a"), 100.0);
+}
+
+TEST(HubRates, RateWindowOfOneIsInstantaneousLikeCore) {
+  // Regression: rate_window = 1 must mean "instantaneous" (2 records, 1
+  // interval) exactly as Channel::rate(1)/HeartbeatReader::current_rate(1)
+  // do — not a permanent 0.
+  auto clock = std::make_shared<util::ManualClock>();
+  HubOptions opts = manual_opts(clock, 1, 4, 64);
+  opts.rate_window = 1;
+  HeartbeatHub hub(opts);
+  const AppId id = hub.register_app("a");
+  for (int i = 0; i < 5; ++i) {
+    clock->advance(kNsPerSec);  // slow era
+    hub.beat(id);
+  }
+  clock->advance(kNsPerSec / 10);  // one fast interval
+  hub.beat(id);
+  EXPECT_DOUBLE_EQ(HubView(hub).rate("a"), 10.0);
+}
+
+TEST(HubRates, FewerThanTwoBeatsIsZeroRate) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock));
+  const AppId id = hub.register_app("a");
+  HubView view(hub);
+  EXPECT_DOUBLE_EQ(view.rate("a"), 0.0);
+  clock->advance(kNsPerSec);
+  hub.beat(id);
+  EXPECT_DOUBLE_EQ(view.rate("a"), 0.0);
+  EXPECT_EQ(view.app("a")->total_beats, 1u);
+}
+
+// ------------------------------------------------- percentile summaries
+
+TEST(HubPercentiles, IntervalDistributionOverTheWindow) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 1, 8, /*window=*/256));
+  const AppId id = hub.register_app("a");
+  // 94 fast intervals (1ms) + 6 slow stalls (50ms): p50 ~= 1ms bucket,
+  // p95/p99 land in the 50ms bucket. Min/max are exact.
+  for (int i = 0; i < 95; ++i) {
+    clock->advance(kNsPerMs);
+    hub.beat(id);
+  }
+  for (int i = 0; i < 6; ++i) {
+    clock->advance(50 * kNsPerMs);
+    hub.beat(id);
+  }
+  const AppSummary s = *HubView(hub).app("a");
+  EXPECT_EQ(s.window_beats, 101u);
+  EXPECT_EQ(s.interval_min_ns, static_cast<std::uint64_t>(kNsPerMs));
+  EXPECT_EQ(s.interval_max_ns, static_cast<std::uint64_t>(50 * kNsPerMs));
+  // p50 within one bucket (12.5%) of 1ms:
+  EXPECT_GE(s.interval_p50_ns, static_cast<std::uint64_t>(kNsPerMs));
+  EXPECT_LE(s.interval_p50_ns, static_cast<std::uint64_t>(1.125 * kNsPerMs));
+  // p95 and p99 in the stall bucket:
+  EXPECT_GE(s.interval_p95_ns, static_cast<std::uint64_t>(50 * kNsPerMs * 0.875));
+  EXPECT_LE(s.interval_p95_ns, static_cast<std::uint64_t>(50 * kNsPerMs));
+  EXPECT_GE(s.interval_p99_ns, s.interval_p95_ns);
+  EXPECT_LE(s.interval_p99_ns, s.interval_max_ns);
+  EXPECT_NEAR(s.interval_mean_ns, (94.0 * kNsPerMs + 6.0 * 50 * kNsPerMs) / 100.0,
+              1.0);
+}
+
+TEST(HubPercentiles, SlidingWindowEvictsOldIntervals) {
+  auto clock = std::make_shared<util::ManualClock>();
+  // Window of 8: after 8 fast beats, the early slow intervals must be gone.
+  HeartbeatHub hub(manual_opts(clock, 1, 4, /*window=*/8));
+  const AppId id = hub.register_app("a");
+  for (int i = 0; i < 20; ++i) {
+    clock->advance(kNsPerSec);  // slow era: 1s intervals
+    hub.beat(id);
+  }
+  for (int i = 0; i < 8; ++i) {
+    clock->advance(kNsPerMs);  // fast era: 1ms intervals
+    hub.beat(id);
+  }
+  const AppSummary s = *HubView(hub).app("a");
+  EXPECT_EQ(s.window_beats, 8u);
+  EXPECT_EQ(s.total_beats, 28u);
+  EXPECT_EQ(s.interval_min_ns, static_cast<std::uint64_t>(kNsPerMs));
+  EXPECT_EQ(s.interval_max_ns, static_cast<std::uint64_t>(kNsPerMs));
+  EXPECT_LE(s.interval_p99_ns, static_cast<std::uint64_t>(kNsPerMs));
+}
+
+TEST(HubPercentiles, IntervalStatsCoverOnlyWindowSpannedIntervals) {
+  // Regression: a window of N records spans N-1 intervals; the interval
+  // ring must not retain one extra interval whose records both left the
+  // window. window_capacity=2: after beats at 0s,1s,2s,101s the window is
+  // {2s,101s} — min/max must both be the single 99s interval, not 1s.
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 1, 1, /*window=*/2));
+  const AppId id = hub.register_app("a");
+  hub.beat(id);                 // t = 0
+  clock->advance(kNsPerSec);
+  hub.beat(id);                 // t = 1s
+  clock->advance(kNsPerSec);
+  hub.beat(id);                 // t = 2s
+  clock->advance(99 * kNsPerSec);
+  hub.beat(id);                 // t = 101s
+  const AppSummary s = *HubView(hub).app("a");
+  EXPECT_EQ(s.window_beats, 2u);
+  EXPECT_EQ(s.interval_min_ns, static_cast<std::uint64_t>(99 * kNsPerSec));
+  EXPECT_EQ(s.interval_max_ns, static_cast<std::uint64_t>(99 * kNsPerSec));
+  EXPECT_NEAR(s.interval_mean_ns, 99.0 * kNsPerSec, 1.0);
+}
+
+// ------------------------------------------------------------- tag rollups
+
+TEST(HubTags, WindowedTagRollupAcrossApps) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 4));
+  const AppId a = hub.register_app("a");
+  const AppId b = hub.register_app("b");
+  for (int i = 0; i < 10; ++i) {
+    clock->advance(kNsPerMs);
+    hub.beat(a, /*tag=*/1);
+  }
+  for (int i = 0; i < 5; ++i) {
+    clock->advance(kNsPerMs);
+    hub.beat(b, /*tag=*/1);
+    hub.beat(b, /*tag=*/2);
+  }
+  HubView view(hub);
+  const TagSummary t1 = view.tag(1);
+  EXPECT_EQ(t1.beats, 15u);
+  EXPECT_EQ(t1.apps, 2u);
+  const TagSummary t2 = view.tag(2);
+  EXPECT_EQ(t2.beats, 5u);
+  EXPECT_EQ(t2.apps, 1u);
+  EXPECT_EQ(view.tag(99).beats, 0u);
+  EXPECT_EQ(view.tags().size(), 2u);
+}
+
+TEST(HubTags, TagCountsSlideWithTheWindow) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 1, 4, /*window=*/4));
+  const AppId id = hub.register_app("a");
+  for (int i = 0; i < 6; ++i) {
+    clock->advance(kNsPerMs);
+    hub.beat(id, /*tag=*/1);
+  }
+  for (int i = 0; i < 4; ++i) {
+    clock->advance(kNsPerMs);
+    hub.beat(id, /*tag=*/2);
+  }
+  HubView view(hub);
+  EXPECT_EQ(view.tag(1).beats, 0u);  // fully evicted
+  EXPECT_EQ(view.tag(2).beats, 4u);
+}
+
+// --------------------------------------------------------- cluster rollups
+
+TEST(HubCluster, RollupAggregatesAcrossShards) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 4, 8, 64));
+  const AppId fast = hub.register_app("fast", core::TargetRate{5.0, 100.0});
+  const AppId slow = hub.register_app("slow", core::TargetRate{5.0, 100.0});
+  const AppId idle = hub.register_app("idle", core::TargetRate{1.0, 10.0});
+  // fast: 10 bps; slow: 1 bps (deficient against min 5).
+  for (int i = 0; i < 50; ++i) {
+    clock->advance(kNsPerSec / 10);
+    hub.beat(fast);
+    if (i % 10 == 9) hub.beat(slow);
+  }
+  (void)idle;
+  const ClusterSummary c = HubView(hub).cluster();
+  EXPECT_EQ(c.apps, 3u);
+  EXPECT_EQ(c.total_beats, 55u);
+  EXPECT_NEAR(c.aggregate_rate_bps, 11.0, 0.2);
+  EXPECT_EQ(c.meeting_target, 1u);  // fast
+  EXPECT_EQ(c.deficient, 2u);       // slow below 5, idle below 1 (no beats)
+  EXPECT_EQ(c.last_beat_ns, clock->now());
+  EXPECT_GT(c.interval_p95_ns, c.interval_p50_ns / 2);
+}
+
+// ------------------------------------------------------------- determinism
+
+std::vector<AppSummary> scripted_run() {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 4, 8, 32));
+  std::vector<AppId> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(hub.register_app("app" + std::to_string(i),
+                                   core::TargetRate{1.0, 1000.0}));
+  }
+  // Deterministic interleaving: app i beats every (i+1) ticks.
+  for (int tick = 1; tick <= 500; ++tick) {
+    clock->advance(kNsPerMs);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (tick % static_cast<int>(i + 1) == 0) {
+        hub.beat(ids[i], /*tag=*/tick % 3);
+      }
+    }
+  }
+  return HubView(hub).apps();
+}
+
+TEST(HubDeterminism, ScriptedRunsAreBitIdentical) {
+  const auto run1 = scripted_run();
+  const auto run2 = scripted_run();
+  ASSERT_EQ(run1.size(), run2.size());
+  for (std::size_t i = 0; i < run1.size(); ++i) {
+    EXPECT_EQ(run1[i].name, run2[i].name);
+    EXPECT_EQ(run1[i].total_beats, run2[i].total_beats);
+    EXPECT_EQ(run1[i].window_beats, run2[i].window_beats);
+    EXPECT_DOUBLE_EQ(run1[i].rate_bps, run2[i].rate_bps);
+    EXPECT_EQ(run1[i].interval_p50_ns, run2[i].interval_p50_ns);
+    EXPECT_EQ(run1[i].interval_p95_ns, run2[i].interval_p95_ns);
+    EXPECT_EQ(run1[i].interval_p99_ns, run2[i].interval_p99_ns);
+    EXPECT_EQ(run1[i].interval_min_ns, run2[i].interval_min_ns);
+    EXPECT_EQ(run1[i].interval_max_ns, run2[i].interval_max_ns);
+  }
+}
+
+// ------------------------------------------------------ concurrent producers
+
+TEST(HubConcurrency, EightProducerThreadsLoseNoBeats) {
+  HubOptions opts;
+  opts.shard_count = 4;
+  opts.batch_capacity = 16;
+  opts.window_capacity = 128;
+  HeartbeatHub hub(opts);  // real monotonic clock
+
+  constexpr int kThreads = 8;
+  constexpr int kBeatsPerThread = 5000;
+  std::vector<AppId> ids;
+  for (int t = 0; t < kThreads; ++t) {
+    ids.push_back(hub.register_app("producer" + std::to_string(t)));
+  }
+  const AppId shared_app = hub.register_app("shared");
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kBeatsPerThread; ++i) {
+        hub.beat(ids[t], static_cast<std::uint64_t>(t));
+        if (i % 10 == 0) hub.beat(shared_app);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  HubView view(hub);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(view.app(ids[t]).total_beats,
+              static_cast<std::uint64_t>(kBeatsPerThread));
+  }
+  EXPECT_EQ(view.app("shared")->total_beats,
+            static_cast<std::uint64_t>(kThreads * (kBeatsPerThread / 10)));
+  const ClusterSummary c = view.cluster();
+  EXPECT_EQ(c.total_beats, static_cast<std::uint64_t>(
+                               kThreads * kBeatsPerThread +
+                               kThreads * (kBeatsPerThread / 10)));
+  // Per-thread tags survived intact.
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_GT(view.tag(static_cast<std::uint64_t>(t)).beats, 0u);
+  }
+}
+
+TEST(HubConcurrency, RegistrationRacesWithIngestion) {
+  HubOptions opts;
+  opts.shard_count = 2;
+  opts.batch_capacity = 4;
+  HeartbeatHub hub(opts);
+  std::atomic<bool> stop{false};
+
+  std::thread registrar([&] {
+    for (int i = 0; i < 200; ++i) {
+      hub.register_app("late" + std::to_string(i));
+    }
+    stop.store(true);
+  });
+  std::thread producer([&] {
+    const AppId id = hub.register_app("steady");
+    std::uint64_t n = 0;
+    while (!stop.load()) hub.beat(id, ++n);
+    for (int i = 0; i < 100; ++i) hub.beat(id, ++n);
+  });
+  registrar.join();
+  producer.join();
+
+  HubView view(hub);
+  EXPECT_EQ(hub.app_count(), 201u);
+  EXPECT_GE(view.app("steady")->total_beats, 100u);
+}
+
+// ------------------------------------------------------------------ HubSink
+
+TEST(HubSink, MirrorsHeartbeatProducersIntoTheHub) {
+  auto clock = std::make_shared<util::ManualClock>();
+  auto hub = std::make_shared<HeartbeatHub>(manual_opts(clock, 2, 4));
+
+  core::HeartbeatOptions opts;
+  opts.name = "x264";
+  opts.clock = clock;
+  opts.target_min_bps = 20.0;
+  opts.target_max_bps = 40.0;
+  opts.store_factory = HubSink::wrap_factory(hub);
+  core::Heartbeat producer(opts);
+
+  for (int i = 0; i < 30; ++i) {
+    clock->advance(kNsPerSec / 25);  // exact 40ms ticks
+    producer.beat(static_cast<std::uint64_t>(i % 3));
+  }
+
+  HubView view(*hub);
+  const auto summary = view.app("x264");
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->total_beats, 30u);
+  EXPECT_DOUBLE_EQ(summary->rate_bps, 25.0);
+  // Target registered through the store flows into the hub summary.
+  EXPECT_DOUBLE_EQ(summary->target.min_bps, 20.0);
+  EXPECT_DOUBLE_EQ(summary->target.max_bps, 40.0);
+  // The producer's own channel still works (inner store untouched).
+  EXPECT_EQ(producer.global().count(), 30u);
+  EXPECT_NEAR(producer.global().rate(20), 25.0, 1e-9);
+  // Hub rate agrees with the channel's own full-window view.
+  EXPECT_DOUBLE_EQ(view.rate("x264"),
+                   core::window_rate(producer.global().history(64)));
+}
+
+TEST(HubSink, LocalChannelsAreNotMirrored) {
+  auto clock = std::make_shared<util::ManualClock>();
+  auto hub = std::make_shared<HeartbeatHub>(manual_opts(clock));
+  core::HeartbeatOptions opts;
+  opts.name = "app";
+  opts.clock = clock;
+  opts.store_factory = HubSink::wrap_factory(hub);
+  core::Heartbeat producer(opts);
+
+  clock->advance(kNsPerMs);
+  producer.beat();
+  clock->advance(kNsPerMs);
+  producer.beat_local();  // thread-local: must NOT double-count in the hub
+  clock->advance(kNsPerMs);
+  producer.beat_local();
+
+  EXPECT_EQ(HubView(*hub).app("app")->total_beats, 1u);
+  EXPECT_EQ(producer.local().count(), 2u);
+}
+
+TEST(HubSink, WrapsExistingTransports) {
+  // The paper's Section 4 file-log transport, feeding the hub unmodified.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "hb_hub_sink_test";
+  fs::remove_all(dir);
+  transport::Registry registry(dir);
+
+  auto clock = std::make_shared<util::ManualClock>();
+  auto hub = std::make_shared<HeartbeatHub>(manual_opts(clock, 2, 4));
+
+  core::HeartbeatOptions opts;
+  opts.name = "legacy";
+  opts.clock = clock;
+  opts.history_capacity = 64;
+  opts.store_factory = HubSink::wrap_factory(hub, registry.filelog_factory());
+  core::Heartbeat producer(opts);
+  for (int i = 0; i < 10; ++i) {
+    clock->advance(kNsPerSec / 5);
+    producer.beat();
+  }
+
+  // Hub sees the beats...
+  EXPECT_EQ(HubView(*hub).app("legacy")->total_beats, 10u);
+  EXPECT_DOUBLE_EQ(HubView(*hub).rate("legacy"), 5.0);
+  // ...and so does a completely independent observer attaching to the log.
+  EXPECT_EQ(registry.reader("legacy", clock).count(), 10u);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------- liveness
+
+TEST(HubLiveness, StalenessTracksTheHubClock) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock));
+  const AppId id = hub.register_app("a");
+  HubView view(hub);
+
+  clock->advance(5 * kNsPerSec);
+  EXPECT_EQ(*view.staleness_ns("a"), 5 * kNsPerSec);  // never beat
+
+  hub.beat(id);
+  clock->advance(3 * kNsPerSec);
+  EXPECT_EQ(*view.staleness_ns("a"), 3 * kNsPerSec);
+}
+
+}  // namespace
+}  // namespace hb::hub

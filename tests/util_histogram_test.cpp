@@ -1,0 +1,151 @@
+// util::LatencyHistogram — the fixed-bucket percentile sketch backing the
+// hub's per-app latency summaries.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace hb::util {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(LatencyHistogram, BucketIndexIsMonotone) {
+  std::size_t prev = 0;
+  for (std::uint64_t v : std::vector<std::uint64_t>{
+           0, 1, 7, 8, 9, 15, 16, 100, 1000, 4095, 4096, 1u << 20,
+           std::uint64_t{1} << 40, ~std::uint64_t{0}}) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << "v=" << v;
+    EXPECT_LT(idx, LatencyHistogram::kBucketCount);
+    prev = idx;
+  }
+}
+
+TEST(LatencyHistogram, BucketUpperBoundsContainTheirValues) {
+  for (std::uint64_t v : std::vector<std::uint64_t>{
+           0, 1, 7, 8, 12, 255, 256, 1000, 123456789,
+           std::uint64_t{1} << 50, ~std::uint64_t{0}}) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(LatencyHistogram::bucket_upper(idx), v);
+    if (idx > 0) {
+      EXPECT_LT(LatencyHistogram::bucket_upper(idx - 1), v);
+    }
+  }
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 8; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_EQ(h.percentile(100), 7u);
+  EXPECT_EQ(h.percentile(50), 3u);  // nearest rank 4 of 8 -> value 3
+}
+
+TEST(LatencyHistogram, MinMaxMeanAreExact) {
+  LatencyHistogram h;
+  h.record(10);
+  h.record(1000);
+  h.record(100000);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 100000u);
+  EXPECT_DOUBLE_EQ(h.mean(), (10.0 + 1000.0 + 100000.0) / 3.0);
+}
+
+TEST(LatencyHistogram, PercentileWithinRelativeError) {
+  // 1..1000 recorded once each: p-th percentile is ~10*p, with <= 12.5%
+  // bucket error on top.
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  for (double p : {10.0, 50.0, 95.0, 99.0}) {
+    const double exact = 10.0 * p;
+    const double got = static_cast<double>(h.percentile(p));
+    EXPECT_GE(got, exact - 1.0) << "p=" << p;       // upper-bound convention
+    EXPECT_LE(got, exact * 1.125 + 1.0) << "p=" << p;
+  }
+  EXPECT_EQ(h.percentile(0), 1u);
+  EXPECT_EQ(h.percentile(100), 1000u);
+}
+
+TEST(LatencyHistogram, PercentileClampedToObservedRange) {
+  LatencyHistogram h;
+  h.record(1000);  // single value: every percentile is that value's bucket,
+  h.record(1001);  // clamped into [min, max]
+  EXPECT_GE(h.percentile(50), 1000u);
+  EXPECT_LE(h.percentile(50), 1001u);
+  EXPECT_EQ(h.percentile(99), 1001u);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, both;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    a.record(v * 3);
+    both.record(v * 3);
+  }
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    b.record(v * 7);
+    both.record(v * 7);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+  for (double p : {1.0, 25.0, 50.0, 95.0, 99.0}) {
+    EXPECT_EQ(a.percentile(p), both.percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogram, MergeEmptyIsIdentity) {
+  LatencyHistogram a, empty;
+  a.record(42);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42u);
+  EXPECT_EQ(a.max(), 42u);
+  empty.merge(a);
+  EXPECT_EQ(empty.min(), 42u);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(99);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(LatencyHistogram, DeterministicAcrossRuns) {
+  // Same sequence -> bit-identical summary (the hub's determinism contract).
+  auto build = [] {
+    LatencyHistogram h;
+    std::uint64_t x = 88172645463325252ULL;
+    for (int i = 0; i < 10000; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      h.record(x % 1000000);
+    }
+    return h;
+  };
+  const LatencyHistogram h1 = build(), h2 = build();
+  for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    EXPECT_EQ(h1.percentile(p), h2.percentile(p));
+  }
+  EXPECT_EQ(h1.min(), h2.min());
+  EXPECT_EQ(h1.max(), h2.max());
+}
+
+}  // namespace
+}  // namespace hb::util
