@@ -6,7 +6,9 @@
 #include <stdexcept>
 
 #include "core/memory_store.hpp"
+#include "fault/failure_detector.hpp"
 #include "hub/hub.hpp"
+#include "hub/view.hpp"
 #include "util/time.hpp"
 
 namespace hb::cloud {
@@ -63,11 +65,31 @@ void CloudSim::migrate(int vm, int machine) {
 int CloudSim::used_machines() const {
   std::vector<bool> used(static_cast<std::size_t>(num_machines_), false);
   for (std::size_t v = 0; v < vms_.size(); ++v) {
-    if (!vm_finished(static_cast<int>(v))) {
+    if (!vm_finished(static_cast<int>(v)) && !vms_[v].killed) {
       used[static_cast<std::size_t>(machine_of_[v])] = true;
     }
   }
   return static_cast<int>(std::count(used.begin(), used.end(), true));
+}
+
+void CloudSim::kill_vm(int vm) {
+  vms_.at(static_cast<std::size_t>(vm)).killed = true;
+}
+
+void CloudSim::restart_vm(int vm) {
+  vms_.at(static_cast<std::size_t>(vm)).killed = false;
+}
+
+bool CloudSim::vm_killed(int vm) const {
+  return vms_.at(static_cast<std::size_t>(vm)).killed;
+}
+
+fault::FleetReport CloudSim::fleet_health(
+    const fault::FleetDetector& detector) const {
+  if (!hub_) {
+    throw std::logic_error("CloudSim::fleet_health: attach_hub first");
+  }
+  return detector.sweep(hub::HubView(*hub_));
 }
 
 double CloudSim::vm_demand(int vm) const {
@@ -90,6 +112,7 @@ bool CloudSim::vm_finished(int vm) const {
 double CloudSim::machine_demand(int machine) const {
   double demand = 0.0;
   for (std::size_t v = 0; v < vms_.size(); ++v) {
+    if (vms_[v].killed) continue;  // dead VMs consume nothing
     if (machine_of_[v] == machine) demand += vm_demand(static_cast<int>(v));
   }
   return demand;
@@ -107,6 +130,7 @@ void CloudSim::step(double dt_seconds) {
     for (std::size_t v = 0; v < vms_.size(); ++v) {
       if (machine_of_[v] != m) continue;
       Vm& vm = vms_[v];
+      if (vm.killed) continue;  // no work, no beats — only silence
       const double d = vm_demand(static_cast<int>(v));
       if (d <= 0.0) continue;
       vm.pending_work += d * scale * dt_seconds;
@@ -125,7 +149,9 @@ void CloudSim::step(double dt_seconds) {
       }
     }
   }
-  for (auto& vm : vms_) vm.elapsed_s += dt_seconds;
+  for (auto& vm : vms_) {
+    if (!vm.killed) vm.elapsed_s += dt_seconds;  // killed VMs are frozen
+  }
 }
 
 double CloudSim::now_seconds() const { return util::to_seconds(clock_->now()); }
@@ -149,12 +175,17 @@ int HeartbeatConsolidator::poll(CloudSim& sim) {
 
   int moved = 0;
   const int n = static_cast<int>(sim.vm_count());
+  const fault::FailureDetector detector;
   for (int v = 0; v < n; ++v) {
     if (sim.vm_finished(v)) continue;
     const auto reader = sim.reader(v);
     const double rate = reader.current_rate();
     const double target = reader.target_min();
     if (rate <= 0.0) continue;  // warming up
+    // A dead VM's windowed rate is stale, not low — migrating it to
+    // "dedicated resources" would rescue nobody. Heartbeat silence is the
+    // only signal used (§2.6); the sim's killed flag stays ground truth.
+    if (detector.assess(reader) == fault::Health::kDead) continue;
 
     if (rate < target) {
       // Struggling: move to the machine with the most headroom (other than

@@ -23,6 +23,7 @@
 
 #include "core/channel.hpp"
 #include "core/reader.hpp"
+#include "fault/fleet_detector.hpp"
 #include "hub/summary.hpp"
 #include "util/clock.hpp"
 
@@ -94,11 +95,24 @@ class CloudSim {
   /// True once the VM ran out of phases (demand 0 afterwards).
   bool vm_finished(int vm) const;
 
+  /// Fail a VM: it stops beating, consuming, and progressing through its
+  /// phases ("a lack of heartbeats from a particular node would indicate
+  /// that it has failed", §2.6). Only heartbeat silence announces it.
+  void kill_vm(int vm);
+  /// Bring a killed VM back where it left off; it resumes beating.
+  void restart_vm(int vm);
+  bool vm_killed(int vm) const;
+
+  /// Sweep the whole fleet's health through the attached hub in one pass —
+  /// no per-VM reader queries. Throws std::logic_error without attach_hub.
+  fault::FleetReport fleet_health(const fault::FleetDetector& detector) const;
+
  private:
   struct Vm {
     VmSpec spec;
     double elapsed_s = 0.0;
     double pending_work = 0.0;
+    bool killed = false;
     std::shared_ptr<core::Channel> channel;
   };
 

@@ -19,13 +19,16 @@ Health FailureDetector::assess(const core::HeartbeatReader& reader) const {
   const std::uint64_t beats = reader.count();
   const util::TimeNs staleness = reader.staleness_ns();
 
-  if (beats < opts_.min_beats) {
-    if (opts_.absolute_staleness_ns > 0 &&
-        staleness > opts_.absolute_staleness_ns) {
-      return Health::kDead;  // registered but never really started beating
-    }
-    return Health::kWarmingUp;
+  // The absolute bound applies in every state, not just warm-up: a producer
+  // whose recorded beats all share one timestamp has mean_ns == 0, so the
+  // relative staleness check below can never fire — without this check such
+  // an app could go silent forever and still read as warming-up/healthy.
+  if (opts_.absolute_staleness_ns > 0 &&
+      staleness > opts_.absolute_staleness_ns) {
+    return Health::kDead;
   }
+
+  if (beats < opts_.min_beats) return Health::kWarmingUp;
 
   const auto history = reader.history(opts_.window);
   const double mean_ns = core::mean_interval_ns(history);

@@ -35,8 +35,10 @@ struct FailureDetectorOptions {
   std::uint32_t window = 16;
   /// Beats required before any verdict other than kWarmingUp/kDead.
   std::uint64_t min_beats = 4;
-  /// Absolute staleness bound that marks death even during warm-up
-  /// (an app that registered and never beat). 0 disables.
+  /// Absolute staleness bound that marks death in any state: during
+  /// warm-up (an app that registered and never beat) and after it (an app
+  /// whose beats all share one tick has a zero mean interval, so the
+  /// relative staleness_factor bound can never fire). 0 disables.
   util::TimeNs absolute_staleness_ns = 0;
 };
 

@@ -1,0 +1,126 @@
+#include "fault/fleet_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hub/hub.hpp"
+
+namespace hb::fault {
+
+Health FleetDetector::classify(const hub::AppSummary& s) const {
+  // An evicted app was already judged dead by the hub's staleness bound.
+  if (s.evicted) return Health::kDead;
+
+  const util::TimeNs staleness = s.staleness_ns;
+
+  // Absolute bound first: the only check that can fire for apps that never
+  // beat or whose windowed beats all share one tick (mean interval 0).
+  if (opts_.absolute_staleness_ns > 0 &&
+      staleness > opts_.absolute_staleness_ns) {
+    return Health::kDead;
+  }
+
+  if (s.total_beats < opts_.min_beats) return Health::kWarmingUp;
+
+  // Staleness vs cadence. Fall back to the last non-empty window's mean
+  // when time-based aging has drained the current one — a producer that
+  // went silent long enough for its whole window to expire must not lose
+  // its death verdict along with its intervals. (Flip side, by design: a
+  // producer that slows to a cadence far beyond its historical one reads
+  // dead until its next beat revives it — silence past staleness_factor
+  // times the last known cadence IS the §2.6 failure signal.)
+  const double mean_ns = s.interval_mean_ns > 0.0 ? s.interval_mean_ns
+                                                  : s.last_interval_mean_ns;
+  if (mean_ns > 0.0 &&
+      static_cast<double>(staleness) > opts_.staleness_factor * mean_ns) {
+    return Health::kDead;
+  }
+
+  // Warmed up by lifetime beats, but the window holds too little evidence
+  // for a rate or jitter verdict (e.g. everything aged past window_ns and
+  // the app only just resumed): not provably dead, not provably anything.
+  if (s.window_beats < 2) return Health::kWarmingUp;
+
+  // A zero-span window reads as an infinite rate — unmeasurably fast is
+  // not "slow", so the isfinite guard only ever helps the app here.
+  if (s.target.min_bps > 0.0 && std::isfinite(s.rate_bps) &&
+      s.rate_bps < s.target.min_bps) {
+    return Health::kSlow;
+  }
+
+  if (mean_ns > 0.0 && s.interval_stddev_ns > opts_.jitter_factor * mean_ns) {
+    return Health::kErratic;
+  }
+  return Health::kHealthy;
+}
+
+FleetReport FleetDetector::sweep(const hub::HubView& view) const {
+  FleetReport report;
+
+  // The one hub pass: every app's summary — evicted ones included, so a
+  // death the hub already confirmed (auto-eviction) stays in the report —
+  // already flushed and staleness-stamped per shard, in shard order (no
+  // name sort — at fleet scale the sort would cost more than the verdict
+  // math; the order is still deterministic for a fixed registration
+  // order). Everything below is local math.
+  std::vector<hub::AppSummary> summaries =
+      view.apps_unsorted(/*include_evicted=*/true);
+  report.apps.reserve(summaries.size());
+
+  FleetHealth& fleet = report.fleet;
+  fleet.swept_at_ns = view.hub().clock()->now();
+
+  for (hub::AppSummary& s : summaries) {
+    AppHealth app;
+    app.id = s.id;
+    app.health = classify(s);
+    app.staleness_ns = s.staleness_ns;
+    app.total_beats = s.total_beats;
+    app.rate_bps = s.rate_bps;
+    app.target = s.target;
+    app.name = std::move(s.name);
+
+    ++fleet.apps;
+    switch (app.health) {
+      case Health::kWarmingUp: ++fleet.warming_up; break;
+      case Health::kHealthy: ++fleet.healthy; break;
+      case Health::kSlow: ++fleet.slow; break;
+      case Health::kErratic: ++fleet.erratic; break;
+      case Health::kDead:
+        ++fleet.dead;
+        if (s.evicted) ++fleet.evicted;
+        fleet.dead_apps.push_back(app.name);
+        break;
+    }
+    report.apps.push_back(std::move(app));
+  }
+
+  // Worst offenders: unhealthy apps, most severe verdict first, ties
+  // broken by staleness (most stale = longest silent = worst), then name
+  // for determinism. Warming up is absence of evidence, not an offense —
+  // a freshly started fleet has no offenders (same rule that keeps
+  // warming-up apps out of ClusterSummary::deficient).
+  std::vector<const AppHealth*> offenders;
+  for (const AppHealth& app : report.apps) {
+    if (app.health != Health::kHealthy && app.health != Health::kWarmingUp) {
+      offenders.push_back(&app);
+    }
+  }
+  std::sort(offenders.begin(), offenders.end(),
+            [](const AppHealth* a, const AppHealth* b) {
+              if (a->health != b->health) {
+                return static_cast<int>(a->health) > static_cast<int>(b->health);
+              }
+              if (a->staleness_ns != b->staleness_ns) {
+                return a->staleness_ns > b->staleness_ns;
+              }
+              return a->name < b->name;
+            });
+  const std::size_t take = std::min(offenders.size(), opts_.max_worst);
+  fleet.worst.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) fleet.worst.push_back(*offenders[i]);
+
+  return report;
+}
+
+}  // namespace hb::fault

@@ -1,0 +1,119 @@
+// Fleet-wide heartbeat failure detection over the aggregation hub.
+//
+// Paper, Section 2.6: "A lack of heartbeats from a particular node would
+// indicate that it has failed, and slow or erratic heartbeats could indicate
+// that a machine is about to fail." fault::FailureDetector answers that for
+// ONE producer by polling its HeartbeatReader; at fleet scale (thousands of
+// VMs feeding one hub) per-producer polling is the wrong shape. FleetDetector
+// instead sweeps every registered app in a single HubView pass — one flush
+// per shard, no per-app reader queries — and derives each verdict from the
+// app's hub summary alone: staleness stamped on the hub clock, windowed rate
+// against the registered target, and exact interval mean/stddev for jitter.
+//
+// The verdict vocabulary is shared with FailureDetector (fault::Health), so
+// consumers that graduate from one-reader monitoring to fleet sweeps keep
+// their switch statements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/failure_detector.hpp"
+#include "hub/summary.hpp"
+#include "hub/view.hpp"
+#include "util/time.hpp"
+
+namespace hb::fault {
+
+struct FleetDetectorOptions {
+  /// Dead when staleness exceeds this multiple of the windowed mean
+  /// inter-beat interval.
+  double staleness_factor = 8.0;
+  /// Erratic when the interval coefficient of variation (stddev / mean)
+  /// exceeds this (same rule as FailureDetectorOptions::jitter_factor).
+  double jitter_factor = 0.8;
+  /// Lifetime beats required before any verdict other than warming-up/dead.
+  std::uint64_t min_beats = 4;
+  /// Absolute staleness bound that marks death in any state — the only
+  /// bound that can fire for apps that never beat, or whose beats all share
+  /// one tick (zero mean interval). 0 disables.
+  util::TimeNs absolute_staleness_ns = 0;
+  /// Cap on FleetHealth::worst (the most-stale non-healthy apps).
+  std::size_t max_worst = 5;
+};
+
+/// The same thresholds expressed for the per-reader FailureDetector, so
+/// consumers that watch some apps through readers and some through the hub
+/// (e.g. GlobalScheduler) apply one rule set. Caveat: thresholds, not
+/// observations — the reader detector estimates mean/jitter over its own
+/// `window` beats (default 16) while hub summaries cover the hub's
+/// configured window, so a cadence shift can cross a threshold in one
+/// source before the other.
+inline FailureDetectorOptions to_failure_detector_options(
+    const FleetDetectorOptions& opts) {
+  FailureDetectorOptions out;
+  out.staleness_factor = opts.staleness_factor;
+  out.jitter_factor = opts.jitter_factor;
+  out.min_beats = opts.min_beats;
+  out.absolute_staleness_ns = opts.absolute_staleness_ns;
+  return out;
+}
+
+/// One app's verdict plus the summary facts that produced it.
+struct AppHealth {
+  std::string name;
+  hub::AppId id = 0;
+  Health health = Health::kWarmingUp;
+  util::TimeNs staleness_ns = 0;
+  std::uint64_t total_beats = 0;
+  double rate_bps = 0.0;
+  core::TargetRate target;
+};
+
+/// Cluster-wide health rollup from one sweep.
+struct FleetHealth {
+  std::uint64_t apps = 0;  ///< apps swept, hub-evicted ones included
+  std::uint64_t warming_up = 0;
+  std::uint64_t healthy = 0;
+  std::uint64_t slow = 0;
+  std::uint64_t erratic = 0;
+  std::uint64_t dead = 0;      ///< includes evicted apps (confirmed deaths)
+  std::uint64_t evicted = 0;   ///< the subset of dead the hub evicted
+  util::TimeNs swept_at_ns = 0;  ///< hub-clock time of the sweep
+
+  std::vector<std::string> dead_apps;  ///< names, sweep order
+  /// Unhealthy apps (slow/erratic/dead — warming up is not an offense),
+  /// most severe verdict first, then most stale (<= max_worst entries).
+  std::vector<AppHealth> worst;
+
+  bool all_healthy() const { return healthy == apps; }
+};
+
+/// Everything one sweep produced: per-app verdicts (hub shard order, the
+/// HubView::apps_unsorted() order — deterministic for a fixed registration
+/// order; sort by name yourself for display) and the fleet rollup.
+struct FleetReport {
+  std::vector<AppHealth> apps;
+  FleetHealth fleet;
+};
+
+class FleetDetector {
+ public:
+  explicit FleetDetector(FleetDetectorOptions opts = {}) : opts_(opts) {}
+
+  /// Classify every registered app from one aggregated snapshot. Exactly
+  /// one hub pass: a single HubView::apps() call (one flush+copy per
+  /// shard), then pure math over the returned summaries.
+  FleetReport sweep(const hub::HubView& view) const;
+
+  /// Verdict for a single app from its hub summary alone (no hub access).
+  Health classify(const hub::AppSummary& summary) const;
+
+  const FleetDetectorOptions& options() const { return opts_; }
+
+ private:
+  FleetDetectorOptions opts_;
+};
+
+}  // namespace hb::fault

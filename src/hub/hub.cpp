@@ -20,7 +20,8 @@ HubOptions normalize(HubOptions opts) {
 
 HeartbeatHub::HeartbeatHub(HubOptions opts) : opts_(normalize(std::move(opts))) {
   const ShardConfig config{opts_.batch_capacity, opts_.window_capacity,
-                           opts_.rate_window};
+                           opts_.rate_window,    opts_.window_ns,
+                           opts_.evict_after_ns, opts_.clock};
   shards_.reserve(opts_.shard_count);
   for (std::size_t i = 0; i < opts_.shard_count; ++i) {
     shards_.push_back(
@@ -72,6 +73,10 @@ void HeartbeatHub::beat(AppId id, std::uint64_t tag) {
 
 void HeartbeatHub::set_target(AppId id, core::TargetRate target) {
   shards_.at(app_id_shard(id))->set_target(app_id_slot(id), target);
+}
+
+void HeartbeatHub::evict(AppId id) {
+  shards_.at(app_id_shard(id))->evict(app_id_slot(id));
 }
 
 void HeartbeatHub::flush() {

@@ -49,7 +49,15 @@ struct HubOptions {
   std::size_t window_capacity = 256;
   /// Beats per rate computation; 0 = the whole sliding window.
   std::uint32_t rate_window = 0;
-  /// Timestamp source for beat(); null selects the process monotonic clock.
+  /// Time-based sliding window: beats whose timestamps age beyond this
+  /// bound (on the hub clock) leave rate/percentile state, evaluated lazily
+  /// at every flush. 0 = beat-count window only.
+  util::TimeNs window_ns = 0;
+  /// Auto-evict apps whose staleness exceeds this bound (dead producers
+  /// stop costing rollup time; a new beat revives them). 0 = never.
+  util::TimeNs evict_after_ns = 0;
+  /// Timestamp source for beat(), staleness stamping, and time-based
+  /// aging; null selects the process monotonic clock.
   std::shared_ptr<util::Clock> clock;
 };
 
@@ -84,6 +92,12 @@ class HeartbeatHub {
 
   /// Update a registered app's target range (observers see it in summaries).
   void set_target(AppId id, core::TargetRate target);
+
+  /// Drop an app's window state and exclude it from cluster/tag rollups
+  /// and apps() listings (total_beats survives; the name stays registered).
+  /// Any later beat revives it. Also applied automatically at flush once
+  /// staleness exceeds HubOptions::evict_after_ns.
+  void evict(AppId id);
 
   /// Force every shard to drain its batch (deterministic snapshots).
   void flush();

@@ -31,6 +31,7 @@ std::uint32_t HubShard::add_app(std::string name, core::TargetRate target) {
   AppState app(config_);
   app.name = std::move(name);
   app.target = target;
+  if (config_.clock) app.born_ns = config_.clock->now();
   const auto slot = static_cast<std::uint32_t>(apps_.size());
   app.cached.name = app.name;
   app.cached.id = make_app_id(index_, slot);
@@ -50,7 +51,10 @@ void HubShard::enqueue(std::uint32_t slot, const core::HeartbeatRecord& rec) {
   check_slot_locked(slot);
   batch_.emplace_back(slot, rec);
   ++ingested_;
-  if (batch_.size() >= config_.batch_capacity) flush_locked();
+  // Overflow flushes skip time-based maintenance: nobody observes cached
+  // summaries until a query, and each query forces a maintaining flush —
+  // so the ingest hot path never pays the O(apps-per-shard) stamp walk.
+  if (batch_.size() >= config_.batch_capacity) flush_locked(/*maintain=*/false);
 }
 
 void HubShard::enqueue(std::uint32_t slot,
@@ -60,7 +64,9 @@ void HubShard::enqueue(std::uint32_t slot,
   for (const auto& rec : recs) {
     batch_.emplace_back(slot, rec);
     ++ingested_;
-    if (batch_.size() >= config_.batch_capacity) flush_locked();
+    if (batch_.size() >= config_.batch_capacity) {
+      flush_locked(/*maintain=*/false);
+    }
   }
 }
 
@@ -79,6 +85,18 @@ void HubShard::set_target(std::uint32_t slot, core::TargetRate target) {
   app.dirty = true;
 }
 
+void HubShard::evict(std::uint32_t slot) {
+  std::lock_guard lock(mu_);
+  // Apply pending beats first: they were ingested before the eviction was
+  // requested, so they still count toward total_beats.
+  flush_locked();
+  AppState& app = apps_.at(slot);
+  if (!app.evicted) {
+    evict_locked(app);
+    refresh_locked(app);
+  }
+}
+
 void HubShard::flush() {
   std::lock_guard lock(mu_);
   flush_locked();
@@ -86,14 +104,21 @@ void HubShard::flush() {
 
 AppSummary HubShard::summary(std::uint32_t slot) {
   std::lock_guard lock(mu_);
-  flush_locked();
-  return apps_.at(slot).cached;
+  // Drain the batch, then maintain only the queried app: a single-app
+  // query must not pay an O(apps-per-shard) stamp walk.
+  flush_locked(/*maintain=*/false);
+  AppState& app = apps_.at(slot);
+  if (config_.clock) maintain_locked(app, config_.clock->now());
+  if (app.dirty) refresh_locked(app);
+  return app.cached;
 }
 
-void HubShard::collect(std::vector<AppSummary>& out) {
+void HubShard::collect(std::vector<AppSummary>& out, bool include_evicted) {
   std::lock_guard lock(mu_);
   flush_locked();
-  for (const AppState& app : apps_) out.push_back(app.cached);
+  for (const AppState& app : apps_) {
+    if (include_evicted || !app.evicted) out.push_back(app.cached);
+  }
 }
 
 void HubShard::collect_cluster(ClusterAccum& accum) {
@@ -101,16 +126,31 @@ void HubShard::collect_cluster(ClusterAccum& accum) {
   flush_locked();
   ClusterSummary& sum = accum.sum;
   for (const AppState& app : apps_) {
+    if (app.evicted) {
+      ++sum.evicted;
+      continue;
+    }
     const AppSummary& s = app.cached;
     ++sum.apps;
     sum.total_beats += s.total_beats;
     sum.window_beats += s.window_beats;
     if (std::isfinite(s.rate_bps)) sum.aggregate_rate_bps += s.rate_bps;
-    if (s.window_beats >= 2 && s.target.contains(s.rate_bps)) {
-      ++sum.meeting_target;
-    }
-    if (s.target.min_bps > 0.0 && s.rate_bps < s.target.min_bps) {
-      ++sum.deficient;
+    if (s.window_beats < 2) {
+      // Fewer than 2 windowed beats has no measurable rate (rate_bps is a
+      // placeholder 0): the app is warming up, neither meeting its band nor
+      // deficient against its minimum.
+      ++sum.warming_up;
+    } else {
+      // A zero-span window reports an infinite rate; that is "unmeasurably
+      // fast", not evidence the target band is met (same isfinite rule as
+      // the aggregate-rate line above).
+      if (std::isfinite(s.rate_bps) && s.target.contains(s.rate_bps)) {
+        ++sum.meeting_target;
+      }
+      if (std::isfinite(s.rate_bps) && s.target.min_bps > 0.0 &&
+          s.rate_bps < s.target.min_bps) {
+        ++sum.deficient;
+      }
     }
     sum.last_beat_ns = std::max(sum.last_beat_ns, s.last_beat_ns);
     if (app.intervals.size() > 0) {
@@ -131,6 +171,7 @@ void HubShard::collect_tags(std::map<std::uint64_t, TagSummary>& out) {
   std::lock_guard lock(mu_);
   flush_locked();
   for (const AppState& app : apps_) {
+    if (app.evicted) continue;
     for (const auto& [tag, count] : app.tag_counts) {
       TagSummary& t = out[tag];
       t.tag = tag;
@@ -151,46 +192,116 @@ ShardStats HubShard::stats() const {
   return s;
 }
 
-void HubShard::flush_locked() {
+void HubShard::flush_locked(bool maintain) {
   if (!batch_.empty()) {
     for (const auto& [slot, rec] : batch_) apply_locked(slot, rec);
     batch_.clear();
     ++flushes_;
   }
-  // Refresh outside the batch check: set_target dirties an app without
-  // enqueueing anything, and must still be visible to the next query.
-  for (AppState& app : apps_) {
-    if (app.dirty) refresh_locked(app);
+  if (maintain) {
+    if (config_.clock) {
+      // Time-based maintenance, evaluated lazily at query-forced flushes
+      // (so snapshots are current as of the hub clock's "now").
+      const util::TimeNs now = config_.clock->now();
+      for (AppState& app : apps_) maintain_locked(app, now);
+    }
+    // Refresh outside the batch check: set_target dirties an app without
+    // enqueueing anything, and must still be visible to the next query.
+    // Skipped on the overflow path (maintain=false): nobody reads cached
+    // summaries until a query, and every query path refreshes — summary()
+    // refreshes its own app, the collect paths come back here with
+    // maintain=true. Keeps the ingest hot path free of O(window) refreshes.
+    for (AppState& app : apps_) {
+      if (app.dirty) refresh_locked(app);
+    }
   }
+}
+
+void HubShard::maintain_locked(AppState& app, util::TimeNs now) {
+  if (config_.window_ns > 0 && !app.evicted && now > config_.window_ns) {
+    age_window_locked(app, now - config_.window_ns);
+  }
+  // Staleness since the last beat, or since registration for an app that
+  // has not beaten yet ("registered and silent since it appeared").
+  const util::TimeNs since =
+      app.last_beat_ns > 0 ? app.last_beat_ns : app.born_ns;
+  const util::TimeNs staleness = now > since ? now - since : 0;
+  if (config_.evict_after_ns > 0 && !app.evicted &&
+      staleness > config_.evict_after_ns) {
+    evict_locked(app);
+  }
+  app.cached.staleness_ns = staleness;
+}
+
+void HubShard::age_window_locked(AppState& app, util::TimeNs cutoff_ns) {
+  while (app.window.size() > 0 &&
+         app.window.back(app.window.size() - 1).timestamp_ns < cutoff_ns) {
+    drop_oldest_locked(app);
+    app.dirty = true;
+  }
+}
+
+void HubShard::retire_oldest_tag_locked(AppState& app) {
+  const core::HeartbeatRecord& oldest = app.window.back(app.window.size() - 1);
+  auto it = app.tag_counts.find(oldest.tag);
+  if (it != app.tag_counts.end() && --it->second == 0) {
+    app.tag_counts.erase(it);
+  }
+}
+
+void HubShard::drop_oldest_locked(AppState& app) {
+  // Remove the oldest record from the windowed tag counts...
+  retire_oldest_tag_locked(app);
+  app.window.drop_oldest();
+  // ...and keep the N-records/N-1-intervals pairing: the oldest interval
+  // (which ended at the second-oldest record) leaves with it.
+  if (app.intervals.size() > 0 && app.intervals.size() >= app.window.size()) {
+    app.hist.forget(app.intervals.back(app.intervals.size() - 1));
+    app.intervals.drop_oldest();
+  }
+}
+
+void HubShard::evict_locked(AppState& app) {
+  app.window.clear();
+  app.intervals.clear();
+  app.hist.reset();
+  app.tag_counts.clear();
+  app.last_mean_ns = 0.0;
+  app.evicted = true;
+  app.dirty = true;
 }
 
 void HubShard::apply_locked(std::uint32_t slot, const core::HeartbeatRecord& rec) {
   AppState& app = apps_[slot];
   ++app.total_beats;
+  app.evicted = false;  // any beat revives an evicted app
 
-  if (app.has_last) {
-    // Out-of-order or same-tick beats clamp to a zero interval rather than
-    // wrapping; the rate math keeps its own zero-span convention.
+  if (app.window.size() > 0) {
+    // Interval since the newest record still inside the window. Out-of-order
+    // or same-tick beats clamp to a zero interval rather than wrapping; the
+    // rate math keeps its own zero-span convention. After eviction or full
+    // time-aging the window is empty and the first new beat starts fresh —
+    // the silent gap is staleness, not an interval.
+    const util::TimeNs prev_ns = app.window.back(0).timestamp_ns;
     const std::uint64_t interval =
-        rec.timestamp_ns > app.last_beat_ns
-            ? static_cast<std::uint64_t>(rec.timestamp_ns - app.last_beat_ns)
+        rec.timestamp_ns > prev_ns
+            ? static_cast<std::uint64_t>(rec.timestamp_ns - prev_ns)
             : 0;
     if (app.intervals.size() == app.intervals.capacity()) {
       app.hist.forget(app.intervals.back(app.intervals.size() - 1));
     }
     app.intervals.push(interval);
     app.hist.record(interval);
+    // Record the cadence at apply time, not at refresh: maintenance may
+    // age this interval out before any refresh runs, and the "last known
+    // cadence" yardstick must not depend on which query path ran first.
+    app.last_mean_ns = app.hist.mean();
   }
-  app.has_last = true;
   app.last_beat_ns = rec.timestamp_ns;
 
   if (app.window.size() == app.window.capacity()) {
-    // Evict the oldest record from the windowed tag counts.
-    const core::HeartbeatRecord& oldest = app.window.back(app.window.size() - 1);
-    auto it = app.tag_counts.find(oldest.tag);
-    if (it != app.tag_counts.end() && --it->second == 0) {
-      app.tag_counts.erase(it);
-    }
+    // The push below overwrites the oldest record: retire its tag count.
+    retire_oldest_tag_locked(app);
   }
   app.window.push(rec);
   ++app.tag_counts[rec.tag];
@@ -203,6 +314,8 @@ void HubShard::refresh_locked(AppState& app) {
   s.total_beats = app.total_beats;
   s.window_beats = app.window.size();
   s.last_beat_ns = app.last_beat_ns;
+  s.evicted = app.evicted;
+  s.last_interval_mean_ns = app.last_mean_ns;
 
   // Windowed rate, same (n-1)/span semantics as core::window_rate, computed
   // straight off the ring ends (no copy). As in core/reader.cpp, a rate
@@ -227,17 +340,30 @@ void HubShard::refresh_locked(AppState& app) {
   if (n_intervals == 0) {
     s.interval_min_ns = s.interval_max_ns = 0;
     s.interval_mean_ns = 0.0;
+    s.interval_stddev_ns = 0.0;
     s.interval_p50_ns = s.interval_p95_ns = s.interval_p99_ns = 0;
+    // last_mean_ns keeps its value: the yardstick for "how stale is too
+    // stale" must survive the window draining (see AppSummary doc).
   } else {
     std::uint64_t lo = app.intervals.back(0), hi = lo;
+    double sum = static_cast<double>(lo);
+    double sumsq = sum * sum;
     for (std::size_t i = 1; i < n_intervals; ++i) {
       const std::uint64_t v = app.intervals.back(i);
       lo = std::min(lo, v);
       hi = std::max(hi, v);
+      const double d = static_cast<double>(v);
+      sum += d;
+      sumsq += d * d;
     }
     s.interval_min_ns = lo;
     s.interval_max_ns = hi;
     s.interval_mean_ns = app.hist.mean();
+    // Exact population stddev over the windowed intervals — the jitter
+    // signal ("slow or erratic heartbeats", paper Section 2.6).
+    const double n = static_cast<double>(n_intervals);
+    const double mean = sum / n;
+    s.interval_stddev_ns = std::sqrt(std::max(0.0, sumsq / n - mean * mean));
     s.interval_p50_ns = clamped_percentile(app.hist, 50.0, lo, hi);
     s.interval_p95_ns = clamped_percentile(app.hist, 95.0, lo, hi);
     s.interval_p99_ns = clamped_percentile(app.hist, 99.0, lo, hi);

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -24,6 +25,7 @@
 
 #include "core/record.hpp"
 #include "hub/summary.hpp"
+#include "util/clock.hpp"
 #include "util/histogram.hpp"
 #include "util/ring_buffer.hpp"
 
@@ -35,6 +37,17 @@ struct ShardConfig {
   std::size_t batch_capacity = 64;    ///< raw records buffered before a flush
   std::size_t window_capacity = 256;  ///< sliding-window beats per app
   std::uint32_t rate_window = 0;      ///< beats for rate; 0 = whole window
+  /// Time-based window: beats older than this age out of rate/percentile
+  /// state, evaluated lazily at every flush. 0 = beat-count window only.
+  util::TimeNs window_ns = 0;
+  /// Auto-evict an app whose staleness exceeds this bound (checked at
+  /// flush). 0 = never auto-evict.
+  util::TimeNs evict_after_ns = 0;
+  /// Clock for aging / staleness stamping. HeartbeatHub always installs
+  /// one (normalize() defaults to the monotonic clock); null is only
+  /// reachable when a shard is constructed standalone, and then disables
+  /// time-based maintenance entirely.
+  std::shared_ptr<util::Clock> clock;
 };
 
 /// Accumulator for cluster-wide rollups; filled shard by shard.
@@ -65,14 +78,22 @@ class HubShard {
 
   void set_target(std::uint32_t slot, core::TargetRate target);
 
-  /// Drain the pending batch and refresh touched summaries.
+  /// Drop an app's window state and exclude it from rollups until it beats
+  /// again (total_beats survives). Idempotent.
+  void evict(std::uint32_t slot);
+
+  /// Drain the pending batch, age time-based windows, re-stamp staleness,
+  /// auto-evict dead apps, and refresh touched summaries.
   void flush();
 
-  /// Flush, then copy out one app's summary.
+  /// Flush, then copy out one app's summary (only this app pays the
+  /// age/stamp maintenance — the O(1)-per-query path).
   AppSummary summary(std::uint32_t slot);
 
-  /// Flush, then append every app's summary to `out`.
-  void collect(std::vector<AppSummary>& out);
+  /// Flush, then append every app's summary to `out`. Evicted apps are
+  /// skipped unless `include_evicted` (fleet sweeps want them: an evicted
+  /// app is a confirmed death, not a non-entity).
+  void collect(std::vector<AppSummary>& out, bool include_evicted = false);
 
   /// Flush, then fold this shard's apps into a cluster rollup.
   void collect_cluster(ClusterAccum& accum);
@@ -87,11 +108,19 @@ class HubShard {
     std::string name;
     core::TargetRate target;
     std::uint64_t total_beats = 0;
-    util::TimeNs last_beat_ns = 0;
-    bool has_last = false;  ///< at least one beat seen (first has no interval)
+    util::TimeNs last_beat_ns = 0;  ///< survives eviction (staleness basis)
+    /// Registration time on the hub clock: the staleness baseline until the
+    /// first beat. Without it a freshly registered app under the monotonic
+    /// clock (epoch = boot) would read as stale for the whole uptime and be
+    /// instantly auto-evicted / classified dead.
+    util::TimeNs born_ns = 0;
+    bool evicted = false;
     util::RingBuffer<core::HeartbeatRecord> window;
     util::RingBuffer<std::uint64_t> intervals;  ///< windowed, drives `hist`
     util::LatencyHistogram hist;                ///< exactly the ring's values
+    double last_mean_ns = 0.0;  ///< window mean as of the last applied
+                                ///< interval; survives aging, cleared by
+                                ///< eviction ("last known cadence")
     std::unordered_map<std::uint64_t, std::uint64_t> tag_counts;  ///< windowed
     AppSummary cached;
     bool dirty = false;
@@ -105,10 +134,19 @@ class HubShard {
                                                : 1) {}
   };
 
-  void flush_locked();
+  /// maintain=false (batch-overflow path) drains the batch only; aging,
+  /// staleness stamping, and auto-eviction wait for a query-forced flush.
+  void flush_locked(bool maintain = true);
   void apply_locked(std::uint32_t slot, const core::HeartbeatRecord& rec);
   void refresh_locked(AppState& app);
   void check_slot_locked(std::uint32_t slot) const;  ///< throws out_of_range
+  /// Per-app time maintenance: age past window_ns, stamp staleness,
+  /// auto-evict past evict_after_ns.
+  void maintain_locked(AppState& app, util::TimeNs now);
+  void age_window_locked(AppState& app, util::TimeNs cutoff_ns);
+  void retire_oldest_tag_locked(AppState& app);  ///< tag count bookkeeping
+  void drop_oldest_locked(AppState& app);  ///< one record + its interval
+  void evict_locked(AppState& app);
 
   const std::uint32_t index_;
   const ShardConfig config_;

@@ -42,11 +42,28 @@ struct AppSummary {
   std::uint64_t window_beats = 0;  ///< beats inside the sliding window
   double rate_bps = 0.0;           ///< windowed rate, core (n-1)/span rule
   util::TimeNs last_beat_ns = 0;   ///< timestamp of the newest beat (0: none)
+  /// Hub-clock nanoseconds since the newest beat, stamped at the owning
+  /// shard's last flush (every view query forces one, so it is current at
+  /// query time). An app that never beat measures from its registration
+  /// time — "silent since it appeared". The fleet-wide liveness signal
+  /// (paper, Section 2.6).
+  util::TimeNs staleness_ns = 0;
+  /// True once the app was evicted (explicitly or past evict_after_ns).
+  /// Evicted apps keep total_beats but drop all window state, and are
+  /// excluded from cluster/tag rollups until a new beat revives them.
+  bool evicted = false;
   core::TargetRate target;         ///< registered goal, as in the paper
 
   std::uint64_t interval_min_ns = 0;   ///< exact, over the window
   std::uint64_t interval_max_ns = 0;   ///< exact, over the window
   double interval_mean_ns = 0.0;
+  double interval_stddev_ns = 0.0;     ///< exact, over the window (jitter)
+  /// Window mean as of the most recently ingested interval. Unlike
+  /// interval_mean_ns this survives time-window aging (cleared only by
+  /// eviction), so staleness-vs-cadence verdicts still work for a producer
+  /// whose window drained — a quiet app keeps its "how fast did it last
+  /// beat" yardstick until the hub forgets it entirely.
+  double last_interval_mean_ns = 0.0;
   std::uint64_t interval_p50_ns = 0;   ///< histogram bucket (<= 12.5% error)
   std::uint64_t interval_p95_ns = 0;
   std::uint64_t interval_p99_ns = 0;
@@ -60,14 +77,19 @@ struct TagSummary {
   std::uint32_t apps = 0;   ///< distinct apps that emitted it
 };
 
-/// Cluster-wide rollup across all registered apps.
+/// Cluster-wide rollup across all live (non-evicted) apps. An app needs at
+/// least two windowed beats to have a measurable rate; apps below that are
+/// counted as warming_up and contribute to neither meeting_target nor
+/// deficient.
 struct ClusterSummary {
   std::uint64_t apps = 0;
   std::uint64_t total_beats = 0;      ///< sum of per-app total_beats
   std::uint64_t window_beats = 0;     ///< sum of per-app window_beats
   double aggregate_rate_bps = 0.0;    ///< sum of per-app windowed rates
   std::uint64_t meeting_target = 0;   ///< apps whose rate is inside their band
-  std::uint64_t deficient = 0;        ///< apps below their registered min
+  std::uint64_t deficient = 0;        ///< measurable apps below their min
+  std::uint64_t warming_up = 0;       ///< apps with < 2 windowed beats
+  std::uint64_t evicted = 0;          ///< evicted apps (excluded from `apps`)
   util::TimeNs last_beat_ns = 0;      ///< newest beat cluster-wide
 
   /// Inter-beat interval distribution merged across all apps' windows.

@@ -30,11 +30,11 @@ std::vector<AppSummary> HubView::apps() const {
   return out;
 }
 
-std::vector<AppSummary> HubView::apps_unsorted() const {
+std::vector<AppSummary> HubView::apps_unsorted(bool include_evicted) const {
   std::vector<AppSummary> out;
   out.reserve(hub_->app_count());
   for (std::size_t i = 0; i < hub_->shard_count(); ++i) {
-    hub_->shard(i).collect(out);
+    hub_->shard(i).collect(out, include_evicted);
   }
   return out;
 }
@@ -92,12 +92,12 @@ double HubView::rate(const std::string& name) const {
 }
 
 std::optional<util::TimeNs> HubView::staleness_ns(const std::string& name) const {
+  // Stamped at the shard's flush, which the app() query just forced — so
+  // this is current as of the hub clock's "now". Never-beating apps
+  // measure from their registration time.
   const auto summary = app(name);
   if (!summary) return std::nullopt;
-  if (summary->last_beat_ns == 0 && summary->total_beats == 0) {
-    return hub_->clock()->now();
-  }
-  return hub_->clock()->now() - summary->last_beat_ns;
+  return summary->staleness_ns;
 }
 
 }  // namespace hb::hub

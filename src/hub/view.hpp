@@ -40,12 +40,14 @@ class HubView {
   /// Summary by id (O(1) routing; id must come from this hub).
   AppSummary app(AppId id) const;
 
-  /// Every registered app's summary, sorted by name.
+  /// Every live (non-evicted) app's summary, sorted by name.
   std::vector<AppSummary> apps() const;
 
-  /// Every registered app's summary in shard order (no sort) — the cheap
-  /// path for hot polling loops that index the result themselves.
-  std::vector<AppSummary> apps_unsorted() const;
+  /// Every app's summary in shard order (no sort) — the cheap path for hot
+  /// polling loops that index the result themselves. Evicted apps are
+  /// skipped unless `include_evicted`: fleet sweeps pass true so that a
+  /// hub-confirmed death (eviction) never silently drops out of a report.
+  std::vector<AppSummary> apps_unsorted(bool include_evicted = false) const;
 
   /// Cluster-wide rollup across all apps.
   ClusterSummary cluster() const;
@@ -62,8 +64,9 @@ class HubView {
   /// Convenience: windowed rate of one app (0 if unknown or < 2 beats).
   double rate(const std::string& name) const;
 
-  /// Nanoseconds since an app's newest ingested beat, on the hub clock;
-  /// nullopt if the name is unknown. The hub-side liveness signal.
+  /// Nanoseconds since an app's newest ingested beat (or since its
+  /// registration, if it never beat), on the hub clock; nullopt if the
+  /// name is unknown. The hub-side liveness signal.
   std::optional<util::TimeNs> staleness_ns(const std::string& name) const;
 
   HeartbeatHub& hub() const { return *hub_; }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "fault/failure_detector.hpp"
 #include "hub/hub.hpp"
 
 namespace hb::sched {
@@ -70,14 +71,20 @@ int GlobalScheduler::free_cores() const {
 std::vector<GlobalScheduler::Snapshot> GlobalScheduler::observe() const {
   std::vector<Snapshot> out(apps_.size());
 
-  // One cluster snapshot serves every hub-backed app this poll.
+  // One cluster snapshot serves every hub-backed app this poll. Evicted
+  // apps stay listed: an eviction is the hub's own death verdict, and
+  // classify() below turns it into snap.dead.
   std::unordered_map<std::string, const hub::AppSummary*> by_name;
   std::vector<hub::AppSummary> summaries;
   if (view_) {
-    summaries = view_->apps_unsorted();  // keyed below; no need to sort
+    summaries = view_->apps_unsorted(/*include_evicted=*/true);
     by_name.reserve(summaries.size());
     for (const auto& s : summaries) by_name.emplace(s.name, &s);
   }
+
+  const fault::FleetDetector fleet_detector(opts_.fault_options);
+  const fault::FailureDetector reader_detector(
+      fault::to_failure_detector_options(opts_.fault_options));
 
   for (std::size_t i = 0; i < apps_.size(); ++i) {
     const App& app = apps_[i];
@@ -86,12 +93,21 @@ std::vector<GlobalScheduler::Snapshot> GlobalScheduler::observe() const {
       snap.rate = app.reader->current_rate(opts_.window);
       snap.beats = app.reader->count();
       snap.target = app.reader->target();
+      if (opts_.detect_failures) {
+        snap.dead = reader_detector.assess(*app.reader) == fault::Health::kDead;
+      }
     } else if (auto it = by_name.find(app.name); it != by_name.end()) {
       snap.rate = it->second->rate_bps;
       snap.beats = it->second->total_beats;
       snap.target = it->second->target;
+      if (opts_.detect_failures) {
+        snap.dead =
+            fleet_detector.classify(*it->second) == fault::Health::kDead;
+      }
     }
-    // Unknown hub names stay zeroed: treated as still warming up.
+    // Unknown hub names stay zeroed: the producer has not registered yet,
+    // so the app reads as still warming up (never as dead — registered
+    // names never leave the listing, even when evicted).
   }
   return out;
 }
@@ -119,10 +135,13 @@ bool GlobalScheduler::poll() {
 
   const std::vector<Snapshot> snaps = observe();
 
-  // Find the neediest app (most negative error) among warmed-up apps.
+  // Find the neediest app (most negative error) among warmed-up, live apps.
+  // A dead app never receives: feeding cores to a producer that stopped
+  // beating is the one reallocation guaranteed to help nobody.
   int needy = -1;
   double worst = -opts_.deficit_deadband;
   for (std::size_t i = 0; i < apps_.size(); ++i) {
+    if (snaps[i].dead) continue;
     if (snaps[i].beats < opts_.warmup_beats) continue;
     const double e = normalized_error(snaps[i]);
     if (e < worst) {
@@ -131,11 +150,21 @@ bool GlobalScheduler::poll() {
     }
   }
   if (needy < 0) {
-    // Nobody is starving. Reclaim one core from an app above its max (back
-    // toward the "minimum resources" goal of Section 5.3).
+    // Nobody is starving. Reclaim from the dead first, then from an app
+    // above its max (back toward the "minimum resources" goal of §5.3).
     for (std::size_t i = 0; i < apps_.size(); ++i) {
       App& app = apps_[i];
-      if (snaps[i].beats < opts_.warmup_beats) continue;
+      if (snaps[i].dead && app.alloc > opts_.min_cores_per_app) {
+        --app.alloc;
+        app.actuator(app.alloc);
+        ++moves_;
+        cooldown_left_ = opts_.cooldown_polls;
+        return true;
+      }
+    }
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      App& app = apps_[i];
+      if (snaps[i].dead || snaps[i].beats < opts_.warmup_beats) continue;
       if (normalized_error(snaps[i]) > opts_.deficit_deadband &&
           app.alloc > opts_.min_cores_per_app) {
         --app.alloc;
@@ -159,26 +188,38 @@ bool GlobalScheduler::poll() {
     return true;
   }
 
-  // Otherwise tax the most generous donor: prefer the largest positive
-  // error (above max); fall back to the app with the smallest deficit that
-  // can still give (best-effort fairness), as long as the donor is strictly
-  // better off than the receiver.
+  // Dead apps donate unconditionally — their cores serve nobody.
   int donor = -1;
-  double donor_error = worst;  // must beat the receiver's error
   for (std::size_t i = 0; i < apps_.size(); ++i) {
     if (static_cast<int>(i) == needy) continue;
-    App& app = apps_[i];
-    if (app.alloc <= opts_.min_cores_per_app) continue;
-    if (snaps[i].beats < opts_.warmup_beats) continue;
-    const double e = normalized_error(snaps[i]);
-    if (e > donor_error) {
-      donor_error = e;
+    if (snaps[i].dead && apps_[i].alloc > opts_.min_cores_per_app) {
       donor = static_cast<int>(i);
+      break;
     }
   }
-  // Only move a core if the donor is meaningfully better off.
-  if (donor < 0 || donor_error - worst < 2.0 * opts_.deficit_deadband) {
-    return false;
+
+  if (donor < 0) {
+    // Otherwise tax the most generous live donor: prefer the largest
+    // positive error (above max); fall back to the app with the smallest
+    // deficit that can still give (best-effort fairness), as long as the
+    // donor is strictly better off than the receiver.
+    double donor_error = worst;  // must beat the receiver's error
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      if (static_cast<int>(i) == needy) continue;
+      App& app = apps_[i];
+      if (snaps[i].dead) continue;
+      if (app.alloc <= opts_.min_cores_per_app) continue;
+      if (snaps[i].beats < opts_.warmup_beats) continue;
+      const double e = normalized_error(snaps[i]);
+      if (e > donor_error) {
+        donor_error = e;
+        donor = static_cast<int>(i);
+      }
+    }
+    // Only move a core if the donor is meaningfully better off.
+    if (donor < 0 || donor_error - worst < 2.0 * opts_.deficit_deadband) {
+      return false;
+    }
   }
   App& giver = apps_[static_cast<std::size_t>(donor)];
   --giver.alloc;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/reader.hpp"
+#include "fault/fleet_detector.hpp"
 #include "hub/view.hpp"
 
 namespace hb::sched {
@@ -50,6 +51,15 @@ struct GlobalSchedulerOptions {
   /// reflect pre-move beats, and acting on them causes the classic
   /// give-take oscillation. Sized to the observation window.
   int cooldown_polls = 10;
+  /// When true, every poll classifies apps with the fleet detector's rules
+  /// (fault_options) and skips dead apps when reallocating: a dead app is
+  /// never a receiver, and its cores are reclaimed before any live app is
+  /// taxed — "a lack of heartbeats ... would indicate that it has failed"
+  /// (paper, Section 2.6). Hub-backed apps classify straight from the
+  /// cluster snapshot; reader-backed apps through a FailureDetector with
+  /// the equivalent thresholds.
+  bool detect_failures = false;
+  fault::FleetDetectorOptions fault_options{};
 };
 
 class GlobalScheduler {
@@ -98,6 +108,7 @@ class GlobalScheduler {
     double rate = 0.0;
     std::uint64_t beats = 0;
     core::TargetRate target;
+    bool dead = false;  ///< verdict under opts_.fault_options (if enabled)
   };
 
   int add_app_impl(App app);

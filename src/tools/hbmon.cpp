@@ -10,17 +10,23 @@
 //   hbmon show <app>                   # one-shot status
 //   hbmon watch <app> [-n samples] [-i interval_ms] [-w window]
 //   hbmon history <app> [-n beats]     # recent beats (seq, time, tag, tid)
+//   hbmon fleet [-s dead_ms]           # one-sweep health verdict table
 //
 // Registry directory: $HB_DIR or <tmp>/heartbeats.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/tags.hpp"
 #include "fault/failure_detector.hpp"
+#include "fault/fleet_detector.hpp"
+#include "hub/hub.hpp"
+#include "hub/view.hpp"
 #include "transport/registry.hpp"
 
 namespace {
@@ -31,7 +37,8 @@ int usage() {
                "       hbmon show <app>\n"
                "       hbmon watch <app> [-n samples] [-i interval_ms] "
                "[-w window]\n"
-               "       hbmon history <app> [-n beats]\n");
+               "       hbmon history <app> [-n beats]\n"
+               "       hbmon fleet [-s dead_ms] [-n history_beats]\n");
   return 2;
 }
 
@@ -118,6 +125,74 @@ int cmd_history(const hb::transport::Registry& registry,
   return 0;
 }
 
+// One sweep over every registered application: feed each app's recent
+// history into an in-process HeartbeatHub, then let the FleetDetector
+// classify the whole fleet from that single aggregated snapshot (the
+// fleet-scale reading of §2.6: health comes from one rollup, not from
+// polling apps one by one).
+int cmd_fleet(const hb::transport::Registry& registry, int dead_ms,
+              int history_beats) {
+  const auto apps = registry.list_applications();
+  if (apps.empty()) {
+    std::printf("no heartbeat applications in %s\n", registry.dir().c_str());
+    return 0;
+  }
+
+  hb::hub::HubOptions opts;
+  opts.shard_count = 8;
+  opts.window_capacity =
+      static_cast<std::size_t>(history_beats > 2 ? history_beats : 2);
+  hb::hub::HeartbeatHub hub(opts);  // monotonic clock, same epoch as producers
+  for (const auto& app : apps) {
+    try {
+      // Read everything BEFORE registering, so an app whose registry data
+      // cannot be read is truly skipped — not left behind as a beat-less
+      // registration that the table would still list as warming-up.
+      const auto reader = registry.reader(app);
+      const auto target = reader.target();
+      const auto history =
+          reader.history(static_cast<std::size_t>(history_beats));
+      hub.ingest(hub.register_app(app, target), history);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hbmon: skipping %s: %s\n", app.c_str(), e.what());
+    }
+  }
+
+  hb::fault::FleetDetector detector(
+      {.absolute_staleness_ns =
+           static_cast<hb::util::TimeNs>(dead_ms) * 1000000});
+  hb::fault::FleetReport report = detector.sweep(hb::hub::HubView(hub));
+  std::sort(report.apps.begin(), report.apps.end(),
+            [](const hb::fault::AppHealth& a, const hb::fault::AppHealth& b) {
+              return a.name < b.name;
+            });
+
+  std::printf("%-24s %10s %12s %10s %14s %-10s\n", "application", "beats",
+              "rate(b/s)", "tgt_min", "staleness(ms)", "health");
+  for (const auto& app : report.apps) {
+    std::printf("%-24s %10llu %12.2f %10.2f %14.1f %-10s\n", app.name.c_str(),
+                static_cast<unsigned long long>(app.total_beats),
+                app.rate_bps, app.target.min_bps,
+                static_cast<double>(app.staleness_ns) / 1e6,
+                hb::fault::to_string(app.health));
+  }
+  const auto& fleet = report.fleet;
+  std::printf("\nfleet: %llu apps | %llu healthy, %llu slow, %llu erratic, "
+              "%llu dead, %llu warming-up\n",
+              static_cast<unsigned long long>(fleet.apps),
+              static_cast<unsigned long long>(fleet.healthy),
+              static_cast<unsigned long long>(fleet.slow),
+              static_cast<unsigned long long>(fleet.erratic),
+              static_cast<unsigned long long>(fleet.dead),
+              static_cast<unsigned long long>(fleet.warming_up));
+  if (!fleet.dead_apps.empty()) {
+    std::printf("dead:");
+    for (const auto& name : fleet.dead_apps) std::printf(" %s", name.c_str());
+    std::printf("\n");
+  }
+  return fleet.dead == 0 ? 0 : 3;  // scripts can alert on the exit code
+}
+
 int parse_flag(int argc, char** argv, const char* flag, int fallback) {
   for (int i = 0; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
@@ -133,6 +208,10 @@ int main(int argc, char** argv) {
   hb::transport::Registry registry;
   try {
     if (cmd == "list") return cmd_list(registry);
+    if (cmd == "fleet" || cmd == "--fleet") {
+      return cmd_fleet(registry, parse_flag(argc, argv, "-s", 5000),
+                       parse_flag(argc, argv, "-n", 64));
+    }
     if (argc < 3) return usage();
     const std::string app = argv[2];
     if (cmd == "show") {

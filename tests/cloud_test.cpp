@@ -153,6 +153,52 @@ TEST_F(CloudFixture, DeadVmDetectedByStaleness) {
   EXPECT_EQ(detector.assess(r2), fault::Health::kDead);
 }
 
+TEST_F(CloudFixture, KilledVmGoesSilentAndRestartResumes) {
+  const int v = sim.add_vm(light_vm("victim", 2.0));
+  const int bystander = sim.add_vm(light_vm("bystander", 2.0));
+  sim.migrate(bystander, 1);
+  for (int i = 0; i < 50; ++i) sim.step(0.1);
+  const std::uint64_t beats_at_kill = sim.reader(v).count();
+  EXPECT_GT(beats_at_kill, 0u);
+
+  sim.kill_vm(v);
+  EXPECT_TRUE(sim.vm_killed(v));
+  for (int i = 0; i < 50; ++i) sim.step(0.1);
+  // Silence, zero demand, and a freed machine — but no other announcement.
+  EXPECT_EQ(sim.reader(v).count(), beats_at_kill);
+  EXPECT_DOUBLE_EQ(sim.machine_demand(sim.placement(v)), 0.0);
+  EXPECT_EQ(sim.used_machines(), 1);
+  EXPECT_FALSE(sim.vm_finished(v));  // frozen mid-phase, not done
+
+  fault::FailureDetector detector;
+  EXPECT_EQ(detector.assess(sim.reader(v)), fault::Health::kDead);
+
+  sim.restart_vm(v);
+  EXPECT_FALSE(sim.vm_killed(v));
+  for (int i = 0; i < 100; ++i) sim.step(0.1);
+  EXPECT_GT(sim.reader(v).count(), beats_at_kill);
+  EXPECT_EQ(detector.assess(sim.reader(v)), fault::Health::kHealthy);
+}
+
+TEST_F(CloudFixture, ConsolidatorLeavesDeadVmsAlone) {
+  // A dead VM's windowed rate is stale, not low; the manager must not
+  // "consolidate" it onto a busier machine once heartbeat silence marks it
+  // dead (demand 3 + 3 would fit machine 1, so only the verdict stops it).
+  const int v = sim.add_vm(light_vm("dead", 3.0));
+  const int other = sim.add_vm(light_vm("other", 3.0));
+  sim.migrate(other, 1);
+  for (int i = 0; i < 100; ++i) sim.step(0.1);
+  sim.kill_vm(v);
+  for (int i = 0; i < 50; ++i) sim.step(0.1);  // silence past the threshold
+  const int placed = sim.placement(v);
+  HeartbeatConsolidator manager({.headroom = 1.0, .period_s = 1.0});
+  for (int i = 0; i < 100; ++i) {
+    sim.step(0.1);
+    manager.poll(sim);
+  }
+  EXPECT_EQ(sim.placement(v), placed);
+}
+
 TEST(CloudSimCtor, Validation) {
   auto clock = std::make_shared<util::ManualClock>();
   EXPECT_THROW(CloudSim(0, 10.0, clock), std::invalid_argument);

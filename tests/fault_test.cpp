@@ -152,6 +152,21 @@ TEST_F(DetectorFixture, AbsoluteStalenessCatchesNeverBeating) {
   EXPECT_EQ(strict.assess(reader), Health::kDead);
 }
 
+TEST_F(DetectorFixture, AbsoluteStalenessAppliesAfterWarmUpToo) {
+  // Regression: a producer whose recorded beats all share one clock tick
+  // has mean_ns == 0, so the relative staleness_factor bound can never
+  // fire. The absolute bound used to be checked only during warm-up, so
+  // such an app could go silent forever and still read as healthy.
+  FailureDetector strict({.absolute_staleness_ns = 2 * kNsPerSec});
+  for (int i = 0; i < 10; ++i) producer.beat();  // 10 beats, one tick
+  EXPECT_NE(strict.assess(reader), Health::kDead);  // fresh: not stale yet
+  clock->advance(3 * kNsPerSec);
+  EXPECT_EQ(strict.assess(reader), Health::kDead);
+  // The default detector (no absolute bound) still cannot judge this case;
+  // that is exactly why FleetDetectorOptions recommend setting one.
+  EXPECT_NE(detector.assess(reader), Health::kDead);
+}
+
 TEST_F(DetectorFixture, RecoversAfterBeatsResume) {
   beats(20, kNsPerSec / 10);
   clock->advance(2 * kNsPerSec);

@@ -1,0 +1,586 @@
+// Fleet-wide failure detection over the hub (paper §2.6 at fleet scale):
+// verdicts from aggregated summaries alone, one HubView pass per sweep,
+// wired through CloudSim fleets and the hub-backed GlobalScheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_sim.hpp"
+#include "fault/fleet_detector.hpp"
+#include "hub/hub.hpp"
+#include "hub/view.hpp"
+#include "sched/global_scheduler.hpp"
+#include "util/clock.hpp"
+#include "util/time.hpp"
+
+namespace hb::fault {
+namespace {
+
+using util::kNsPerMs;
+using util::kNsPerSec;
+
+// ------------------------------------------------------- classify() units
+
+hub::AppSummary base_summary() {
+  hub::AppSummary s;
+  s.name = "app";
+  s.total_beats = 100;
+  s.window_beats = 50;
+  s.rate_bps = 10.0;
+  s.staleness_ns = 100 * kNsPerMs;
+  s.interval_mean_ns = 100.0 * kNsPerMs;
+  s.interval_stddev_ns = 0.0;
+  s.target = core::TargetRate{1.0, std::numeric_limits<double>::infinity()};
+  return s;
+}
+
+TEST(FleetClassify, HealthySteadyBeat) {
+  FleetDetector det;
+  EXPECT_EQ(det.classify(base_summary()), Health::kHealthy);
+}
+
+TEST(FleetClassify, WarmingUpOnFewLifetimeBeats) {
+  FleetDetector det;
+  hub::AppSummary s = base_summary();
+  s.total_beats = 2;
+  EXPECT_EQ(det.classify(s), Health::kWarmingUp);
+}
+
+TEST(FleetClassify, DeadPastRelativeStaleness) {
+  FleetDetector det;  // staleness_factor 8
+  hub::AppSummary s = base_summary();
+  s.staleness_ns = kNsPerSec;  // 10x the 100ms mean
+  EXPECT_EQ(det.classify(s), Health::kDead);
+}
+
+TEST(FleetClassify, DeadPastAbsoluteStalenessEvenWithZeroMean) {
+  // The hub-side twin of the FailureDetector regression: all-one-tick beats
+  // leave mean 0; only the absolute bound can declare death.
+  FleetDetector det({.absolute_staleness_ns = 2 * kNsPerSec});
+  hub::AppSummary s = base_summary();
+  s.interval_mean_ns = 0.0;
+  s.rate_bps = std::numeric_limits<double>::infinity();
+  s.staleness_ns = 3 * kNsPerSec;
+  EXPECT_EQ(det.classify(s), Health::kDead);
+  // And for apps that never beat at all (summary still zeroed).
+  hub::AppSummary never;
+  never.staleness_ns = 3 * kNsPerSec;
+  EXPECT_EQ(det.classify(never), Health::kDead);
+}
+
+TEST(FleetClassify, SlowBelowRegisteredMin) {
+  FleetDetector det;
+  hub::AppSummary s = base_summary();
+  s.target.min_bps = 20.0;  // rate 10 < 20
+  EXPECT_EQ(det.classify(s), Health::kSlow);
+}
+
+TEST(FleetClassify, InfiniteRateIsNotSlow) {
+  FleetDetector det;
+  hub::AppSummary s = base_summary();
+  s.rate_bps = std::numeric_limits<double>::infinity();
+  s.target.min_bps = 20.0;
+  s.interval_mean_ns = 0.0;
+  EXPECT_EQ(det.classify(s), Health::kHealthy);
+}
+
+TEST(FleetClassify, ErraticOnHighJitter) {
+  FleetDetector det;  // jitter_factor 0.8
+  hub::AppSummary s = base_summary();
+  s.interval_stddev_ns = 0.9 * s.interval_mean_ns;
+  EXPECT_EQ(det.classify(s), Health::kErratic);
+}
+
+TEST(FleetClassify, EvictedIsDead) {
+  FleetDetector det;
+  hub::AppSummary s = base_summary();
+  s.evicted = true;
+  EXPECT_EQ(det.classify(s), Health::kDead);
+}
+
+TEST(FleetClassify, AgedOutWindowStillYieldsADeathVerdict) {
+  // Regression: once time-based aging drains the window, interval_mean_ns
+  // is 0 and the relative bound had nothing to compare staleness against —
+  // a dead producer read as kWarmingUp forever (absent an absolute bound).
+  // The last non-empty window's mean survives aging exactly for this.
+  FleetDetector det;  // note: NO absolute bound configured
+  hub::AppSummary s = base_summary();
+  s.window_beats = 0;
+  s.rate_bps = 0.0;
+  s.interval_mean_ns = 0.0;
+  s.last_interval_mean_ns = 100.0 * kNsPerMs;  // used to beat at 10 b/s
+  s.staleness_ns = 5 * kNsPerSec;              // silent 50x its cadence
+  EXPECT_EQ(det.classify(s), Health::kDead);
+}
+
+TEST(FleetClassify, EmptyWindowAfterAgingIsWarmingUpNotSlow) {
+  FleetDetector det;
+  hub::AppSummary s = base_summary();
+  s.window_beats = 0;          // everything aged past window_ns
+  s.rate_bps = 0.0;
+  s.interval_mean_ns = 0.0;
+  s.last_interval_mean_ns = 100.0 * kNsPerMs;
+  s.target.min_bps = 20.0;
+  s.staleness_ns = 10 * kNsPerMs;  // just resumed: nowhere near 8x cadence
+  EXPECT_EQ(det.classify(s), Health::kWarmingUp);
+}
+
+// -------------------------------------------------------------- hub sweeps
+
+TEST(FleetSweep, MixedHubFleetRollsUp) {
+  auto clock = std::make_shared<util::ManualClock>();
+  hub::HubOptions opts;
+  opts.shard_count = 4;
+  opts.batch_capacity = 8;
+  opts.window_capacity = 64;
+  opts.clock = clock;
+  hub::HeartbeatHub hub(opts);
+
+  const auto inf = std::numeric_limits<double>::infinity();
+  const hub::AppId healthy = hub.register_app("healthy", {1.0, inf});
+  const hub::AppId slow = hub.register_app("slow", {10.0, inf});
+  const hub::AppId erratic = hub.register_app("erratic", {1.0, inf});
+  const hub::AppId dead = hub.register_app("dead", {1.0, inf});
+  hub.register_app("silent", {1.0, inf});
+
+  for (int tick = 0; tick < 200; ++tick) {
+    clock->advance(50 * kNsPerMs);  // 10s total
+    hub.beat(healthy);                              // 20 b/s
+    if (tick % 10 == 0) hub.beat(slow);             // 2 b/s < min 10
+    if (tick % 16 <= 1) hub.beat(erratic);          // 50ms / 750ms alternation
+    if (tick < 100) hub.beat(dead);                 // stops at t = 5s
+  }
+
+  FleetDetector det({.absolute_staleness_ns = 20 * kNsPerSec});
+  const FleetReport report = det.sweep(hub::HubView(hub));
+
+  ASSERT_EQ(report.apps.size(), 5u);
+  for (const AppHealth& app : report.apps) {
+    if (app.name == "healthy") {
+      EXPECT_EQ(app.health, Health::kHealthy);
+    } else if (app.name == "slow") {
+      EXPECT_EQ(app.health, Health::kSlow);
+    } else if (app.name == "erratic") {
+      EXPECT_EQ(app.health, Health::kErratic);
+    } else if (app.name == "dead") {
+      EXPECT_EQ(app.health, Health::kDead);
+    } else if (app.name == "silent") {
+      EXPECT_EQ(app.health, Health::kWarmingUp);
+    }
+  }
+  const FleetHealth& fleet = report.fleet;
+  EXPECT_EQ(fleet.apps, 5u);
+  EXPECT_EQ(fleet.healthy, 1u);
+  EXPECT_EQ(fleet.slow, 1u);
+  EXPECT_EQ(fleet.erratic, 1u);
+  EXPECT_EQ(fleet.dead, 1u);
+  EXPECT_EQ(fleet.warming_up, 1u);
+  EXPECT_FALSE(fleet.all_healthy());
+  ASSERT_EQ(fleet.dead_apps.size(), 1u);
+  EXPECT_EQ(fleet.dead_apps[0], "dead");
+  EXPECT_EQ(fleet.swept_at_ns, clock->now());
+  // Worst offenders: most severe verdict first — dead leads.
+  ASSERT_GE(fleet.worst.size(), 1u);
+  EXPECT_EQ(fleet.worst[0].name, "dead");
+  EXPECT_EQ(fleet.worst[0].health, Health::kDead);
+}
+
+TEST(FleetSweep, WorstOffendersAreCappedAndExcludeWarmUps) {
+  auto clock = std::make_shared<util::ManualClock>();
+  hub::HubOptions opts;
+  opts.clock = clock;
+  hub::HeartbeatHub hub(opts);
+  // 10 slow apps (rate 10 against min 100) and 10 warming-up ones.
+  std::vector<hub::AppId> slow;
+  for (int i = 0; i < 10; ++i) {
+    slow.push_back(hub.register_app(
+        "slow-" + std::to_string(i),
+        {100.0, std::numeric_limits<double>::infinity()}));
+    hub.register_app("silent-" + std::to_string(i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    clock->advance(100 * kNsPerMs);
+    for (const hub::AppId id : slow) hub.beat(id);
+  }
+  FleetDetector det({.max_worst = 3});
+  const FleetReport report = det.sweep(hub::HubView(hub));
+  EXPECT_EQ(report.fleet.slow, 10u);
+  EXPECT_EQ(report.fleet.warming_up, 10u);
+  // Capped, and a freshly registered app is not an "offender": every entry
+  // is one of the genuinely unhealthy apps.
+  ASSERT_EQ(report.fleet.worst.size(), 3u);
+  for (const AppHealth& app : report.fleet.worst) {
+    EXPECT_EQ(app.health, Health::kSlow) << app.name;
+  }
+}
+
+TEST(FleetSweep, AutoEvictedDeathsStayInTheReport) {
+  // Regression: once the hub auto-evicts a dead app, it left apps() — and
+  // the sweep reported 0 dead, clearing alerts exactly after the death was
+  // confirmed. Sweeps include evicted apps and report them dead.
+  auto clock = std::make_shared<util::ManualClock>();
+  hub::HubOptions opts;
+  opts.evict_after_ns = 2 * kNsPerSec;
+  opts.clock = clock;
+  hub::HeartbeatHub hub(opts);
+  const hub::AppId live = hub.register_app("live");
+  const hub::AppId doomed = hub.register_app("doomed");
+  for (int i = 0; i < 20; ++i) {
+    clock->advance(100 * kNsPerMs);
+    hub.beat(live);
+    hub.beat(doomed);
+  }
+  for (int i = 0; i < 40; ++i) {  // 4s of silence for doomed
+    clock->advance(100 * kNsPerMs);
+    hub.beat(live);
+  }
+  ASSERT_TRUE(hub::HubView(hub).app("doomed")->evicted);
+
+  const FleetReport report = FleetDetector().sweep(hub::HubView(hub));
+  EXPECT_EQ(report.fleet.apps, 2u);
+  EXPECT_EQ(report.fleet.dead, 1u);
+  EXPECT_EQ(report.fleet.evicted, 1u);
+  ASSERT_EQ(report.fleet.dead_apps.size(), 1u);
+  EXPECT_EQ(report.fleet.dead_apps[0], "doomed");
+}
+
+TEST(FleetSweep, AgedOutDeadProducerIsReportedDeadWithoutAbsoluteBound) {
+  // End-to-end twin of FleetClassify.AgedOutWindowStillYieldsADeathVerdict:
+  // time-windowed hub, default detector options, producer goes silent long
+  // past its window. The sweep must still say dead.
+  auto clock = std::make_shared<util::ManualClock>();
+  hub::HubOptions opts;
+  opts.window_ns = kNsPerSec;
+  opts.clock = clock;
+  hub::HeartbeatHub hub(opts);
+  const hub::AppId id = hub.register_app("quiet");
+  for (int i = 0; i < 20; ++i) {
+    clock->advance(100 * kNsPerMs);
+    hub.beat(id);
+  }
+  clock->advance(10 * kNsPerSec);  // window fully drained
+  ASSERT_EQ(hub::HubView(hub).app("quiet")->window_beats, 0u);
+  const FleetReport report = FleetDetector().sweep(hub::HubView(hub));
+  EXPECT_EQ(report.fleet.dead, 1u);
+}
+
+TEST(FleetSweep, FreshFleetHasNoWorstOffenders) {
+  auto clock = std::make_shared<util::ManualClock>();
+  hub::HubOptions opts;
+  opts.clock = clock;
+  hub::HeartbeatHub hub(opts);
+  for (int i = 0; i < 5; ++i) hub.register_app("new-" + std::to_string(i));
+  clock->advance(kNsPerSec);
+  const FleetReport report = FleetDetector().sweep(hub::HubView(hub));
+  EXPECT_EQ(report.fleet.warming_up, 5u);
+  EXPECT_TRUE(report.fleet.worst.empty());
+}
+
+// --------------------------------------------- CloudSim fleet, 1000 VMs
+
+// The acceptance scenario: a 1000-VM fleet feeding one hub, with injected
+// kills (silent), overcommitted targets (slow), and bursty phase schedules
+// (erratic). One sweep — a single HubView pass, no per-VM reader queries —
+// must classify every injected fault correctly under the ManualClock.
+TEST(FleetSweepCloud, ThousandVmFleetWithInjectedFaults) {
+  auto clock = std::make_shared<util::ManualClock>();
+  // Capacity is deliberately plentiful: no machine ever oversubscribes, so
+  // beat patterns stay exactly as injected (contention would add jitter on
+  // innocent VMs and muddy the class assertions).
+  cloud::CloudSim sim(25, /*capacity=*/200.0, clock);
+  auto hub = std::make_shared<hub::HeartbeatHub>([&] {
+    hub::HubOptions opts;
+    opts.shard_count = 16;
+    opts.batch_capacity = 64;
+    opts.window_capacity = 64;
+    opts.clock = clock;
+    return opts;
+  }());
+  sim.attach_hub(hub);
+
+  constexpr int kVms = 1000;
+  std::vector<int> killed, slow, erratic;
+  for (int i = 0; i < kVms; ++i) {
+    cloud::VmSpec spec;
+    spec.name = "vm-" + std::to_string(i);
+    spec.work_per_beat = 1.0;
+    if (i % 11 == 3) {
+      // Bursty: 0.5s at demand 8, 0.5s idle — at dt=0.1 the intervals
+      // alternate 100ms within the burst and ~700ms across the gap
+      // (CoV ~1.0). 70 cycles outlast the whole scenario.
+      for (int c = 0; c < 70; ++c) {
+        spec.phases.push_back({0.5, 8.0});
+        spec.phases.push_back({0.5, 0.0});
+      }
+      spec.target_min_bps = 2.0;  // 4 b/s average: meets its goal
+      erratic.push_back(i);
+    } else {
+      spec.phases = {{100.0, 4.0}};  // steady 4 b/s
+      if (i % 7 == 2) {
+        spec.target_min_bps = 8.0;  // impossible goal: slow
+        slow.push_back(i);
+      } else {
+        spec.target_min_bps = 2.0;
+      }
+    }
+    const int v = sim.add_vm(std::move(spec));
+    if (i % 13 == 5) killed.push_back(v);
+  }
+
+  for (int i = 0; i < 150; ++i) sim.step(0.1);  // t = 15s: everyone warm
+  for (const int v : killed) sim.kill_vm(v);
+  for (int i = 0; i < 150; ++i) sim.step(0.1);  // t = 30s: kills are stale
+
+  const FleetDetector det({.absolute_staleness_ns = 5 * kNsPerSec});
+  const FleetReport report = sim.fleet_health(det);
+
+  ASSERT_EQ(report.fleet.apps, static_cast<std::uint64_t>(kVms));
+  // Build name -> verdict for exact per-class checks.
+  std::vector<Health> verdicts(kVms, Health::kWarmingUp);
+  for (const AppHealth& app : report.apps) {
+    verdicts[static_cast<std::size_t>(
+        std::stoi(app.name.substr(3)))] = app.health;
+  }
+  for (const int v : killed) {
+    EXPECT_EQ(verdicts[static_cast<std::size_t>(v)], Health::kDead)
+        << "vm-" << v;
+  }
+  for (const int v : slow) {
+    if (std::find(killed.begin(), killed.end(), v) != killed.end()) continue;
+    EXPECT_EQ(verdicts[static_cast<std::size_t>(v)], Health::kSlow)
+        << "vm-" << v;
+  }
+  for (const int v : erratic) {
+    if (std::find(killed.begin(), killed.end(), v) != killed.end()) continue;
+    EXPECT_EQ(verdicts[static_cast<std::size_t>(v)], Health::kErratic)
+        << "vm-" << v;
+  }
+  EXPECT_EQ(report.fleet.dead, killed.size());
+  EXPECT_EQ(report.fleet.healthy + report.fleet.slow + report.fleet.erratic,
+            static_cast<std::uint64_t>(kVms) - killed.size());
+  // The sweep drained every shard in its one pass: nothing left buffered.
+  for (const auto& s : hub::HubView(*hub).shard_stats()) {
+    EXPECT_EQ(s.pending, 0u);
+  }
+
+  // Restart heals: after enough fresh beats wash out the gap, a new sweep
+  // sees the fleet alive again.
+  for (const int v : killed) sim.restart_vm(v);
+  for (int i = 0; i < 300; ++i) sim.step(0.1);
+  const FleetReport healed = sim.fleet_health(det);
+  EXPECT_EQ(healed.fleet.dead, 0u);
+}
+
+TEST(FleetSweepCloud, FleetHealthRequiresAnAttachedHub) {
+  auto clock = std::make_shared<util::ManualClock>();
+  cloud::CloudSim sim(2, 10.0, clock);
+  EXPECT_THROW(sim.fleet_health(FleetDetector{}), std::logic_error);
+}
+
+// ------------------------------------------- scheduler integration (dead)
+
+TEST(FleetScheduler, DeadAppsDonateTheirCores) {
+  auto clock = std::make_shared<util::ManualClock>();
+  auto hub = std::make_shared<hub::HeartbeatHub>([&] {
+    hub::HubOptions opts;
+    opts.shard_count = 2;
+    opts.batch_capacity = 4;
+    opts.rate_window = 8;
+    opts.clock = clock;
+    return opts;
+  }());
+  const auto inf = std::numeric_limits<double>::infinity();
+  const hub::AppId a = hub->register_app("a", {10.0, inf});
+  const hub::AppId b = hub->register_app("b", {1.0, inf});
+
+  sched::GlobalScheduler scheduler(
+      {.total_cores = 4,
+       .min_cores_per_app = 1,
+       .cooldown_polls = 0,
+       .detect_failures = true,
+       .fault_options = {.absolute_staleness_ns = 2 * kNsPerSec}},
+      hub::HubView(hub));
+  int cores_a = 0, cores_b = 0;
+  scheduler.add_app("a", [&](int c) { cores_a = c; });
+  scheduler.add_app("b", [&](int c) { cores_b = c; });
+
+  // Both beat; b hoovers up the free cores by being needy first.
+  auto beat_both = [&](int n, bool with_b) {
+    for (int i = 0; i < n; ++i) {
+      clock->advance(100 * kNsPerMs);
+      hub->beat(a);
+      if (with_b) {
+        hub->beat(b);
+        hub->beat(b);
+      }
+    }
+  };
+  beat_both(10, true);
+  hub->set_target(b, {30.0, inf});  // b needy: gets the 2 free cores
+  EXPECT_TRUE(scheduler.poll());
+  EXPECT_TRUE(scheduler.poll());
+  EXPECT_EQ(cores_b, 3);
+  EXPECT_EQ(scheduler.free_cores(), 0);
+  hub->set_target(b, {1.0, inf});
+
+  // Now b dies. a (rate ~10 < min 10 after its target tightens) is needy;
+  // the only core available must come from the dead app, min floor aside.
+  beat_both(30, false);  // b silent for 3s > 2s bound
+  hub->set_target(a, {20.0, inf});  // a deficient
+  EXPECT_TRUE(scheduler.poll());
+  EXPECT_EQ(cores_b, 2);  // dead donor taxed first
+  EXPECT_EQ(cores_a, 2);
+  EXPECT_TRUE(scheduler.poll());
+  EXPECT_EQ(cores_b, 1);  // taxed down to the min floor
+  EXPECT_EQ(cores_a, 3);
+  // At the floor the dead app has nothing left to give; no further moves.
+  EXPECT_FALSE(scheduler.poll());
+}
+
+TEST(FleetScheduler, DeadAppsAreNeverReceivers) {
+  auto clock = std::make_shared<util::ManualClock>();
+  auto hub = std::make_shared<hub::HeartbeatHub>([&] {
+    hub::HubOptions opts;
+    opts.shard_count = 2;
+    opts.rate_window = 8;
+    opts.clock = clock;
+    return opts;
+  }());
+  const auto inf = std::numeric_limits<double>::infinity();
+  const hub::AppId a = hub->register_app("a", {1.0, inf});
+  hub->register_app("b", {50.0, inf});  // huge min: permanently "deficient"
+
+  sched::GlobalScheduler scheduler(
+      {.total_cores = 4,
+       .min_cores_per_app = 1,
+       .warmup_beats = 3,
+       .cooldown_polls = 0,
+       .detect_failures = true,
+       .fault_options = {.absolute_staleness_ns = 2 * kNsPerSec}},
+      hub::HubView(hub));
+  int cores_b = 0;
+  scheduler.add_app("a", [](int) {});
+  scheduler.add_app("b", [&](int c) { cores_b = c; });
+
+  // b beat a little once (warm), then died; a stays healthy.
+  for (int i = 0; i < 5; ++i) {
+    clock->advance(100 * kNsPerMs);
+    hub->beat(a);
+    hub->beat(hub->id_of("b"));
+  }
+  for (int i = 0; i < 50; ++i) {
+    clock->advance(100 * kNsPerMs);
+    hub->beat(a);
+  }
+  // Without failure detection b's stale deficit would attract the free
+  // cores; with it, nothing moves toward the dead app.
+  EXPECT_FALSE(scheduler.poll());
+  EXPECT_EQ(cores_b, 1);  // untouched at its initial minimum
+}
+
+TEST(FleetScheduler, NotYetRegisteredAppsAreWarmingUpNotDead) {
+  // Regression: an app added to the scheduler before its producer registers
+  // with the hub (the normal startup ordering) must be treated as warming
+  // up — not presumed dead and taxed down to its minimum.
+  auto clock = std::make_shared<util::ManualClock>();
+  auto hub = std::make_shared<hub::HeartbeatHub>([&] {
+    hub::HubOptions opts;
+    opts.shard_count = 2;
+    opts.rate_window = 8;
+    opts.clock = clock;
+    return opts;
+  }());
+  const auto inf = std::numeric_limits<double>::infinity();
+  const hub::AppId a = hub->register_app("a", {1.0, inf});
+
+  sched::GlobalScheduler scheduler(
+      {.total_cores = 4,
+       .min_cores_per_app = 1,
+       .cooldown_polls = 0,
+       .detect_failures = true,
+       .fault_options = {.absolute_staleness_ns = 2 * kNsPerSec}},
+      hub::HubView(hub));
+  int cores_a = 0, cores_late = 0;
+  scheduler.add_app("a", [&](int c) { cores_a = c; });
+  scheduler.add_app("late", [&](int c) { cores_late = c; });  // not in hub yet
+
+  for (int i = 0; i < 50; ++i) {
+    clock->advance(100 * kNsPerMs);
+    hub->beat(a);
+  }
+  // 5s in (far past the 2s staleness bound), "late" still must not read as
+  // a dead donor: a is healthy, nobody needy, nothing to reclaim.
+  EXPECT_FALSE(scheduler.poll());
+  EXPECT_EQ(cores_late, 1);
+
+  // Once the producer registers and beats, the app joins normally — and
+  // gets free cores when needy.
+  const hub::AppId late = hub->register_app("late", {50.0, inf});
+  for (int i = 0; i < 10; ++i) {
+    clock->advance(100 * kNsPerMs);
+    hub->beat(a);
+    hub->beat(late);  // 10 b/s << min 50: needy once warm
+  }
+  EXPECT_TRUE(scheduler.poll());
+  EXPECT_EQ(cores_late, 2);
+  (void)cores_a;
+}
+
+TEST(FleetScheduler, HubEvictedAppsReadAsDead) {
+  // The other side of the same coin: an auto-evicted app stays listed
+  // (flagged) in the scheduler's snapshot and classifies dead — its cores
+  // are reclaimed.
+  auto clock = std::make_shared<util::ManualClock>();
+  auto hub = std::make_shared<hub::HeartbeatHub>([&] {
+    hub::HubOptions opts;
+    opts.shard_count = 2;
+    opts.rate_window = 8;
+    opts.evict_after_ns = 2 * kNsPerSec;
+    opts.clock = clock;
+    return opts;
+  }());
+  const auto inf = std::numeric_limits<double>::infinity();
+  const hub::AppId a = hub->register_app("a", {1.0, inf});
+  const hub::AppId b = hub->register_app("b", {1.0, inf});
+
+  sched::GlobalScheduler scheduler(
+      {.total_cores = 3,
+       .min_cores_per_app = 1,
+       .cooldown_polls = 0,
+       .detect_failures = true,
+       .fault_options = {.absolute_staleness_ns = 2 * kNsPerSec}},
+      hub::HubView(hub));
+  int cores_a = 0, cores_b = 0;
+  scheduler.add_app("a", [&](int c) { cores_a = c; });
+  scheduler.add_app("b", [&](int c) { cores_b = c; });
+
+  // b grabs the free core while alive (and gets listed: seen in the hub).
+  hub->set_target(b, {30.0, inf});
+  for (int i = 0; i < 10; ++i) {
+    clock->advance(100 * kNsPerMs);
+    hub->beat(a);
+    hub->beat(b);
+  }
+  EXPECT_TRUE(scheduler.poll());
+  EXPECT_EQ(cores_b, 2);
+
+  // b dies; past evict_after_ns the hub drops it from the listing. The
+  // scheduler must still hand its core to needy a.
+  for (int i = 0; i < 40; ++i) {
+    clock->advance(100 * kNsPerMs);
+    hub->beat(a);
+  }
+  EXPECT_TRUE(hub::HubView(*hub).app("b")->evicted);
+  hub->set_target(a, {30.0, inf});  // a needy at ~10 b/s
+  EXPECT_TRUE(scheduler.poll());
+  EXPECT_EQ(cores_b, 1);
+  EXPECT_EQ(cores_a, 2);
+}
+
+}  // namespace
+}  // namespace hb::fault

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -382,9 +384,236 @@ TEST(HubCluster, RollupAggregatesAcrossShards) {
   EXPECT_EQ(c.total_beats, 55u);
   EXPECT_NEAR(c.aggregate_rate_bps, 11.0, 0.2);
   EXPECT_EQ(c.meeting_target, 1u);  // fast
-  EXPECT_EQ(c.deficient, 2u);       // slow below 5, idle below 1 (no beats)
+  EXPECT_EQ(c.deficient, 1u);       // slow below 5
+  EXPECT_EQ(c.warming_up, 1u);      // idle: no beats -> no rate evidence yet
+  EXPECT_EQ(c.evicted, 0u);
   EXPECT_EQ(c.last_beat_ns, clock->now());
   EXPECT_GT(c.interval_p95_ns, c.interval_p50_ns / 2);
+}
+
+TEST(HubCluster, WarmingUpAppsDoNotInflateTheDeficit) {
+  // Regression: apps with < 2 windowed beats have no measurable rate
+  // (rate_bps is a placeholder 0) and used to be counted as deficient
+  // against any min target. They are warming up, not failing.
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 2));
+  hub.register_app("silent", core::TargetRate{5.0, 100.0});
+  const AppId once = hub.register_app("once", core::TargetRate{5.0, 100.0});
+  clock->advance(kNsPerSec);
+  hub.beat(once);  // 1 beat: still no interval, still no rate
+  const ClusterSummary c = HubView(hub).cluster();
+  EXPECT_EQ(c.apps, 2u);
+  EXPECT_EQ(c.warming_up, 2u);
+  EXPECT_EQ(c.deficient, 0u);
+  EXPECT_EQ(c.meeting_target, 0u);
+}
+
+TEST(HubCluster, InfiniteRateDoesNotMeetTarget) {
+  // Regression: a zero-span window (all beats on one clock tick) reports an
+  // infinite rate, and TargetRate{min, inf}.contains(inf) is true — such an
+  // app used to count as meeting target. Unmeasurably fast is not evidence.
+  auto clock = std::make_shared<util::ManualClock>(42);
+  HeartbeatHub hub(manual_opts(clock, 1));
+  const AppId id = hub.register_app("sametick", core::TargetRate{
+      1.0, std::numeric_limits<double>::infinity()});
+  for (int i = 0; i < 4; ++i) hub.beat(id);  // clock never advances
+  const ClusterSummary c = HubView(hub).cluster();
+  EXPECT_EQ(c.apps, 1u);
+  EXPECT_TRUE(std::isinf(HubView(hub).app("sametick")->rate_bps));
+  EXPECT_EQ(c.meeting_target, 0u);
+  EXPECT_EQ(c.deficient, 0u);
+  EXPECT_EQ(c.warming_up, 0u);  // measurable window, just zero-span
+}
+
+// ------------------------------------------------------- time-based windows
+
+TEST(HubTimeWindow, BeatsAgeOutAtTheConfiguredHorizon) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HubOptions opts = manual_opts(clock, 1, 4, /*window=*/256);
+  opts.window_ns = kNsPerSec;  // 1s horizon
+  HeartbeatHub hub(opts);
+  const AppId id = hub.register_app("a");
+  HubView view(hub);
+
+  // 20 beats at 100ms: t = 0.1s .. 2.0s.
+  for (int i = 0; i < 20; ++i) {
+    clock->advance(kNsPerSec / 10);
+    hub.beat(id);
+  }
+  // At t=2.0s the horizon starts at 1.0s: beats 0.1..0.9s are gone.
+  AppSummary s = *view.app("a");
+  EXPECT_EQ(s.total_beats, 20u);
+  EXPECT_EQ(s.window_beats, 11u);
+  EXPECT_DOUBLE_EQ(s.rate_bps, 10.0);
+
+  // Silence ages the window further even with no new beats.
+  clock->advance(kNsPerSec / 2);  // t = 2.5s, horizon 1.5s
+  s = *view.app("a");
+  EXPECT_EQ(s.window_beats, 6u);  // 1.5 .. 2.0s
+  EXPECT_DOUBLE_EQ(s.rate_bps, 10.0);
+  EXPECT_EQ(s.staleness_ns, kNsPerSec / 2);
+
+  // Long enough silence empties it entirely: no rate evidence left.
+  clock->advance(2 * kNsPerSec);  // t = 4.5s
+  s = *view.app("a");
+  EXPECT_EQ(s.window_beats, 0u);
+  EXPECT_DOUBLE_EQ(s.rate_bps, 0.0);
+  EXPECT_EQ(s.total_beats, 20u);
+  EXPECT_EQ(s.interval_p99_ns, 0u);
+}
+
+TEST(HubTimeWindow, IntervalStatsTrackOnlyUnexpiredBeats) {
+  // Slow era then fast era; a 1s horizon must forget the slow intervals
+  // even though the beat-count window could still hold them.
+  auto clock = std::make_shared<util::ManualClock>();
+  HubOptions opts = manual_opts(clock, 1, 4, /*window=*/256);
+  opts.window_ns = kNsPerSec;
+  HeartbeatHub hub(opts);
+  const AppId id = hub.register_app("a");
+  for (int i = 0; i < 5; ++i) {
+    clock->advance(kNsPerSec);  // 1s intervals
+    hub.beat(id);
+  }
+  for (int i = 0; i < 50; ++i) {
+    clock->advance(10 * kNsPerMs);  // 10ms intervals
+    hub.beat(id);
+  }
+  const AppSummary s = *HubView(hub).app("a");
+  EXPECT_EQ(s.interval_max_ns, static_cast<std::uint64_t>(10 * kNsPerMs));
+  EXPECT_EQ(s.interval_min_ns, static_cast<std::uint64_t>(10 * kNsPerMs));
+  EXPECT_DOUBLE_EQ(s.interval_stddev_ns, 0.0);
+  EXPECT_NEAR(s.rate_bps, 100.0, 1e-9);
+}
+
+TEST(HubTimeWindow, ResumingAfterFullAgeOutStartsAFreshWindow) {
+  // The silent gap is staleness, not an interval: a beat after the window
+  // fully aged out must not record a gap-spanning interval.
+  auto clock = std::make_shared<util::ManualClock>();
+  HubOptions opts = manual_opts(clock, 1, 1, /*window=*/64);
+  opts.window_ns = kNsPerSec;
+  HeartbeatHub hub(opts);
+  const AppId id = hub.register_app("a");
+  HubView view(hub);
+  for (int i = 0; i < 5; ++i) {
+    clock->advance(100 * kNsPerMs);
+    hub.beat(id);
+  }
+  clock->advance(10 * kNsPerSec);
+  EXPECT_EQ(view.app("a")->window_beats, 0u);  // all aged
+  clock->advance(100 * kNsPerMs);
+  hub.beat(id);
+  const AppSummary s = *view.app("a");
+  EXPECT_EQ(s.window_beats, 1u);
+  EXPECT_EQ(s.interval_max_ns, 0u);  // no 10s gap interval
+  EXPECT_EQ(s.total_beats, 6u);
+}
+
+TEST(HubTimeWindow, StddevSummarizesWindowJitter) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 1, 4, /*window=*/64));
+  const AppId id = hub.register_app("a");
+  // Alternating 10ms / 30ms intervals: mean 20ms, population stddev 10ms.
+  for (int i = 0; i < 21; ++i) {
+    clock->advance((i % 2 == 0 ? 10 : 30) * kNsPerMs);
+    hub.beat(id);
+  }
+  const AppSummary s = *HubView(hub).app("a");
+  EXPECT_NEAR(s.interval_mean_ns, 20.0 * kNsPerMs, 1.0);
+  EXPECT_NEAR(s.interval_stddev_ns, 10.0 * kNsPerMs, 1.0);
+}
+
+// ----------------------------------------------------------------- eviction
+
+TEST(HubEviction, EvictedAppsLeaveEveryRollup) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 2));
+  const AppId keep = hub.register_app("keep");
+  const AppId drop = hub.register_app("drop");
+  for (int i = 0; i < 10; ++i) {
+    clock->advance(kNsPerMs);
+    hub.beat(keep, /*tag=*/1);
+    hub.beat(drop, /*tag=*/2);
+  }
+  hub.evict(drop);
+
+  HubView view(hub);
+  const auto listed = view.apps();
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].name, "keep");
+  const ClusterSummary c = view.cluster();
+  EXPECT_EQ(c.apps, 1u);
+  EXPECT_EQ(c.evicted, 1u);
+  EXPECT_EQ(c.total_beats, 10u);
+  EXPECT_EQ(view.tag(2).beats, 0u);  // windowed tags went with it
+  // Direct queries still answer, flagged, with lifetime count intact.
+  const AppSummary s = *view.app("drop");
+  EXPECT_TRUE(s.evicted);
+  EXPECT_EQ(s.total_beats, 10u);
+  EXPECT_EQ(s.window_beats, 0u);
+}
+
+TEST(HubEviction, ANewBeatRevives) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 1));
+  const AppId id = hub.register_app("phoenix");
+  for (int i = 0; i < 5; ++i) {
+    clock->advance(kNsPerMs);
+    hub.beat(id);
+  }
+  hub.evict(id);
+  EXPECT_TRUE(HubView(hub).app("phoenix")->evicted);
+
+  clock->advance(kNsPerMs);
+  hub.beat(id);
+  const AppSummary s = *HubView(hub).app("phoenix");
+  EXPECT_FALSE(s.evicted);
+  EXPECT_EQ(s.total_beats, 6u);
+  EXPECT_EQ(s.window_beats, 1u);  // the window restarted clean
+  EXPECT_EQ(HubView(hub).cluster().apps, 1u);
+}
+
+TEST(HubEviction, FreshRegistrationsMeasureStalenessFromBirth) {
+  // Regression: staleness for a never-beat app used to measure from the
+  // clock epoch, so under a long-running monotonic clock (epoch = boot) a
+  // brand-new registration read as hours stale and was instantly
+  // auto-evicted. The baseline is registration time.
+  auto clock = std::make_shared<util::ManualClock>(500 * kNsPerSec);  // "old" clock
+  HubOptions opts = manual_opts(clock, 1);
+  opts.evict_after_ns = 5 * kNsPerSec;
+  HeartbeatHub hub(opts);
+  hub.register_app("newborn");
+  clock->advance(kNsPerSec);
+  HubView view(hub);
+  EXPECT_FALSE(view.app("newborn")->evicted);
+  EXPECT_EQ(*view.staleness_ns("newborn"), kNsPerSec);  // 1s, not 501s
+  // Still silent past the bound: now it genuinely evicts.
+  clock->advance(10 * kNsPerSec);
+  EXPECT_TRUE(view.app("newborn")->evicted);
+}
+
+TEST(HubEviction, AutoEvictionAfterTheStalenessBound) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HubOptions opts = manual_opts(clock, 1);
+  opts.evict_after_ns = 5 * kNsPerSec;
+  HeartbeatHub hub(opts);
+  const AppId live = hub.register_app("live");
+  const AppId dead = hub.register_app("dead");
+  for (int i = 0; i < 10; ++i) {
+    clock->advance(100 * kNsPerMs);
+    hub.beat(live);
+    hub.beat(dead);
+  }
+  // "dead" goes silent; "live" keeps beating past the bound.
+  for (int i = 0; i < 60; ++i) {
+    clock->advance(100 * kNsPerMs);
+    hub.beat(live);
+  }
+  HubView view(hub);
+  EXPECT_TRUE(view.app("dead")->evicted);
+  EXPECT_FALSE(view.app("live")->evicted);
+  const ClusterSummary c = view.cluster();
+  EXPECT_EQ(c.apps, 1u);
+  EXPECT_EQ(c.evicted, 1u);
 }
 
 // ------------------------------------------------------------- determinism
