@@ -1,0 +1,223 @@
+// Cross-process hub feeding: one shm ingest ring vs per-producer polling.
+//
+// Two ways to keep a HeartbeatHub current with a fleet of producers the
+// aggregator never links:
+//
+//   * per-producer ShmStore polling — the pre-ring shape: every producer
+//     owns a registry segment and the aggregator re-polls all P of them
+//     each pass. ShmStore::history(n) returns the SUFFIX of the store at
+//     call time, so a consumer racing live appends cannot fetch "exactly
+//     the records since my last poll" — the only loss-free strategy over
+//     the suffix API is to re-read the recent window every pass and dedup
+//     by seq. That overlap copy is paid per producer per pass, new beats
+//     or not.
+//   * ShmIngestQueue — producers push into ONE MPSC ring; the pump's
+//     drain touches only slots that actually hold new records.
+//
+// The regime that matters is live monitoring (hbmon fleet --live): the
+// fleet beats at a steady cadence and the consumer polls to stay current.
+// This bench models one poll round as "every producer appends a beat, the
+// consumer brings the hub up to date", and measures CONSUMER-side cost
+// only — producer appends happen between the timed sections. (A bulk
+// drain-everything-once workload is a replay, not monitoring; both shapes
+// degenerate to one big copy there and tell you nothing.)
+//
+// Expectation (the PR's acceptance shape): the ring wins at 64+ producers,
+// where P x window overlap copies dominate the polling pass.
+//
+//   ./bench_shm_ingest [rounds] [repeat]
+//
+// CSV on stdout; a final verdict line prints ring_beats_polling_at_64=yes|no.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "hub/hub.hpp"
+#include "hub/shm_pump.hpp"
+#include "transport/shm_ingest.hpp"
+#include "transport/shm_store.hpp"
+#include "util/clock.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using SteadyClock = std::chrono::steady_clock;
+
+hb::hub::HubOptions hub_opts() {
+  hb::hub::HubOptions opts;
+  opts.shard_count = 8;
+  opts.batch_capacity = 64;
+  opts.window_capacity = 64;
+  return opts;
+}
+
+hb::core::HeartbeatRecord stamped_record(std::uint64_t tag) {
+  hb::core::HeartbeatRecord rec;
+  rec.timestamp_ns = hb::util::MonotonicClock::instance()->now();
+  rec.tag = tag;
+  return rec;
+}
+
+struct RunResult {
+  double consumer_seconds = 0.0;
+  std::uint64_t delivered = 0;
+};
+
+// Ring shape: all P producers share the ring; one pump keeps the hub
+// current. Consumer cost per round = one drain over the P new records.
+RunResult run_ring(const fs::path& dir, int producers, int rounds) {
+  const auto path = dir / "ring.hbq";
+  fs::remove(path);
+  auto queue = hb::transport::ShmIngestQueue::create(
+      path, std::max(1024u, static_cast<std::uint32_t>(4 * producers)));
+
+  auto hub = std::make_shared<hb::hub::HeartbeatHub>(hub_opts());
+  hb::hub::ShmIngestPump pump(queue, hub, {.from_start = true});
+
+  std::vector<std::string> names;
+  for (int p = 0; p < producers; ++p) {
+    names.push_back("prod-" + std::to_string(p));
+  }
+  const hb::core::TargetRate target{1.0, 1e9};
+
+  RunResult result;
+  SteadyClock::duration consumer{};
+  for (int r = 0; r < rounds; ++r) {
+    for (int p = 0; p < producers; ++p) {  // the fleet beats (untimed)
+      queue->append(names[static_cast<std::size_t>(p)],
+                    stamped_record(static_cast<std::uint64_t>(r)), target);
+    }
+    const auto t0 = SteadyClock::now();
+    result.delivered += pump.poll();
+    consumer += SteadyClock::now() - t0;
+  }
+  result.consumer_seconds = std::chrono::duration<double>(consumer).count();
+  return result;
+}
+
+// Polling shape: P segments, consumer pass re-reads each store's recent
+// window and dedups by seq (the loss-free strategy; see file comment).
+RunResult run_polling(const fs::path& dir, int producers, int rounds) {
+  constexpr std::size_t kPollWindow = 256;
+  std::vector<std::shared_ptr<hb::transport::ShmStore>> stores;
+  for (int p = 0; p < producers; ++p) {
+    const auto path = dir / ("store-" + std::to_string(p) + ".hb");
+    fs::remove(path);
+    stores.push_back(hb::transport::ShmStore::create(
+        path, "prod-" + std::to_string(p) + ".global", kPollWindow, 20));
+  }
+
+  auto hub = std::make_shared<hb::hub::HeartbeatHub>(hub_opts());
+  std::vector<hb::hub::AppId> ids;
+  for (int p = 0; p < producers; ++p) {
+    ids.push_back(hub->register_app("prod-" + std::to_string(p), {1.0, 1e9}));
+  }
+
+  std::vector<std::uint64_t> next_seq(static_cast<std::size_t>(producers), 0);
+  std::vector<hb::core::HeartbeatRecord> fresh;
+  RunResult result;
+  SteadyClock::duration consumer{};
+  for (int r = 0; r < rounds; ++r) {
+    for (int p = 0; p < producers; ++p) {  // the fleet beats (untimed)
+      stores[static_cast<std::size_t>(p)]->append(
+          stamped_record(static_cast<std::uint64_t>(r)));
+    }
+    const auto t0 = SteadyClock::now();
+    for (int p = 0; p < producers; ++p) {
+      auto& store = *stores[static_cast<std::size_t>(p)];
+      std::uint64_t& next = next_seq[static_cast<std::size_t>(p)];
+      if (store.count() <= next) continue;
+      const auto window = store.history(kPollWindow);
+      fresh.clear();
+      for (const auto& rec : window) {
+        if (rec.seq >= next) fresh.push_back(rec);
+      }
+      if (!fresh.empty()) {
+        hub->ingest_batch(ids[static_cast<std::size_t>(p)], fresh);
+        result.delivered += fresh.size();
+        next = fresh.back().seq + 1;
+      }
+    }
+    consumer += SteadyClock::now() - t0;
+  }
+  result.consumer_seconds = std::chrono::duration<double>(consumer).count();
+  return result;
+}
+
+template <typename Fn>
+RunResult best_of(int repeat, Fn&& fn) {
+  RunResult best;
+  for (int r = 0; r < repeat; ++r) {
+    RunResult run = fn();
+    if (r == 0 || run.consumer_seconds < best.consumer_seconds) best = run;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rounds = 400;
+  int repeat = 3;
+  if (argc > 1) rounds = std::atoi(argv[1]);
+  if (argc > 2) repeat = std::atoi(argv[2]);
+  if (rounds < 8 || repeat < 1) {
+    std::fprintf(stderr, "usage: %s [rounds>=8] [repeat>=1]\n", argv[0]);
+    return 1;
+  }
+
+  const fs::path dir = fs::temp_directory_path() /
+                       ("hb_bench_shm_ingest_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  std::printf(
+      "approach,producers,rounds,consumer_seconds,beats_per_consumer_sec,"
+      "delivered\n");
+  const int kProducerCounts[] = {8, 64, 128};
+  double ring_at_64 = 0.0;
+  double polling_at_64 = 0.0;
+  std::uint64_t lost = 0;  // correctness: every beat must reach the hub
+  for (const int producers : kProducerCounts) {
+    const RunResult ring =
+        best_of(repeat, [&] { return run_ring(dir, producers, rounds); });
+    const RunResult polling =
+        best_of(repeat, [&] { return run_polling(dir, producers, rounds); });
+    std::printf("shm_ring,%d,%d,%.4f,%.0f,%llu\n", producers, rounds,
+                ring.consumer_seconds,
+                static_cast<double>(ring.delivered) / ring.consumer_seconds,
+                static_cast<unsigned long long>(ring.delivered));
+    std::printf(
+        "shm_store_polling,%d,%d,%.4f,%.0f,%llu\n", producers, rounds,
+        polling.consumer_seconds,
+        static_cast<double>(polling.delivered) / polling.consumer_seconds,
+        static_cast<unsigned long long>(polling.delivered));
+    std::fflush(stdout);
+    const std::uint64_t expected = static_cast<std::uint64_t>(producers) *
+                                   static_cast<std::uint64_t>(rounds);
+    lost += (expected - ring.delivered) + (expected - polling.delivered);
+    if (producers == 64) {
+      ring_at_64 = ring.consumer_seconds;
+      polling_at_64 = polling.consumer_seconds;
+    }
+  }
+
+  fs::remove_all(dir);
+  const bool ring_wins = ring_at_64 < polling_at_64;
+  std::printf(
+      "\n# ring_beats_polling_at_64=%s (consumer cost: ring %.4fs vs "
+      "polling %.4fs)\n",
+      ring_wins ? "yes" : "no", ring_at_64, polling_at_64);
+  std::printf("# lost_beats=%llu\n", static_cast<unsigned long long>(lost));
+  // Exit gates on delivery correctness only; the perf verdict above is a
+  // noisy-runner-unsafe claim and stays informational (same policy as
+  // bench_fleet_sweep's mismatch gate).
+  return lost == 0 ? 0 : 2;
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Markdown link check: every relative link target must exist.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+
+Scans inline markdown links [text](target) in the given files, skips
+absolute URLs (http/https/mailto), strips #anchors, and resolves each
+remaining target relative to the file that contains it. Exits non-zero
+listing every broken link. No dependencies beyond the stdlib, so it runs
+identically in CI and locally:
+
+    python3 scripts/check_links.py README.md ROADMAP.md docs/*.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are not used in this repo.
+# [^\]]* forbids nested brackets, \([^()\s]+\) forbids spaces in targets.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(md_file: Path) -> list[str]:
+    broken = []
+    text = md_file.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md_file.parent / path).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append(f"{md_file}:{line}: broken link -> {target}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = []
+    checked = 0
+    for arg in argv[1:]:
+        md_file = Path(arg)
+        if not md_file.is_file():
+            failures.append(f"{md_file}: no such file")
+            continue
+        checked += 1
+        failures.extend(broken_links(md_file))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"check_links: {checked} files checked, {len(failures)} broken")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

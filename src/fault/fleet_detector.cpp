@@ -11,7 +11,11 @@ Health FleetDetector::classify(const hub::AppSummary& s) const {
   // An evicted app was already judged dead by the hub's staleness bound.
   if (s.evicted) return Health::kDead;
 
-  const util::TimeNs staleness = s.staleness_ns;
+  // Discount transport lag (pump poll interval + producer batch hold)
+  // before judging silence; see FleetDetectorOptions::staleness_slack_ns.
+  const util::TimeNs staleness = s.staleness_ns > opts_.staleness_slack_ns
+                                     ? s.staleness_ns - opts_.staleness_slack_ns
+                                     : 0;
 
   // Absolute bound first: the only check that can fire for apps that never
   // beat or whose windowed beats all share one tick (mean interval 0).
@@ -52,6 +56,45 @@ Health FleetDetector::classify(const hub::AppSummary& s) const {
     return Health::kErratic;
   }
   return Health::kHealthy;
+}
+
+int print_fleet_report(std::FILE* out, const FleetReport& report) {
+  std::vector<const AppHealth*> rows;
+  rows.reserve(report.apps.size());
+  for (const AppHealth& app : report.apps) rows.push_back(&app);
+  std::sort(rows.begin(), rows.end(),
+            [](const AppHealth* a, const AppHealth* b) {
+              return a->name < b->name;
+            });
+
+  std::fprintf(out, "%-24s %10s %12s %10s %14s %-10s\n", "application",
+               "beats", "rate(b/s)", "tgt_min", "staleness(ms)", "health");
+  for (const AppHealth* app : rows) {
+    std::fprintf(out, "%-24s %10llu %12.2f %10.2f %14.1f %-10s\n",
+                 app->name.c_str(),
+                 static_cast<unsigned long long>(app->total_beats),
+                 app->rate_bps, app->target.min_bps,
+                 static_cast<double>(app->staleness_ns) / 1e6,
+                 to_string(app->health));
+  }
+  const FleetHealth& fleet = report.fleet;
+  std::fprintf(out,
+               "\nfleet: %llu apps | %llu healthy, %llu slow, %llu erratic, "
+               "%llu dead, %llu warming-up\n",
+               static_cast<unsigned long long>(fleet.apps),
+               static_cast<unsigned long long>(fleet.healthy),
+               static_cast<unsigned long long>(fleet.slow),
+               static_cast<unsigned long long>(fleet.erratic),
+               static_cast<unsigned long long>(fleet.dead),
+               static_cast<unsigned long long>(fleet.warming_up));
+  if (!fleet.dead_apps.empty()) {
+    std::fprintf(out, "dead:");
+    for (const auto& name : fleet.dead_apps) {
+      std::fprintf(out, " %s", name.c_str());
+    }
+    std::fprintf(out, "\n");
+  }
+  return fleet.dead == 0 ? 0 : 3;  // scripts can alert on the exit code
 }
 
 FleetReport FleetDetector::sweep(const hub::HubView& view) const {

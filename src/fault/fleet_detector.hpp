@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -35,10 +36,19 @@ struct FleetDetectorOptions {
   double jitter_factor = 0.8;
   /// Lifetime beats required before any verdict other than warming-up/dead.
   std::uint64_t min_beats = 4;
-  /// Absolute staleness bound that marks death in any state — the only
+  /// Absolute staleness bound (ns) that marks death in any state — the only
   /// bound that can fire for apps that never beat, or whose beats all share
   /// one tick (zero mean interval). 0 disables.
   util::TimeNs absolute_staleness_ns = 0;
+  /// Transport allowance (ns) subtracted from observed staleness before any
+  /// staleness verdict. For hubs fed across a process boundary (the shm
+  /// ingest pump) a beat is only as fresh as the last drain: observed
+  /// staleness includes up to one pump poll interval plus the producer's
+  /// batch hold, on top of the cross-process clock-sampling skew of the
+  /// shared CLOCK_MONOTONIC epoch. Set to roughly poll_interval +
+  /// ShmHubSinkOptions::max_hold_ns so transport lag is never read as
+  /// death. 0 (the default) is correct for in-process ingestion.
+  util::TimeNs staleness_slack_ns = 0;
   /// Cap on FleetHealth::worst (the most-stale non-healthy apps).
   std::size_t max_worst = 5;
 };
@@ -49,7 +59,9 @@ struct FleetDetectorOptions {
 /// observations — the reader detector estimates mean/jitter over its own
 /// `window` beats (default 16) while hub summaries cover the hub's
 /// configured window, so a cadence shift can cross a threshold in one
-/// source before the other.
+/// source before the other. staleness_slack_ns has no reader-side
+/// counterpart (readers observe the store directly, with no transport
+/// lag to discount) and is not carried over.
 inline FailureDetectorOptions to_failure_detector_options(
     const FleetDetectorOptions& opts) {
   FailureDetectorOptions out;
@@ -62,13 +74,13 @@ inline FailureDetectorOptions to_failure_detector_options(
 
 /// One app's verdict plus the summary facts that produced it.
 struct AppHealth {
-  std::string name;
-  hub::AppId id = 0;
-  Health health = Health::kWarmingUp;
-  util::TimeNs staleness_ns = 0;
-  std::uint64_t total_beats = 0;
-  double rate_bps = 0.0;
-  core::TargetRate target;
+  std::string name;                    ///< hub registration name
+  hub::AppId id = 0;                   ///< hub routing handle
+  Health health = Health::kWarmingUp;  ///< kWarmingUp: too little evidence yet
+  util::TimeNs staleness_ns = 0;  ///< ns since last beat, NOT slack-discounted
+  std::uint64_t total_beats = 0;  ///< lifetime beats (survives eviction)
+  double rate_bps = 0.0;          ///< windowed rate, beats/second
+  core::TargetRate target;        ///< registered goal band, beats/second
 };
 
 /// Cluster-wide health rollup from one sweep.
@@ -98,6 +110,17 @@ struct FleetReport {
   FleetHealth fleet;
 };
 
+/// Render a sweep as the standard operator verdict table: one row per app
+/// sorted by name, then the fleet rollup line and the dead list. The ONE
+/// table format every fleet surface prints (hbmon fleet, hbmon fleet
+/// --live, examples), so the modes stay comparable by eye. Returns 0 when
+/// the fleet has no dead apps, 3 otherwise — the hbmon exit-code contract
+/// (docs/OPERATIONS.md).
+int print_fleet_report(std::FILE* out, const FleetReport& report);
+
+/// Stateless verdict math over hub summaries. Thread-safe: sweep() and
+/// classify() are const and share nothing mutable, so one detector may
+/// serve concurrent sweepers.
 class FleetDetector {
  public:
   explicit FleetDetector(FleetDetectorOptions opts = {}) : opts_(opts) {}

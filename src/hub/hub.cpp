@@ -58,8 +58,8 @@ void HeartbeatHub::ingest(AppId id, const core::HeartbeatRecord& rec) {
   shards_.at(app_id_shard(id))->enqueue(app_id_slot(id), rec);
 }
 
-void HeartbeatHub::ingest(AppId id,
-                          std::span<const core::HeartbeatRecord> recs) {
+void HeartbeatHub::ingest_batch(AppId id,
+                                std::span<const core::HeartbeatRecord> recs) {
   shards_.at(app_id_shard(id))->enqueue(app_id_slot(id), recs);
 }
 

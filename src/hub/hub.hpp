@@ -61,6 +61,12 @@ struct HubOptions {
   std::shared_ptr<util::Clock> clock;
 };
 
+/// The sharded many-producer aggregation point. Thread-safety: every
+/// method is safe to call concurrently from any thread; ingestion contends
+/// only on the owning shard's stripe lock, registration additionally on
+/// the name table. All timestamps are nanoseconds on the hub clock's
+/// epoch (HubOptions::clock; producers feeding pre-stamped records must
+/// share that epoch or be restamped at ingest — see hub/ShmIngestPump).
 class HeartbeatHub {
  public:
   explicit HeartbeatHub(HubOptions opts = {});
@@ -82,15 +88,20 @@ class HeartbeatHub {
   std::uint32_t shard_of(const std::string& name) const;
 
   /// Ingest a pre-stamped record (transport adapters, replayed logs).
+  /// Thread-safe; contends only on the owning shard's stripe lock.
   void ingest(AppId id, const core::HeartbeatRecord& rec);
 
-  /// Ingest a batch of pre-stamped records for one app in one lock acquire.
-  void ingest(AppId id, std::span<const core::HeartbeatRecord> recs);
+  /// Ingest a batch of pre-stamped records for one app in one shard-lock
+  /// acquire — the bulk entry point for transport adapters (the shm ingest
+  /// pump, registry replays). Thread-safe.
+  void ingest_batch(AppId id, std::span<const core::HeartbeatRecord> recs);
 
   /// Producer convenience: stamp "now" on the hub clock and ingest.
+  /// Thread-safe. A beat on an evicted app revives it.
   void beat(AppId id, std::uint64_t tag = 0);
 
-  /// Update a registered app's target range (observers see it in summaries).
+  /// Update a registered app's target range in beats/second (observers see
+  /// it in summaries). Thread-safe.
   void set_target(AppId id, core::TargetRate target);
 
   /// Drop an app's window state and exclude it from cluster/tag rollups
@@ -99,12 +110,20 @@ class HeartbeatHub {
   /// staleness exceeds HubOptions::evict_after_ns.
   void evict(AppId id);
 
-  /// Force every shard to drain its batch (deterministic snapshots).
+  /// Force every shard to drain its batch, age time windows, re-stamp
+  /// staleness, and apply auto-eviction (deterministic snapshots). Every
+  /// HubView query does this implicitly for the shards it reads.
   void flush();
 
+  /// Number of lock stripes (fixed at construction). Thread-safe.
   std::size_t shard_count() const { return shards_.size(); }
+  /// Registered apps, evicted ones included (eviction drops window state,
+  /// not the registration). Thread-safe; takes the name-table lock.
   std::size_t app_count() const;
+  /// The normalized construction options (clock always non-null).
   const HubOptions& options() const { return opts_; }
+  /// The hub's timestamp source — the epoch every staleness_ns and
+  /// window_ns comparison lives on.
   const std::shared_ptr<util::Clock>& clock() const { return opts_.clock; }
 
   /// Internal access for HubView (shards flush on query). Bounds-checked:

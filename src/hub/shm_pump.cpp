@@ -1,0 +1,84 @@
+#include "hub/shm_pump.hpp"
+
+#include <bit>
+
+#include "hub/hub.hpp"
+
+namespace hb::hub {
+
+ShmIngestPump::ShmIngestPump(std::shared_ptr<transport::ShmIngestQueue> queue,
+                             HeartbeatHub& hub, ShmIngestPumpOptions opts)
+    : queue_(std::move(queue)), hub_(&hub), opts_(opts) {
+  if (!opts_.from_start) cursor_.next = queue_->produced();
+}
+
+ShmIngestPump::ShmIngestPump(std::shared_ptr<transport::ShmIngestQueue> queue,
+                             std::shared_ptr<HeartbeatHub> hub,
+                             ShmIngestPumpOptions opts)
+    : queue_(std::move(queue)),
+      hub_(hub.get()),
+      owner_(std::move(hub)),
+      opts_(opts) {
+  if (!opts_.from_start) cursor_.next = queue_->produced();
+}
+
+void ShmIngestPump::route(std::string_view app,
+                          const core::HeartbeatRecord& rec,
+                          core::TargetRate target) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    AppEntry entry;
+    entry.id = hub_->register_app(std::string(app), target);
+    // register_app keeps the existing target when the name was already
+    // registered (registry replay, an earlier pump); the ring slot
+    // carries the producer's CURRENT target, so apply it regardless.
+    hub_->set_target(entry.id, target);
+    entry.target_min_bits = std::bit_cast<std::uint64_t>(target.min_bps);
+    entry.target_max_bits = std::bit_cast<std::uint64_t>(target.max_bps);
+    it = apps_.emplace(std::string(app), std::move(entry)).first;
+  } else {
+    // Compare as bit patterns: NaN/infinity-safe and cheaper than FP ==.
+    AppEntry& entry = it->second;
+    const auto min_bits = std::bit_cast<std::uint64_t>(target.min_bps);
+    const auto max_bits = std::bit_cast<std::uint64_t>(target.max_bps);
+    if (min_bits != entry.target_min_bits || max_bits != entry.target_max_bits) {
+      hub_->set_target(entry.id, target);
+      entry.target_min_bits = min_bits;
+      entry.target_max_bits = max_bits;
+    }
+  }
+  AppEntry& entry = it->second;
+  if (entry.pending.empty()) touched_.push_back(&entry);
+  entry.pending.push_back(rec);
+  if (opts_.restamp_arrival) {
+    entry.pending.back().timestamp_ns = hub_->clock()->now();
+  }
+}
+
+std::size_t ShmIngestPump::poll() {
+  ++polls_;
+  touched_.clear();
+  const std::size_t drained = queue_->drain(
+      cursor_,
+      [this](std::string_view app, const core::HeartbeatRecord& rec,
+             core::TargetRate target) { route(app, rec, target); },
+      opts_.max_stall_polls);
+  for (AppEntry* entry : touched_) {
+    hub_->ingest_batch(entry->id, entry->pending);
+    entry->pending.clear();
+  }
+  touched_.clear();
+  return drained;
+}
+
+ShmIngestPumpStats ShmIngestPump::stats() const {
+  ShmIngestPumpStats s;
+  s.polls = polls_;
+  s.consumed = cursor_.consumed;
+  s.dropped = cursor_.dropped;
+  s.torn = cursor_.torn;
+  s.apps = apps_.size();
+  return s;
+}
+
+}  // namespace hb::hub

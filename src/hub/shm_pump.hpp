@@ -1,0 +1,115 @@
+// ShmIngestPump: drain a cross-process ingest ring into a HeartbeatHub.
+//
+// The consumer half of the transport/ShmIngestQueue pipeline. One pump owns
+// one ring cursor and one hub: each poll() drains every committed slot,
+// groups the records per application, and hands each group to
+// HeartbeatHub::ingest_batch in one shard-lock acquire. Applications are
+// registered on first sight (with the target carried in their slots) and
+// re-targeted whenever a drained slot shows a changed target — so a fleet
+// of external producer processes reaches FleetDetector sweeps, hbmon, and
+// every other hub consumer without any of them linking the producers.
+//
+// Threading: a pump is single-consumer by construction (it owns its
+// cursor). Call poll() from one thread — typically a poll loop alongside
+// the sweep/query thread, which is safe because the hub itself is
+// thread-safe. Multiple *pumps* on the same ring are fine: slots are read
+// non-destructively, so each pump sees the full stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/record.hpp"
+#include "hub/summary.hpp"
+#include "transport/shm_ingest.hpp"
+
+namespace hb::hub {
+
+class HeartbeatHub;
+
+struct ShmIngestPumpOptions {
+  /// Replace producer timestamps with the hub clock's "now" at drain time.
+  /// Off by default: same-host producers share the CLOCK_MONOTONIC epoch,
+  /// so their own stamps give true rates AND comparable staleness. Turn on
+  /// for producers on a foreign epoch (replayed logs, ManualClock tests) —
+  /// rates then measure arrival cadence, not production cadence.
+  bool restamp_arrival = false;
+  /// Drains a claimed-but-unpublished slot may block on before the pump
+  /// skips it as torn (crashed producer). Forwarded to
+  /// transport::ShmIngestQueue::drain.
+  std::uint32_t max_stall_polls = 3;
+  /// Consume the ring's full retained backlog (up to capacity records)
+  /// instead of starting at the current head. Off by default: a live
+  /// monitor wants beats produced while it watches, not a replay of
+  /// whatever a previous session left in the ring.
+  bool from_start = false;
+};
+
+/// Cumulative pump counters (all monotonic since construction).
+struct ShmIngestPumpStats {
+  std::uint64_t polls = 0;     ///< poll() calls
+  std::uint64_t consumed = 0;  ///< records ingested into the hub
+  std::uint64_t dropped = 0;   ///< ring records lapped before this pump read them
+  std::uint64_t torn = 0;      ///< slots skipped (producer died mid-batch)
+  std::uint64_t apps = 0;      ///< distinct producer names seen
+};
+
+class ShmIngestPump {
+ public:
+  /// Non-owning hub: `hub` must outlive the pump.
+  ShmIngestPump(std::shared_ptr<transport::ShmIngestQueue> queue,
+                HeartbeatHub& hub, ShmIngestPumpOptions opts = {});
+
+  /// Owning: the pump keeps the hub alive (the hbmon --live shape).
+  ShmIngestPump(std::shared_ptr<transport::ShmIngestQueue> queue,
+                std::shared_ptr<HeartbeatHub> hub,
+                ShmIngestPumpOptions opts = {});
+
+  ShmIngestPump(const ShmIngestPump&) = delete;
+  ShmIngestPump& operator=(const ShmIngestPump&) = delete;
+
+  /// One drain pass: every committed ring record is batched per app and
+  /// ingested. Returns the number of records ingested by this call.
+  std::size_t poll();
+
+  ShmIngestPumpStats stats() const;
+
+  HeartbeatHub& hub() const { return *hub_; }
+  const std::shared_ptr<transport::ShmIngestQueue>& queue() const {
+    return queue_;
+  }
+
+ private:
+  struct AppEntry {
+    AppId id = 0;
+    std::uint64_t target_min_bits = 0;
+    std::uint64_t target_max_bits = 0;
+    std::vector<core::HeartbeatRecord> pending;
+  };
+
+  void route(std::string_view app, const core::HeartbeatRecord& rec,
+             core::TargetRate target);
+
+  std::shared_ptr<transport::ShmIngestQueue> queue_;
+  HeartbeatHub* hub_;
+  std::shared_ptr<HeartbeatHub> owner_;
+  ShmIngestPumpOptions opts_;
+
+  transport::ShmIngestQueue::Cursor cursor_;
+  std::uint64_t polls_ = 0;
+
+  // Transparent lookup so routing a drained record never allocates a key.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, AppEntry, NameHash, std::equal_to<>> apps_;
+  std::vector<AppEntry*> touched_;  ///< entries with pending records this poll
+};
+
+}  // namespace hb::hub

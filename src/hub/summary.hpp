@@ -34,9 +34,9 @@ constexpr std::uint32_t app_id_slot(AppId id) {
 /// "Latency" throughout is the inter-beat interval in nanoseconds — the
 /// paper's heart-rate signal seen from the other side.
 struct AppSummary {
-  std::string name;
-  AppId id = 0;
-  std::uint32_t shard = 0;
+  std::string name;         ///< registration name (the app key)
+  AppId id = 0;             ///< routing handle, valid for this hub only
+  std::uint32_t shard = 0;  ///< owning lock stripe (== app_id_shard(id))
 
   std::uint64_t total_beats = 0;   ///< beats ever ingested for this app
   std::uint64_t window_beats = 0;  ///< beats inside the sliding window
@@ -72,7 +72,7 @@ struct AppSummary {
 /// Rollup of one tag value across every app's sliding window (frame types,
 /// phase ids, shard-wide progress markers — paper, Section 3).
 struct TagSummary {
-  std::uint64_t tag = 0;
+  std::uint64_t tag = 0;    ///< the application-chosen tag value
   std::uint64_t beats = 0;  ///< windowed beats carrying this tag
   std::uint32_t apps = 0;   ///< distinct apps that emitted it
 };

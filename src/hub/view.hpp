@@ -10,6 +10,11 @@
 // A HubView is a cheap value object. Constructed from a shared_ptr it also
 // keeps the hub alive; constructed from a reference the caller owns the
 // lifetime (the usual pattern for stack-allocated hubs in tests).
+//
+// Thread-safety: every query is safe concurrently with ingestion and with
+// other views — results are copies, never references into shard state.
+// All _ns values are nanoseconds on the hub clock's epoch; rates are
+// beats/second.
 #pragma once
 
 #include <cstdint>
@@ -35,12 +40,15 @@ class HubView {
       : hub_(hub.get()), owner_(std::move(hub)) {}
 
   /// One app's windowed summary; nullopt if the name is not registered.
+  /// Evicted apps still answer (total_beats/staleness survive eviction).
   std::optional<AppSummary> app(const std::string& name) const;
 
-  /// Summary by id (O(1) routing; id must come from this hub).
+  /// Summary by id (O(1) routing; id must come from this hub, else
+  /// std::out_of_range).
   AppSummary app(AppId id) const;
 
-  /// Every live (non-evicted) app's summary, sorted by name.
+  /// Every live (non-evicted) app's summary, sorted by name. An app with
+  /// < 2 windowed beats is present but has rate_bps == 0 (warming up).
   std::vector<AppSummary> apps() const;
 
   /// Every app's summary in shard order (no sort) — the cheap path for hot

@@ -11,6 +11,9 @@
 //   hbmon watch <app> [-n samples] [-i interval_ms] [-w window]
 //   hbmon history <app> [-n beats]     # recent beats (seq, time, tag, tid)
 //   hbmon fleet [-s dead_ms]           # one-sweep health verdict table
+//   hbmon fleet --live [-d run_ms] [-i poll_ms] [-s dead_ms]
+//                                      # sweep LIVE external producers via the
+//                                      # shm ingest ring (no registry replay)
 //
 // Registry directory: $HB_DIR or <tmp>/heartbeats.
 #include <algorithm>
@@ -26,8 +29,10 @@
 #include "fault/failure_detector.hpp"
 #include "fault/fleet_detector.hpp"
 #include "hub/hub.hpp"
+#include "hub/shm_pump.hpp"
 #include "hub/view.hpp"
 #include "transport/registry.hpp"
+#include "transport/shm_ingest.hpp"
 
 namespace {
 
@@ -38,7 +43,9 @@ int usage() {
                "       hbmon watch <app> [-n samples] [-i interval_ms] "
                "[-w window]\n"
                "       hbmon history <app> [-n beats]\n"
-               "       hbmon fleet [-s dead_ms] [-n history_beats]\n");
+               "       hbmon fleet [-s dead_ms] [-n history_beats]\n"
+               "       hbmon fleet --live [-d run_ms] [-i poll_ms] "
+               "[-s dead_ms]\n");
   return 2;
 }
 
@@ -152,7 +159,7 @@ int cmd_fleet(const hb::transport::Registry& registry, int dead_ms,
       const auto target = reader.target();
       const auto history =
           reader.history(static_cast<std::size_t>(history_beats));
-      hub.ingest(hub.register_app(app, target), history);
+      hub.ingest_batch(hub.register_app(app, target), history);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "hbmon: skipping %s: %s\n", app.c_str(), e.what());
     }
@@ -162,35 +169,59 @@ int cmd_fleet(const hb::transport::Registry& registry, int dead_ms,
       {.absolute_staleness_ns =
            static_cast<hb::util::TimeNs>(dead_ms) * 1000000});
   hb::fault::FleetReport report = detector.sweep(hb::hub::HubView(hub));
-  std::sort(report.apps.begin(), report.apps.end(),
-            [](const hb::fault::AppHealth& a, const hb::fault::AppHealth& b) {
-              return a.name < b.name;
-            });
+  return hb::fault::print_fleet_report(stdout, report);
+}
 
-  std::printf("%-24s %10s %12s %10s %14s %-10s\n", "application", "beats",
-              "rate(b/s)", "tgt_min", "staleness(ms)", "health");
-  for (const auto& app : report.apps) {
-    std::printf("%-24s %10llu %12.2f %10.2f %14.1f %-10s\n", app.name.c_str(),
-                static_cast<unsigned long long>(app.total_beats),
-                app.rate_bps, app.target.min_bps,
-                static_cast<double>(app.staleness_ns) / 1e6,
-                hb::fault::to_string(app.health));
+// Sweep LIVE producers: external processes publish beats into the fleet
+// ingest ring (transport/ShmIngestQueue, well-known path in the registry
+// dir); we pump the ring into a hub for run_ms and classify the fleet from
+// real-time state — no registry history replay, producers never linked.
+int cmd_fleet_live(const hb::transport::Registry& registry, int run_ms,
+                   int poll_ms, int dead_ms) {
+  if (run_ms <= 0) run_ms = 2000;
+  if (poll_ms <= 0) poll_ms = 50;
+
+  auto queue = hb::transport::ShmIngestQueue::open(
+      registry.ingest_queue_path(),
+      hb::transport::Registry::kDefaultIngestCapacity);
+
+  hb::hub::HubOptions opts;
+  opts.shard_count = 8;
+  hb::hub::HeartbeatHub hub(opts);  // monotonic clock, producers' epoch
+  hb::hub::ShmIngestPump pump(queue, hub);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(run_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    pump.poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
   }
-  const auto& fleet = report.fleet;
-  std::printf("\nfleet: %llu apps | %llu healthy, %llu slow, %llu erratic, "
-              "%llu dead, %llu warming-up\n",
-              static_cast<unsigned long long>(fleet.apps),
-              static_cast<unsigned long long>(fleet.healthy),
-              static_cast<unsigned long long>(fleet.slow),
-              static_cast<unsigned long long>(fleet.erratic),
-              static_cast<unsigned long long>(fleet.dead),
-              static_cast<unsigned long long>(fleet.warming_up));
-  if (!fleet.dead_apps.empty()) {
-    std::printf("dead:");
-    for (const auto& name : fleet.dead_apps) std::printf(" %s", name.c_str());
-    std::printf("\n");
+  pump.poll();  // final drain so the sweep sees everything
+
+  const auto stats = pump.stats();
+  std::fprintf(stderr,
+               "live: %llu beats from %llu producers via %s "
+               "(dropped %llu, torn %llu)\n",
+               static_cast<unsigned long long>(stats.consumed),
+               static_cast<unsigned long long>(stats.apps),
+               queue->file().c_str(),
+               static_cast<unsigned long long>(stats.dropped),
+               static_cast<unsigned long long>(stats.torn));
+  if (stats.consumed == 0) {
+    std::printf("no live producers on %s\n", queue->file().c_str());
+    return 0;
   }
-  return fleet.dead == 0 ? 0 : 3;  // scripts can alert on the exit code
+
+  // Staleness slack: a beat can be up to one poll interval old before the
+  // pump even sees it, plus the producer-side default batch hold —
+  // transport lag, not silence.
+  hb::fault::FleetDetector detector(
+      {.absolute_staleness_ns =
+           static_cast<hb::util::TimeNs>(dead_ms) * 1000000,
+       .staleness_slack_ns = static_cast<hb::util::TimeNs>(poll_ms) * 1000000 +
+                             hb::transport::ShmHubSinkOptions{}.max_hold_ns});
+  hb::fault::FleetReport report = detector.sweep(hb::hub::HubView(hub));
+  return hb::fault::print_fleet_report(stdout, report);
 }
 
 int parse_flag(int argc, char** argv, const char* flag, int fallback) {
@@ -198,6 +229,13 @@ int parse_flag(int argc, char** argv, const char* flag, int fallback) {
     if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
   }
   return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -209,6 +247,11 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "list") return cmd_list(registry);
     if (cmd == "fleet" || cmd == "--fleet") {
+      if (has_flag(argc, argv, "--live")) {
+        return cmd_fleet_live(registry, parse_flag(argc, argv, "-d", 2000),
+                              parse_flag(argc, argv, "-i", 50),
+                              parse_flag(argc, argv, "-s", 5000));
+      }
       return cmd_fleet(registry, parse_flag(argc, argv, "-s", 5000),
                        parse_flag(argc, argv, "-n", 64));
     }

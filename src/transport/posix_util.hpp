@@ -1,0 +1,28 @@
+// Tiny POSIX helpers shared by the transport TUs (internal, not part of
+// the public API).
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+#include <system_error>
+
+namespace hb::transport::detail {
+
+[[noreturn]] inline void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// RAII file descriptor for open/create/attach paths.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  Fd() = default;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+};
+
+}  // namespace hb::transport::detail

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "transport/file_log_store.hpp"
+#include "transport/shm_ingest.hpp"
 #include "transport/shm_store.hpp"
 
 namespace hb::transport {
@@ -88,6 +89,18 @@ core::StoreFactory Registry::filelog_factory() const {
                                 spec.channel_name, spec.capacity,
                                 spec.default_window);
   };
+}
+
+std::filesystem::path Registry::ingest_queue_path() const {
+  return dir_ / "fleet.hbq";
+}
+
+core::StoreFactory Registry::shm_ingest_factory(core::StoreFactory inner_factory,
+                                                ShmHubSinkOptions sink_opts,
+                                                std::uint32_t queue_capacity) const {
+  auto queue = ShmIngestQueue::open(ingest_queue_path(), queue_capacity);
+  return ShmHubSink::wrap_factory(std::move(queue), std::move(inner_factory),
+                                  sink_opts);
 }
 
 void Registry::remove(const std::string& channel) const {

@@ -20,6 +20,7 @@
 #include "core/heartbeat.hpp"
 #include "core/reader.hpp"
 #include "core/store.hpp"
+#include "transport/shm_ingest.hpp"
 
 namespace hb::transport {
 
@@ -54,6 +55,27 @@ class Registry {
 
   /// StoreFactory creating file logs (the paper's reference transport).
   core::StoreFactory filelog_factory() const;
+
+  /// Well-known path of this registry's fleet ingest ring ("fleet.hbq"):
+  /// the rendezvous between producer processes (shm_ingest_factory) and
+  /// aggregators (hbmon fleet --live, hub::ShmIngestPump).
+  std::filesystem::path ingest_queue_path() const;
+
+  /// StoreFactory that mirrors shared channels into the fleet ingest ring
+  /// via transport::ShmHubSink. Opens (create-or-attach) the ring at
+  /// ingest_queue_path() immediately. `inner_factory` builds the store the
+  /// sink wraps — pass shm_factory() to stay observer-walkable too;
+  /// default is the in-process MemoryStore factory. `sink_opts` tunes the
+  /// producer-side batching (ShmHubSinkOptions).
+  core::StoreFactory shm_ingest_factory(core::StoreFactory inner_factory = {},
+                                        ShmHubSinkOptions sink_opts = {},
+                                        std::uint32_t queue_capacity =
+                                            kDefaultIngestCapacity) const;
+
+  /// 32768 slots x 128 bytes = 4 MiB: roomy enough that a fleet of ~100
+  /// producers at ~100 beats/s survives multi-second consumer pauses
+  /// without laps.
+  static constexpr std::uint32_t kDefaultIngestCapacity = 1u << 15;
 
   /// Remove a channel's files (cleanup after producer exit).
   void remove(const std::string& channel) const;

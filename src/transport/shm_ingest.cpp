@@ -1,0 +1,437 @@
+#include "transport/shm_ingest.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <sys/file.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "core/memory_store.hpp"
+#include "transport/posix_util.hpp"
+
+namespace hb::transport {
+
+using detail::Fd;
+using detail::throw_errno;
+
+namespace {
+
+void* map_existing(const std::filesystem::path& file, std::size_t& bytes_out,
+                   bool& retryable);
+
+// Fit an app name into a slot's 48-byte field. Names that fit are copied
+// verbatim; longer ones keep their first 38 bytes plus '~' and 8 hex
+// digits of an FNV-1a hash of the FULL name, so two producers whose names
+// share a long prefix are still distinct apps hub-side (silent merging
+// would make one of them vanish from every fleet report).
+std::size_t fit_name(std::string_view app, char out[kIngestNameCap]) {
+  if (app.size() < kIngestNameCap) {
+    std::memcpy(out, app.data(), app.size());
+    out[app.size()] = '\0';
+    return app.size();
+  }
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : app) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  constexpr std::size_t kPrefix = kIngestNameCap - 10;  // 38 + '~' + 8 hex
+  std::memcpy(out, app.data(), kPrefix);
+  std::snprintf(out + kPrefix, kIngestNameCap - kPrefix, "~%08x",
+                static_cast<std::uint32_t>(h));
+  return kIngestNameCap - 1;
+}
+
+}  // namespace
+
+std::shared_ptr<ShmIngestQueue> ShmIngestQueue::create(
+    const std::filesystem::path& file, std::uint32_t capacity) {
+  if (capacity < 2) capacity = 2;
+
+  if (file.has_parent_path()) std::filesystem::create_directories(file.parent_path());
+  Fd fd;
+  fd.fd = ::open(file.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+  if (fd.fd < 0) throw_errno("ShmIngestQueue::create open " + file.string());
+  const std::size_t bytes = shm_ingest_segment_size(capacity);
+  if (::ftruncate(fd.fd, static_cast<off_t>(bytes)) != 0) {
+    throw_errno("ShmIngestQueue::create ftruncate " + file.string());
+  }
+  void* base =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd.fd, 0);
+  if (base == MAP_FAILED) {
+    throw_errno("ShmIngestQueue::create mmap " + file.string());
+  }
+
+  // The mapping is zero-filled; all-zero slots are already valid (commit
+  // == 0 means empty). Fill the header, then publish the magic LAST so a
+  // concurrent attach() never observes a half-built header.
+  auto* hdr = new (base) ShmIngestHeader();
+  hdr->slot_size = sizeof(ShmIngestSlot);
+  hdr->capacity = capacity;
+  hdr->creator_pid = static_cast<std::uint32_t>(::getpid());
+  hdr->magic.store(kShmIngestMagic, std::memory_order_release);
+
+  // A creator stalled long enough here looks abandoned: open()'s reclaim
+  // may have unlinked our file and recreated the path. Producing into an
+  // orphaned inode would be silently invisible to every consumer, so
+  // verify the path still names our file and report the lost race as
+  // EEXIST (open() then attaches the replacement ring).
+  struct stat st_fd{};
+  struct stat st_path{};
+  if (::fstat(fd.fd, &st_fd) != 0 || ::stat(file.c_str(), &st_path) != 0 ||
+      st_fd.st_ino != st_path.st_ino || st_fd.st_dev != st_path.st_dev) {
+    ::munmap(base, bytes);
+    throw std::system_error(
+        std::make_error_code(std::errc::file_exists),
+        "ShmIngestQueue::create: lost the path to a reclaimer: " +
+            file.string());
+  }
+
+  return std::shared_ptr<ShmIngestQueue>(new ShmIngestQueue(file, base, bytes));
+}
+
+namespace {
+
+// One attach attempt: map and validate the segment. Sets `retryable` when
+// the failure could be a racing creator that has not finished initializing
+// (file too small / magic still zero), so attach() can retry briefly.
+void* map_existing(const std::filesystem::path& file, std::size_t& bytes_out,
+                   bool& retryable) {
+  retryable = false;
+  Fd fd;
+  fd.fd = ::open(file.c_str(), O_RDWR, 0);
+  if (fd.fd < 0) {
+    throw std::runtime_error("ShmIngestQueue::attach: cannot open " +
+                             file.string());
+  }
+  struct stat st{};
+  if (::fstat(fd.fd, &st) != 0) throw_errno("ShmIngestQueue::attach fstat");
+  if (static_cast<std::size_t>(st.st_size) < sizeof(ShmIngestHeader)) {
+    retryable = true;
+    throw std::runtime_error("ShmIngestQueue::attach: segment too small: " +
+                             file.string());
+  }
+  const std::size_t bytes = static_cast<std::size_t>(st.st_size);
+  void* base =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd.fd, 0);
+  if (base == MAP_FAILED) {
+    throw_errno("ShmIngestQueue::attach mmap " + file.string());
+  }
+
+  const auto* hdr = static_cast<const ShmIngestHeader*>(base);
+  const std::uint64_t magic = hdr->magic.load(std::memory_order_acquire);
+  if (magic == 0) {
+    ::munmap(base, bytes);
+    retryable = true;  // creator mid-initialization
+    throw std::runtime_error("ShmIngestQueue::attach: uninitialized segment: " +
+                             file.string());
+  }
+  if (magic != kShmIngestMagic || hdr->version != kShmIngestVersion ||
+      hdr->slot_size != sizeof(ShmIngestSlot) ||
+      bytes < shm_ingest_segment_size(hdr->capacity)) {
+    ::munmap(base, bytes);
+    throw std::runtime_error("ShmIngestQueue::attach: bad segment format: " +
+                             file.string());
+  }
+  bytes_out = bytes;
+  return base;
+}
+
+}  // namespace
+
+std::shared_ptr<ShmIngestQueue> ShmIngestQueue::attach(
+    const std::filesystem::path& file) {
+  // ~200 ms of patience for a creator caught between open() and the magic
+  // store; anything else fails fast.
+  for (int attempt = 0;; ++attempt) {
+    bool retryable = false;
+    try {
+      std::size_t bytes = 0;
+      void* base = map_existing(file, bytes, retryable);
+      return std::shared_ptr<ShmIngestQueue>(
+          new ShmIngestQueue(file, base, bytes));
+    } catch (const std::runtime_error&) {
+      if (!retryable || attempt >= 100) throw;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+namespace {
+
+// True when `file` exists but its magic never got published — a creator
+// died between open() and header initialization. Safe to reclaim: a LIVE
+// creator publishes the magic microseconds after creating the file, and
+// attach() already waited ~200 ms for that before we are asked.
+bool is_abandoned_creation(const std::filesystem::path& file) {
+  Fd fd;
+  fd.fd = ::open(file.c_str(), O_RDONLY, 0);
+  if (fd.fd < 0) return false;
+  std::uint64_t magic = 0;
+  const ssize_t n = ::pread(fd.fd, &magic, sizeof(magic), 0);
+  return n < static_cast<ssize_t>(sizeof(magic)) || magic == 0;
+}
+
+}  // namespace
+
+std::shared_ptr<ShmIngestQueue> ShmIngestQueue::open(
+    const std::filesystem::path& file, std::uint32_t capacity) {
+  for (int round = 0;; ++round) {
+    try {
+      return create(file, capacity);
+    } catch (const std::system_error& e) {
+      if (e.code() != std::errc::file_exists) throw;
+    }
+    try {
+      return attach(file);
+    } catch (const std::runtime_error&) {
+      // A half-created ring (creator died before publishing the magic)
+      // would wedge the rendezvous path forever: reclaim it. The whole
+      // check-remove-recreate runs under an flock on a sibling lock file
+      // so concurrent reclaimers serialize — the loser re-checks after
+      // the winner's fully initialized ring exists and attaches it,
+      // instead of unlinking it mid-create.
+      if (round > 0 || !is_abandoned_creation(file)) throw;
+      Fd lock;
+      lock.fd = ::open((file.string() + ".lock").c_str(),
+                       O_RDWR | O_CREAT, 0644);
+      if (lock.fd >= 0) ::flock(lock.fd, LOCK_EX);
+      if (is_abandoned_creation(file)) {
+        std::filesystem::remove(file);
+        try {
+          return create(file, capacity);
+        } catch (const std::system_error& e) {
+          if (e.code() != std::errc::file_exists) throw;
+        }
+      }
+      // flock released when `lock` closes; loop and attach the ring the
+      // winning reclaimer (or a racing creator) produced.
+    }
+  }
+}
+
+ShmIngestQueue::ShmIngestQueue(std::filesystem::path file, void* base,
+                               std::size_t bytes)
+    : file_(std::move(file)),
+      base_(base),
+      bytes_(bytes),
+      capacity_(static_cast<const ShmIngestHeader*>(base)->capacity) {}
+
+ShmIngestQueue::~ShmIngestQueue() {
+  if (base_ != nullptr) ::munmap(base_, bytes_);
+}
+
+ShmIngestSlot* ShmIngestQueue::slots() {
+  return reinterpret_cast<ShmIngestSlot*>(static_cast<char*>(base_) +
+                                          sizeof(ShmIngestHeader));
+}
+
+const ShmIngestSlot* ShmIngestQueue::slots() const {
+  return reinterpret_cast<const ShmIngestSlot*>(
+      static_cast<const char*>(base_) + sizeof(ShmIngestHeader));
+}
+
+std::uint64_t ShmIngestQueue::claim(std::uint64_t n) {
+  return header()->head.fetch_add(n, std::memory_order_acq_rel);
+}
+
+void ShmIngestQueue::publish(std::uint64_t seq, std::string_view app,
+                             const core::HeartbeatRecord& rec,
+                             core::TargetRate target) {
+  ShmIngestSlot& slot = slots()[seq % capacity_];
+  // Seqlock write: invalidate, payload, publish. The fence keeps the
+  // payload stores from being reordered ahead of the invalidation (a
+  // release store only orders what comes BEFORE it) — without it a
+  // lapping writer's payload could land while the old commit word is
+  // still visible and a concurrent reader's re-check would accept a torn
+  // record. Mirrors the acquire fence on the reader side.
+  slot.commit.store(0, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_release);
+  fit_name(app, slot.app);
+  slot.rec = rec;
+  slot.target_min_bits = std::bit_cast<std::uint64_t>(target.min_bps);
+  slot.target_max_bits = std::bit_cast<std::uint64_t>(target.max_bps);
+  slot.commit.store(seq + 1, std::memory_order_release);
+}
+
+std::uint64_t ShmIngestQueue::append(std::string_view app,
+                                     const core::HeartbeatRecord& rec,
+                                     core::TargetRate target) {
+  const std::uint64_t seq = claim(1);
+  publish(seq, app, rec, target);
+  return seq;
+}
+
+std::uint64_t ShmIngestQueue::append_batch(
+    std::string_view app, std::span<const core::HeartbeatRecord> recs,
+    core::TargetRate target) {
+  if (recs.empty()) return header()->head.load(std::memory_order_acquire);
+  const std::uint64_t first = claim(recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    publish(first + i, app, recs[i], target);
+  }
+  return first;
+}
+
+std::size_t ShmIngestQueue::drain(Cursor& cur, const DrainFn& fn,
+                                  std::uint32_t max_stall_polls) {
+  const std::uint64_t cap = capacity_;
+  const std::uint64_t head = header()->head.load(std::memory_order_acquire);
+
+  // Producers lapped this consumer before it even looked: everything below
+  // head - capacity is gone (its slots now belong to newer seqs).
+  if (head > cur.next + cap) {
+    cur.dropped += head - cap - cur.next;
+    cur.next = head - cap;
+    cur.stalls = 0;
+  }
+
+  const ShmIngestSlot* slot_arr = slots();
+  std::size_t delivered = 0;
+  // Once the stall budget fires, the whole contiguous run of uncommitted
+  // slots is almost certainly one crashed producer's claimed batch — skip
+  // it in this pass instead of paying the budget again per slot.
+  bool skipping_run = false;
+  while (cur.next < head) {
+    const ShmIngestSlot& slot = slot_arr[cur.next % cap];
+    const std::uint64_t c1 = slot.commit.load(std::memory_order_acquire);
+    if (c1 == cur.next + 1) {
+      // Copy out, then re-check the seqlock word.
+      char app[kIngestNameCap];
+      std::memcpy(app, slot.app, kIngestNameCap);
+      app[kIngestNameCap - 1] = '\0';
+      const core::HeartbeatRecord rec = slot.rec;
+      core::TargetRate target;
+      target.min_bps = std::bit_cast<double>(slot.target_min_bits);
+      target.max_bps = std::bit_cast<double>(slot.target_max_bits);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.commit.load(std::memory_order_relaxed) == c1) {
+        fn(std::string_view(app), rec, target);
+        ++delivered;
+        ++cur.consumed;
+        ++cur.next;
+        cur.stalls = 0;
+        skipping_run = false;
+        continue;
+      }
+      // Overwritten mid-copy: a producer lapped us; this seq's record is
+      // unrecoverable but the copy was never delivered, so nothing torn
+      // ever reaches the hub.
+      ++cur.dropped;
+      ++cur.next;
+      cur.stalls = 0;
+      skipping_run = false;
+      continue;
+    }
+    if (c1 > cur.next + 1) {
+      // A later lap already committed here; this seq was overwritten.
+      ++cur.dropped;
+      ++cur.next;
+      cur.stalls = 0;
+      skipping_run = false;
+      continue;
+    }
+    // commit == 0 or a previous lap's value: the producer that claimed
+    // this seq has not published yet — in flight, or dead mid-batch. Give
+    // it max_stall_polls drains, then skip the slot (and the rest of its
+    // uncommitted run) for good.
+    if (skipping_run || cur.stalls >= max_stall_polls) {
+      ++cur.torn;
+      ++cur.next;
+      cur.stalls = 0;
+      skipping_run = true;
+      continue;
+    }
+    ++cur.stalls;  // one stall credit per drain call
+    break;
+  }
+  return delivered;
+}
+
+std::uint64_t ShmIngestQueue::produced() const {
+  return header()->head.load(std::memory_order_acquire);
+}
+
+std::uint32_t ShmIngestQueue::capacity() const { return capacity_; }
+
+std::uint32_t ShmIngestQueue::creator_pid() const {
+  return header()->creator_pid;
+}
+
+// --------------------------------------------------------------- ShmHubSink
+
+ShmHubSink::ShmHubSink(std::shared_ptr<core::BeatStore> inner,
+                       std::shared_ptr<ShmIngestQueue> queue, std::string app,
+                       ShmHubSinkOptions opts)
+    : inner_(std::move(inner)),
+      queue_(std::move(queue)),
+      app_(std::move(app)),
+      opts_(opts) {
+  if (opts_.flush_every == 0) opts_.flush_every = 1;
+  buf_.reserve(opts_.flush_every);
+}
+
+ShmHubSink::~ShmHubSink() { flush(); }
+
+std::uint64_t ShmHubSink::append(const core::HeartbeatRecord& rec) {
+  const std::uint64_t seq = inner_->append(rec);
+  core::HeartbeatRecord stamped = rec;
+  stamped.seq = seq;
+  std::lock_guard lock(mu_);
+  buf_.push_back(stamped);
+  if (buf_.size() >= opts_.flush_every ||
+      stamped.timestamp_ns - buf_.front().timestamp_ns >= opts_.max_hold_ns) {
+    flush_locked();
+  }
+  return seq;
+}
+
+void ShmHubSink::set_target(core::TargetRate t) {
+  inner_->set_target(t);
+  // The next flushed batch carries the new target to the consumer.
+}
+
+void ShmHubSink::flush() {
+  std::lock_guard lock(mu_);
+  flush_locked();
+}
+
+void ShmHubSink::flush_locked() {
+  if (buf_.empty()) return;
+  queue_->append_batch(app_, buf_, inner_->target());
+  buf_.clear();
+}
+
+core::StoreFactory ShmHubSink::wrap_factory(
+    std::shared_ptr<ShmIngestQueue> queue, core::StoreFactory inner_factory,
+    ShmHubSinkOptions opts) {
+  if (!inner_factory) {
+    inner_factory = [](const core::StoreSpec& spec) {
+      return std::make_shared<core::MemoryStore>(
+          spec.capacity, /*synchronized=*/true, spec.default_window);
+    };
+  }
+  return [queue = std::move(queue), inner_factory = std::move(inner_factory),
+          opts](const core::StoreSpec& spec) -> std::shared_ptr<core::BeatStore> {
+    auto inner = inner_factory(spec);
+    if (!spec.shared) return inner;  // local channels: no ring mirroring
+    // "<app>.global" -> "<app>"; odd names publish verbatim.
+    std::string app = spec.channel_name;
+    if (const auto dot = app.rfind(".global");
+        dot != std::string::npos && dot + 7 == app.size()) {
+      app.resize(dot);
+    }
+    return std::make_shared<ShmHubSink>(std::move(inner), queue,
+                                        std::move(app), opts);
+  };
+}
+
+}  // namespace hb::transport

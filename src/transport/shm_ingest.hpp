@@ -1,0 +1,275 @@
+// ShmIngestQueue: the cross-process front door of the heartbeat hub.
+//
+// ShmStore gives every producer its own observer-walkable segment; that is
+// the paper's §3/§4 story for ONE application. At fleet scale the consumer
+// side inverts: one aggregator wants beats from N producer *processes*
+// without attaching (and polling) N segments. This header provides the
+// missing transport: a single fixed-capacity multi-producer/single-consumer
+// ring in shared memory that any process can append BeatRecord batches
+// into, and that one pump (hub/ShmIngestPump) drains into a HeartbeatHub.
+//
+// Segment layout (all fixed-width, standard-layout, address-free atomics —
+// the same ABI discipline as transport/shm_layout.hpp):
+//
+//   offset 0    : ShmIngestHeader  (128 bytes, magic published last)
+//   offset 128  : ShmIngestSlot[capacity]  (128 bytes each)
+//
+// Concurrency protocol:
+//   * A producer claims n consecutive sequence numbers with ONE fetch_add
+//     on header.head (batch append amortizes the contended RMW).
+//   * Each claimed slot s is written seqlock-style: commit <- 0
+//     (invalidate, release), payload, commit <- s + 1 (publish, release).
+//   * The consumer keeps a private Cursor (next expected seq) and walks
+//     [cursor, head). commit == s + 1 before AND after the copy accepts a
+//     slot; commit from a later lap means the record was overwritten
+//     (counted as dropped); commit still missing means the claiming
+//     producer is in flight — or crashed mid-batch. After
+//     `max_stall_polls` drains blocked on the same slot the consumer
+//     skips it (counted as torn), so a producer that dies between claim
+//     and publish can never wedge the fleet pipeline.
+//
+// Because slots are read non-destructively, any number of independent
+// consumers (each with its own Cursor) may drain the same ring — e.g. the
+// owning aggregator plus a transient `hbmon fleet --live` session.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "core/heartbeat.hpp"
+#include "core/record.hpp"
+#include "core/store.hpp"
+#include "util/time.hpp"
+
+namespace hb::transport {
+
+inline constexpr std::uint64_t kShmIngestMagic = 0x3151494248ULL;  // "HBIQ1"
+inline constexpr std::uint32_t kShmIngestVersion = 1;
+
+/// Maximum application-name length carried per slot (including NUL).
+/// Longer names are truncated to a 38-byte prefix plus '~' and 8 hex
+/// digits of a hash of the full name, so producers whose long names share
+/// a prefix remain distinct apps on the consumer side.
+inline constexpr std::size_t kIngestNameCap = 48;
+
+struct ShmIngestHeader {
+  /// Stored LAST during create() (release), checked first by attach()
+  /// (acquire): a racing attacher never sees a half-initialized header.
+  std::atomic<std::uint64_t> magic{0};
+  std::uint32_t version = kShmIngestVersion;
+  std::uint32_t slot_size = 0;    ///< sizeof(ShmIngestSlot); ABI self-check
+  std::uint32_t capacity = 0;     ///< number of slots
+  std::uint32_t creator_pid = 0;  ///< pid of the creating process
+  /// Total beats ever claimed; the next sequence number handed to a
+  /// producer. Monotonic; may run arbitrarily far ahead of any consumer.
+  std::atomic<std::uint64_t> head{0};
+  std::uint8_t pad[96] = {};
+};
+
+static_assert(std::is_standard_layout_v<ShmIngestHeader>);
+static_assert(sizeof(ShmIngestHeader) == 128, "header layout is part of the ABI");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "cross-process atomics must be address-free");
+
+struct ShmIngestSlot {
+  /// Seqlock word: 0 = empty/being written, s+1 = record with ring seq s.
+  std::atomic<std::uint64_t> commit{0};
+  char app[kIngestNameCap] = {};  ///< NUL-terminated app name (truncated)
+  core::HeartbeatRecord rec{};    ///< producer-stamped beat (32 bytes)
+  /// Producer's registered target range, as IEEE-754 bit patterns (the
+  /// consumer registers/updates hub targets from these).
+  std::uint64_t target_min_bits = 0;
+  std::uint64_t target_max_bits = 0;
+  std::uint8_t pad[24] = {};
+};
+
+static_assert(std::is_standard_layout_v<ShmIngestSlot>);
+static_assert(sizeof(ShmIngestSlot) == 128, "two cache lines per slot");
+
+/// Total segment size for a given capacity.
+constexpr std::size_t shm_ingest_segment_size(std::uint32_t capacity) {
+  return sizeof(ShmIngestHeader) +
+         static_cast<std::size_t>(capacity) * sizeof(ShmIngestSlot);
+}
+
+class ShmIngestQueue {
+ public:
+  /// Create a fresh ring file (O_EXCL: fails with std::system_error
+  /// (EEXIST) if the path already exists). `capacity` is clamped to >= 2.
+  static std::shared_ptr<ShmIngestQueue> create(
+      const std::filesystem::path& file, std::uint32_t capacity);
+
+  /// Attach to an existing ring. Retries briefly while a concurrent
+  /// create() is still initializing the header; throws std::runtime_error
+  /// on missing file or bad magic/version/layout.
+  static std::shared_ptr<ShmIngestQueue> attach(const std::filesystem::path& file);
+
+  /// Create-or-attach, safe against concurrent openers: first successful
+  /// O_EXCL creator wins, everyone else attaches. The rendezvous pattern
+  /// for rings at a well-known path (Registry::ingest_queue_path()).
+  static std::shared_ptr<ShmIngestQueue> open(const std::filesystem::path& file,
+                                              std::uint32_t capacity);
+
+  ~ShmIngestQueue();
+  ShmIngestQueue(const ShmIngestQueue&) = delete;
+  ShmIngestQueue& operator=(const ShmIngestQueue&) = delete;
+
+  // ------------------------------------------------------------- producers
+
+  /// Append one beat under `app`. Thread- and process-safe; lock-free
+  /// (one fetch_add + one slot write). Returns the ring sequence number.
+  std::uint64_t append(std::string_view app, const core::HeartbeatRecord& rec,
+                       core::TargetRate target);
+
+  /// Append a batch for one app with a single head claim. Returns the
+  /// first ring sequence number (beats occupy [first, first + recs.size())).
+  std::uint64_t append_batch(std::string_view app,
+                             std::span<const core::HeartbeatRecord> recs,
+                             core::TargetRate target);
+
+  /// Low-level two-phase producer API (append_batch = claim + publish*n).
+  /// A process that claims and then dies before publishing leaves torn
+  /// slots, which consumers skip after a bounded stall — tests use claim()
+  /// alone to model exactly that crash.
+  std::uint64_t claim(std::uint64_t n);
+  void publish(std::uint64_t seq, std::string_view app,
+               const core::HeartbeatRecord& rec, core::TargetRate target);
+
+  // -------------------------------------------------------------- consumers
+
+  /// Per-consumer drain state. Plain value; each independent consumer owns
+  /// one. All counters are cumulative across drain() calls.
+  struct Cursor {
+    std::uint64_t next = 0;      ///< next ring seq to read
+    std::uint64_t consumed = 0;  ///< records delivered to the sink
+    std::uint64_t dropped = 0;   ///< overwritten before this consumer read them
+    std::uint64_t torn = 0;      ///< skipped uncommitted slots (crashed producer)
+    std::uint32_t stalls = 0;    ///< consecutive drains blocked on one slot
+  };
+
+  /// Sink for drained records. `app` points into a stack copy — valid only
+  /// for the duration of the call.
+  using DrainFn = std::function<void(
+      std::string_view app, const core::HeartbeatRecord& rec,
+      core::TargetRate target)>;
+
+  /// Drain every committed record in [cur.next, head) into `fn`, in ring
+  /// order. Stops early at an in-flight slot; after the same slot has
+  /// blocked `max_stall_polls` consecutive drains it — and the contiguous
+  /// run of uncommitted slots behind it, which is almost certainly the
+  /// same crashed producer's claimed batch — is skipped and counted in
+  /// Cursor::torn. Records lapped by producers are counted in
+  /// Cursor::dropped, never delivered torn. Returns records delivered.
+  std::size_t drain(Cursor& cur, const DrainFn& fn,
+                    std::uint32_t max_stall_polls = 3);
+
+  /// Total beats ever claimed by producers (ring head).
+  std::uint64_t produced() const;
+  std::uint32_t capacity() const;
+  std::uint32_t creator_pid() const;
+  const std::filesystem::path& file() const { return file_; }
+
+ private:
+  ShmIngestQueue(std::filesystem::path file, void* base, std::size_t bytes);
+
+  ShmIngestHeader* header() { return static_cast<ShmIngestHeader*>(base_); }
+  const ShmIngestHeader* header() const {
+    return static_cast<const ShmIngestHeader*>(base_);
+  }
+  ShmIngestSlot* slots();
+  const ShmIngestSlot* slots() const;
+
+  std::filesystem::path file_;
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  /// Capacity is immutable after create(); cached at map time so the hot
+  /// append path never re-reads the header cache line that producers keep
+  /// invalidating with head fetch_adds.
+  std::uint32_t capacity_ = 0;
+};
+
+/// Producer-side batching knobs for ShmHubSink.
+struct ShmHubSinkOptions {
+  /// Beats buffered locally before one append_batch into the ring. 1 (the
+  /// default) forwards every beat immediately — lowest staleness as seen
+  /// by the aggregator. High-rate producers can raise it to amortize the
+  /// ring's contended fetch_add.
+  std::size_t flush_every = 1;
+  /// Flush regardless of fill once the oldest buffered beat is this much
+  /// older than the newest (producer-clock ns), so a producer that slows
+  /// down cannot sit on a partial batch and read as stale hub-side.
+  /// Checked at append time; only meaningful with flush_every > 1.
+  util::TimeNs max_hold_ns = 50 * util::kNsPerMs;
+};
+
+/// ShmHubSink: mirror a producer's beats into a cross-process ingest ring.
+///
+/// The out-of-process twin of hub::HubSink — a BeatStore decorator, so any
+/// producer path that takes a StoreFactory (Heartbeat, the C API) feeds a
+/// remote aggregator with zero code changes. Appends pass through to the
+/// wrapped store (which keeps serving in-process rate queries and, if it
+/// is a registry ShmStore, stays observer-walkable) and are batched into
+/// the ring with the store-assigned sequence number and current target.
+class ShmHubSink final : public core::BeatStore {
+ public:
+  /// Mirrors appends on `inner` into `queue` under name `app`.
+  ShmHubSink(std::shared_ptr<core::BeatStore> inner,
+             std::shared_ptr<ShmIngestQueue> queue, std::string app,
+             ShmHubSinkOptions opts = {});
+
+  /// Flushes any buffered tail batch.
+  ~ShmHubSink() override;
+
+  std::uint64_t append(const core::HeartbeatRecord& rec) override;
+  std::uint64_t count() const override { return inner_->count(); }
+  std::size_t capacity() const override { return inner_->capacity(); }
+  std::vector<core::HeartbeatRecord> history(std::size_t n) const override {
+    return inner_->history(n);
+  }
+  void set_target(core::TargetRate t) override;
+  core::TargetRate target() const override { return inner_->target(); }
+  void set_default_window(std::uint32_t w) override {
+    inner_->set_default_window(w);
+  }
+  std::uint32_t default_window() const override {
+    return inner_->default_window();
+  }
+
+  /// Push any buffered beats into the ring now. Thread-safe.
+  void flush();
+
+  const std::shared_ptr<core::BeatStore>& inner() const { return inner_; }
+  const std::string& app() const { return app_; }
+
+  /// StoreFactory adapter: builds the inner store with `inner_factory`
+  /// (default: the in-process MemoryStore factory Heartbeat uses), then
+  /// wraps shared channels in a ShmHubSink publishing under the channel's
+  /// application name ("<app>.global" prefix). Local ("<app>.t<tid>")
+  /// channels pass through unwrapped — mirroring both levels would
+  /// double-count the app, same rule as hub::HubSink::wrap_factory.
+  static core::StoreFactory wrap_factory(std::shared_ptr<ShmIngestQueue> queue,
+                                         core::StoreFactory inner_factory = {},
+                                         ShmHubSinkOptions opts = {});
+
+ private:
+  void flush_locked();
+
+  std::shared_ptr<core::BeatStore> inner_;
+  std::shared_ptr<ShmIngestQueue> queue_;
+  std::string app_;
+  ShmHubSinkOptions opts_;
+
+  std::mutex mu_;
+  std::vector<core::HeartbeatRecord> buf_;
+};
+
+}  // namespace hb::transport

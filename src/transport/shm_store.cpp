@@ -6,29 +6,16 @@
 #include <unistd.h>
 
 #include <bit>
-#include <cerrno>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
-#include <system_error>
+
+#include "transport/posix_util.hpp"
 
 namespace hb::transport {
 
-namespace {
-
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw std::system_error(errno, std::generic_category(), what);
-}
-
-// RAII file descriptor for the create/attach paths.
-struct Fd {
-  int fd = -1;
-  ~Fd() {
-    if (fd >= 0) ::close(fd);
-  }
-};
-
-}  // namespace
+using detail::Fd;
+using detail::throw_errno;
 
 std::shared_ptr<ShmStore> ShmStore::create(const std::filesystem::path& file,
                                            const std::string& channel_name,
@@ -118,8 +105,12 @@ std::uint64_t ShmStore::append(const core::HeartbeatRecord& rec) {
   const std::uint64_t seq =
       hdr->count.fetch_add(1, std::memory_order_acq_rel);
   ShmSlot& slot = slots()[seq % hdr->capacity];
-  // Seqlock write: invalidate, payload, publish.
+  // Seqlock write: invalidate, payload, publish. The fence orders the
+  // payload after the invalidation (a release store only orders what
+  // comes before it), so a lapped reader's commit re-check can never
+  // accept a half-overwritten record; mirrors the reader-side fence.
   slot.commit.store(0, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_release);
   core::HeartbeatRecord stamped = rec;
   stamped.seq = seq;
   slot.rec = stamped;

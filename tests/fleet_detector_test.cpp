@@ -58,6 +58,29 @@ TEST(FleetClassify, DeadPastRelativeStaleness) {
   EXPECT_EQ(det.classify(s), Health::kDead);
 }
 
+TEST(FleetClassify, StalenessSlackDiscountsTransportLag) {
+  // A pump-fed hub sees staleness inflated by up to one poll interval plus
+  // the producer's batch hold; the slack keeps that from reading as death.
+  hub::AppSummary s = base_summary();
+  s.staleness_ns = kNsPerSec;  // 10x the 100ms mean: dead without slack
+  FleetDetector strict;
+  EXPECT_EQ(strict.classify(s), Health::kDead);
+  FleetDetector slack({.staleness_slack_ns = 300 * kNsPerMs});
+  EXPECT_EQ(slack.classify(s), Health::kHealthy);  // 700ms < 8 x 100ms
+
+  // The slack also applies to the absolute bound.
+  hub::AppSummary never = base_summary();
+  never.total_beats = 0;
+  never.window_beats = 0;
+  never.interval_mean_ns = 0.0;
+  never.staleness_ns = 600 * kNsPerMs;
+  FleetDetector absolute({.absolute_staleness_ns = 500 * kNsPerMs});
+  EXPECT_EQ(absolute.classify(never), Health::kDead);
+  FleetDetector absolute_slack({.absolute_staleness_ns = 500 * kNsPerMs,
+                                .staleness_slack_ns = 200 * kNsPerMs});
+  EXPECT_EQ(absolute_slack.classify(never), Health::kWarmingUp);
+}
+
 TEST(FleetClassify, DeadPastAbsoluteStalenessEvenWithZeroMean) {
   // The hub-side twin of the FailureDetector regression: all-one-tick beats
   // leave mean 0; only the absolute bound can declare death.

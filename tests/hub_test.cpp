@@ -170,7 +170,7 @@ TEST(HubBatching, SpanIngestTakesOneLockAcquire) {
     recs[i].timestamp_ns = (i + 1) * kNsPerMs;
     recs[i].tag = 7;
   }
-  hub.ingest(id, recs);
+  hub.ingest_batch(id, recs);
   HubView view(hub);
   const AppSummary s = *view.app("a");
   EXPECT_EQ(s.total_beats, 10u);

@@ -1,0 +1,403 @@
+// Cross-process ingest ring: layout guarantees, batch append/drain,
+// wraparound overflow accounting, crashed-producer torn-slot skipping,
+// ShmHubSink mirroring, and the fork-based multi-process pump smoke (hub
+// verdicts via the ring must match in-process ingestion exactly).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "core/heartbeat.hpp"
+#include "core/memory_store.hpp"
+#include "fault/fleet_detector.hpp"
+#include "hub/hub.hpp"
+#include "hub/shm_pump.hpp"
+#include "hub/view.hpp"
+#include "transport/registry.hpp"
+#include "transport/shm_ingest.hpp"
+#include "util/clock.hpp"
+
+namespace hb::transport {
+namespace {
+
+namespace fs = std::filesystem;
+using util::kNsPerMs;
+
+core::HeartbeatRecord rec_at(util::TimeNs ts, std::uint64_t tag = 0) {
+  core::HeartbeatRecord r;
+  r.timestamp_ns = ts;
+  r.tag = tag;
+  return r;
+}
+
+struct Drained {
+  std::string app;
+  core::HeartbeatRecord rec;
+  core::TargetRate target;
+};
+
+std::vector<Drained> drain_all(ShmIngestQueue& q, ShmIngestQueue::Cursor& cur,
+                               std::uint32_t max_stall = 3) {
+  std::vector<Drained> out;
+  q.drain(
+      cur,
+      [&out](std::string_view app, const core::HeartbeatRecord& rec,
+             core::TargetRate target) {
+        out.push_back({std::string(app), rec, target});
+      },
+      max_stall);
+  return out;
+}
+
+class ShmIngestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hb_shm_ingest_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path file(const std::string& name = "ring") const {
+    return dir_ / (name + ".hbq");
+  }
+
+  fs::path dir_;
+};
+
+TEST(ShmIngestLayout, SegmentSizes) {
+  EXPECT_EQ(sizeof(ShmIngestHeader), 128u);
+  EXPECT_EQ(sizeof(ShmIngestSlot), 128u);
+  EXPECT_EQ(shm_ingest_segment_size(0), 128u);
+  EXPECT_EQ(shm_ingest_segment_size(64), 128u + 64u * 128u);
+}
+
+TEST_F(ShmIngestTest, CreateAttachRoundTrip) {
+  auto q = ShmIngestQueue::create(file(), 64);
+  EXPECT_EQ(q->capacity(), 64u);
+  EXPECT_EQ(q->produced(), 0u);
+  EXPECT_EQ(q->creator_pid(), static_cast<std::uint32_t>(::getpid()));
+
+  q->append("app", rec_at(1 * kNsPerMs), {2.0, 9.0});
+  auto observer = ShmIngestQueue::attach(file());
+  EXPECT_EQ(observer->produced(), 1u);
+  EXPECT_EQ(observer->capacity(), 64u);
+
+  // create() is exclusive; open() attaches instead.
+  EXPECT_THROW(ShmIngestQueue::create(file(), 64), std::system_error);
+  auto opened = ShmIngestQueue::open(file(), 8);
+  EXPECT_EQ(opened->capacity(), 64u);  // attached, not recreated
+}
+
+TEST_F(ShmIngestTest, AttachMissingOrCorruptThrows) {
+  EXPECT_THROW(ShmIngestQueue::attach(file("nope")), std::runtime_error);
+
+  auto q = ShmIngestQueue::create(file(), 8);
+  q.reset();
+  std::FILE* f = std::fopen(file().c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const std::uint64_t junk = 0xdeadbeef;
+  std::fwrite(&junk, sizeof(junk), 1, f);
+  std::fclose(f);
+  EXPECT_THROW(ShmIngestQueue::attach(file()), std::runtime_error);
+}
+
+TEST_F(ShmIngestTest, BatchAppendDrainsInOrderWithAppAndTarget) {
+  auto q = ShmIngestQueue::create(file(), 32);
+  std::vector<core::HeartbeatRecord> recs;
+  for (int i = 0; i < 10; ++i) {
+    recs.push_back(rec_at((i + 1) * kNsPerMs, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(q->append_batch("encoder", recs, {30.0, 60.0}), 0u);
+
+  ShmIngestQueue::Cursor cur;
+  const auto out = drain_all(*q, cur);
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(cur.consumed, 10u);
+  EXPECT_EQ(cur.dropped, 0u);
+  EXPECT_EQ(cur.torn, 0u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].app, "encoder");
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].rec.tag,
+              static_cast<std::uint64_t>(i));
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)].target.min_bps, 30.0);
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)].target.max_bps, 60.0);
+  }
+}
+
+TEST_F(ShmIngestTest, SustainedOverflowCountsDropsNeverCorrupts) {
+  auto q = ShmIngestQueue::create(file(), 8);
+  // 100 beats into an 8-slot ring with no consumer keeping up: the oldest
+  // 92 are overwritten. tag mirrors the ring seq so a corrupt (torn or
+  // misattributed) delivery is detectable.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    q->append("a", rec_at(static_cast<util::TimeNs>(i), i), {});
+  }
+  ShmIngestQueue::Cursor cur;
+  const auto out = drain_all(*q, cur);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(cur.dropped, 92u);
+  EXPECT_EQ(cur.consumed, 8u);
+  EXPECT_EQ(cur.torn, 0u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].rec.tag, 92u + i);  // exactly the retained suffix
+  }
+
+  // The cursor has caught up; later appends drain without further drops.
+  q->append("a", rec_at(200, 100), {});
+  const auto tail = drain_all(*q, cur);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].rec.tag, 100u);
+  EXPECT_EQ(cur.dropped, 92u);
+}
+
+TEST_F(ShmIngestTest, CrashedProducerSlotSkippedAfterStallBudget) {
+  auto q = ShmIngestQueue::create(file(), 32);
+  // A producer claims a 4-slot batch, publishes 2, and dies.
+  const std::uint64_t first = q->claim(4);
+  q->publish(first + 0, "dead", rec_at(1, 0), {});
+  q->publish(first + 1, "dead", rec_at(2, 1), {});
+  // A healthy producer appends afterwards.
+  q->append("live", rec_at(3, 7), {});
+
+  ShmIngestQueue::Cursor cur;
+  // Drain 1: the two published records come through, then the torn slot
+  // blocks progress.
+  auto out = drain_all(*q, cur, /*max_stall=*/2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(cur.stalls, 1u);
+  // Drain 2: still blocked.
+  EXPECT_TRUE(drain_all(*q, cur, 2).empty());
+  EXPECT_EQ(cur.stalls, 2u);
+  // Drain 3: stall budget exhausted — both torn slots are skipped and the
+  // live producer's record is delivered. The consumer never wedges.
+  out = drain_all(*q, cur, 2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].app, "live");
+  EXPECT_EQ(out[0].rec.tag, 7u);
+  EXPECT_EQ(cur.torn, 2u);
+  EXPECT_EQ(cur.consumed, 3u);
+}
+
+TEST_F(ShmIngestTest, OpenReclaimsAbandonedCreation) {
+  // A creator died between open() and publishing the magic: the file
+  // exists but is all zeros. open() must reclaim the rendezvous path
+  // instead of wedging every producer forever.
+  {
+    std::ofstream stale(file(), std::ios::binary);
+    const std::vector<char> zeros(sizeof(ShmIngestHeader), '\0');
+    stale.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  }
+  auto q = ShmIngestQueue::open(file(), 16);
+  EXPECT_EQ(q->capacity(), 16u);
+  q->append("a", rec_at(1), {});
+  EXPECT_EQ(q->produced(), 1u);
+}
+
+TEST_F(ShmIngestTest, RegistryFactoryRendezvousesAtWellKnownPath) {
+  Registry registry(dir_);
+  core::HeartbeatOptions opts;
+  opts.name = "worker";
+  opts.store_factory = registry.shm_ingest_factory();
+  core::Heartbeat hb(opts);
+  for (int i = 0; i < 3; ++i) hb.beat(static_cast<std::uint64_t>(i));
+
+  auto q = ShmIngestQueue::attach(registry.ingest_queue_path());
+  ShmIngestQueue::Cursor cur;
+  const auto out = drain_all(*q, cur);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].app, "worker");
+}
+
+TEST_F(ShmIngestTest, LongNamesStayDistinctAfterTruncation) {
+  auto q = ShmIngestQueue::create(file(), 16);
+  const std::string prefix(60, 'x');  // both names exceed the 48-byte slot
+  q->append(prefix + "-worker-A", rec_at(1, 0), {});
+  q->append(prefix + "-worker-B", rec_at(2, 1), {});
+  ShmIngestQueue::Cursor cur;
+  const auto out = drain_all(*q, cur);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_LT(out[0].app.size(), kIngestNameCap);
+  EXPECT_NE(out[0].app, out[1].app);  // hash suffix keeps them apart
+  EXPECT_EQ(out[0].app.substr(0, 10), prefix.substr(0, 10));
+}
+
+TEST_F(ShmIngestTest, IndependentConsumersSeeTheFullStream) {
+  auto q = ShmIngestQueue::create(file(), 16);
+  for (std::uint64_t i = 0; i < 5; ++i) q->append("a", rec_at(1, i), {});
+  ShmIngestQueue::Cursor c1;
+  ShmIngestQueue::Cursor c2;
+  EXPECT_EQ(drain_all(*q, c1).size(), 5u);
+  EXPECT_EQ(drain_all(*q, c2).size(), 5u);  // non-destructive reads
+}
+
+TEST_F(ShmIngestTest, HubSinkMirrorsSharedChannelOnly) {
+  auto q = ShmIngestQueue::create(file(), 64);
+  auto clock = std::make_shared<util::ManualClock>();
+  core::HeartbeatOptions opts;
+  opts.name = "worker";
+  opts.clock = clock;
+  opts.target_min_bps = 5.0;
+  opts.store_factory = ShmHubSink::wrap_factory(q);
+  core::Heartbeat hb(opts);
+
+  for (int i = 0; i < 5; ++i) {
+    clock->advance(10 * kNsPerMs);
+    hb.beat(static_cast<std::uint64_t>(i));
+  }
+  hb.beat_local(99);  // thread-local channel: must NOT reach the ring
+
+  ShmIngestQueue::Cursor cur;
+  const auto out = drain_all(*q, cur);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].app, "worker");  // ".global" suffix stripped
+    EXPECT_EQ(out[i].rec.seq, i);     // store-assigned seq carried over
+    EXPECT_EQ(out[i].rec.tag, i);
+    EXPECT_DOUBLE_EQ(out[i].target.min_bps, 5.0);
+  }
+}
+
+TEST_F(ShmIngestTest, SinkBatchesAndHonorsMaxHold) {
+  auto q = ShmIngestQueue::create(file(), 64);
+  auto inner = std::make_shared<core::MemoryStore>(64, true, 10);
+  ShmHubSink sink(inner, q, "batchy",
+                  {.flush_every = 8, .max_hold_ns = 10 * kNsPerMs});
+
+  sink.append(rec_at(0));
+  sink.append(rec_at(1 * kNsPerMs));
+  EXPECT_EQ(q->produced(), 0u);  // buffered below flush_every
+  // 20ms after the oldest buffered beat: the hold bound flushes the batch.
+  sink.append(rec_at(20 * kNsPerMs));
+  EXPECT_EQ(q->produced(), 3u);
+
+  sink.append(rec_at(21 * kNsPerMs));
+  EXPECT_EQ(q->produced(), 3u);
+  sink.flush();  // manual flush pushes the partial batch
+  EXPECT_EQ(q->produced(), 4u);
+}
+
+// The acceptance-shaping smoke: P forked producer processes feed the ring;
+// the pump-fed hub must reach exactly the verdicts an in-process hub
+// reaches on identical records. Timestamps are synthetic (deterministic) on
+// a ManualClock timeline, so verdicts depend on the data alone.
+TEST_F(ShmIngestTest, ForkedProducersMatchInProcessVerdicts) {
+  constexpr int kProducers = 4;
+  constexpr util::TimeNs kEnd = 1000 * kNsPerMs;
+
+  // Per-producer deterministic beat plans:
+  //   proc0 healthy: 10ms cadence for the full second
+  //   proc1 dead:    10ms cadence, stops at 300ms
+  //   proc2 slow:    100ms cadence against a 50 b/s minimum target
+  //   proc3 erratic: alternating 5ms/95ms intervals
+  auto plan = [](int p) {
+    std::vector<core::HeartbeatRecord> recs;
+    util::TimeNs t = 0;
+    std::uint64_t i = 0;
+    while (true) {
+      util::TimeNs step = 0;
+      switch (p) {
+        case 0: step = 10 * kNsPerMs; break;
+        case 1: step = 10 * kNsPerMs; break;
+        case 2: step = 100 * kNsPerMs; break;
+        default: step = (i % 2 == 0) ? 5 * kNsPerMs : 95 * kNsPerMs; break;
+      }
+      t += step;
+      if (t > kEnd || (p == 1 && t > 300 * kNsPerMs)) break;
+      recs.push_back(rec_at(t, i++));
+    }
+    return recs;
+  };
+  auto target_of = [](int p) {
+    return p == 2 ? core::TargetRate{50.0, 1e9} : core::TargetRate{1.0, 1e9};
+  };
+
+  auto queue = ShmIngestQueue::create(file(), 4096);
+  std::vector<pid_t> pids;
+  for (int p = 0; p < kProducers; ++p) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: attach independently, push the plan in small batches.
+      auto child_q = ShmIngestQueue::attach(file());
+      const auto recs = plan(p);
+      const std::string app = "proc" + std::to_string(p);
+      for (std::size_t i = 0; i < recs.size(); i += 7) {
+        const std::size_t n = std::min<std::size_t>(7, recs.size() - i);
+        child_q->append_batch(app, std::span(recs).subspan(i, n),
+                              target_of(p));
+      }
+      ::_exit(0);
+    }
+    pids.push_back(pid);
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+
+  // Both hubs live on the same ManualClock, frozen at the timeline's end.
+  auto clock = std::make_shared<util::ManualClock>(kEnd);
+  hub::HubOptions hub_opts;
+  hub_opts.shard_count = 4;
+  hub_opts.clock = clock;
+
+  hub::HeartbeatHub via_ring(hub_opts);
+  hub::ShmIngestPump pump(queue, via_ring, {.from_start = true});
+  std::size_t total = 0;
+  for (int i = 0; i < 4; ++i) total += pump.poll();
+  const auto pump_stats = pump.stats();
+  EXPECT_EQ(pump_stats.consumed, total);
+  EXPECT_EQ(pump_stats.dropped, 0u);
+  EXPECT_EQ(pump_stats.torn, 0u);
+  EXPECT_EQ(pump_stats.apps, static_cast<std::uint64_t>(kProducers));
+
+  hub::HeartbeatHub in_process(hub_opts);
+  std::size_t direct_total = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    const auto recs = plan(p);
+    direct_total += recs.size();
+    in_process.ingest_batch(
+        in_process.register_app("proc" + std::to_string(p), target_of(p)),
+        recs);
+  }
+  EXPECT_EQ(total, direct_total);
+
+  const fault::FleetDetector detector(
+      {.absolute_staleness_ns = 500 * kNsPerMs});
+  const auto ring_report = detector.sweep(hub::HubView(via_ring));
+  const auto direct_report = detector.sweep(hub::HubView(in_process));
+
+  ASSERT_EQ(ring_report.apps.size(), static_cast<std::size_t>(kProducers));
+  ASSERT_EQ(direct_report.apps.size(), ring_report.apps.size());
+  for (const auto& app : ring_report.apps) {
+    const auto match = std::find_if(
+        direct_report.apps.begin(), direct_report.apps.end(),
+        [&app](const fault::AppHealth& d) { return d.name == app.name; });
+    ASSERT_NE(match, direct_report.apps.end()) << app.name;
+    EXPECT_EQ(app.health, match->health) << app.name;
+    EXPECT_EQ(app.total_beats, match->total_beats) << app.name;
+    EXPECT_DOUBLE_EQ(app.rate_bps, match->rate_bps) << app.name;
+  }
+
+  // The seeded fleet shape came through the process boundary intact.
+  const auto& fleet = ring_report.fleet;
+  EXPECT_EQ(fleet.healthy, 1u);
+  EXPECT_EQ(fleet.dead, 1u);
+  EXPECT_EQ(fleet.slow, 1u);
+  EXPECT_EQ(fleet.erratic, 1u);
+  EXPECT_EQ(fleet.dead_apps, std::vector<std::string>{"proc1"});
+}
+
+}  // namespace
+}  // namespace hb::transport
