@@ -9,6 +9,7 @@
 #include "fault/failure_detector.hpp"
 #include "hub/hub.hpp"
 #include "hub/view.hpp"
+#include "policy/policy_engine.hpp"
 #include "util/time.hpp"
 
 namespace hb::cloud {
@@ -34,6 +35,7 @@ int CloudSim::add_vm(VmSpec spec) {
   if (hub_) hub_ids_.push_back(register_with_hub(vms_.back()));
   // First-fit by demand headroom.
   const int id = static_cast<int>(vms_.size()) - 1;
+  vm_by_name_.emplace(vms_.back().spec.name, id);  // first name wins
   machine_of_.push_back(0);
   for (int m = 0; m < num_machines_; ++m) {
     machine_of_.back() = m;
@@ -82,6 +84,23 @@ void CloudSim::restart_vm(int vm) {
 
 bool CloudSim::vm_killed(int vm) const {
   return vms_.at(static_cast<std::size_t>(vm)).killed;
+}
+
+int CloudSim::find_vm(const std::string& name) const {
+  const auto it = vm_by_name_.find(name);
+  return it == vm_by_name_.end() ? -1 : it->second;
+}
+
+void CloudSim::set_policy(std::shared_ptr<policy::PolicyEngine> engine,
+                          fault::FleetDetectorOptions detector_opts,
+                          double period_s) {
+  if (engine && !hub_) {
+    throw std::logic_error("CloudSim::set_policy: attach_hub first");
+  }
+  policy_ = std::move(engine);
+  policy_detector_ = fault::FleetDetector(detector_opts);
+  policy_period_s_ = period_s > 0.0 ? period_s : 1.0;
+  last_policy_s_ = -1e18;
 }
 
 fault::FleetReport CloudSim::fleet_health(
@@ -151,6 +170,12 @@ void CloudSim::step(double dt_seconds) {
   }
   for (auto& vm : vms_) {
     if (!vm.killed) vm.elapsed_s += dt_seconds;  // killed VMs are frozen
+  }
+  // The decide/act tick: sweep + policy at most once per policy period,
+  // after physics, so sink actions (restarts) shape the NEXT step.
+  if (policy_ && now_seconds() - last_policy_s_ >= policy_period_s_) {
+    last_policy_s_ = now_seconds();
+    policy_->observe(fleet_health(policy_detector_));
   }
 }
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/channel.hpp"
@@ -29,6 +30,10 @@
 
 namespace hb::hub {
 class HeartbeatHub;
+}
+
+namespace hb::policy {
+class PolicyEngine;
 }
 
 namespace hb::cloud {
@@ -103,9 +108,29 @@ class CloudSim {
   void restart_vm(int vm);
   bool vm_killed(int vm) const;
 
+  /// Index of the VM with this VmSpec name, or -1 if unknown (the seam
+  /// policy sinks use to map hub app names back to sim VMs).
+  int find_vm(const std::string& name) const;
+
   /// Sweep the whole fleet's health through the attached hub in one pass —
   /// no per-VM reader queries. Throws std::logic_error without attach_hub.
   fault::FleetReport fleet_health(const fault::FleetDetector& detector) const;
+
+  /// Attach the decide/act layer: every `period_s` of simulated time,
+  /// step() runs one fleet_health sweep (with `detector_opts`) and feeds
+  /// the report to `engine` — whose sinks may act back on the sim (a
+  /// CloudRestartSink makes the fleet self-heal with no external driver).
+  /// The sweep runs at the END of a step, after physics and beat
+  /// mirroring, so sink actions take effect from the next step on.
+  /// Requires attach_hub first (throws std::logic_error otherwise); pass
+  /// nullptr to detach. The engine is shared: inspect its stats/events
+  /// from the outside between steps.
+  void set_policy(std::shared_ptr<policy::PolicyEngine> engine,
+                  fault::FleetDetectorOptions detector_opts = {},
+                  double period_s = 1.0);
+  const std::shared_ptr<policy::PolicyEngine>& policy() const {
+    return policy_;
+  }
 
  private:
   struct Vm {
@@ -123,8 +148,14 @@ class CloudSim {
   std::shared_ptr<util::ManualClock> clock_;
   std::vector<Vm> vms_;
   std::vector<int> machine_of_;
+  std::unordered_map<std::string, int> vm_by_name_;
   std::shared_ptr<hub::HeartbeatHub> hub_;
   std::vector<hub::AppId> hub_ids_;  ///< parallel to vms_ when hub_ is set
+
+  std::shared_ptr<policy::PolicyEngine> policy_;
+  fault::FleetDetector policy_detector_;
+  double policy_period_s_ = 1.0;
+  double last_policy_s_ = -1e18;
 };
 
 /// Options for HeartbeatConsolidator (namespace scope: a nested struct with

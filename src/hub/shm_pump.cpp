@@ -68,7 +68,30 @@ std::size_t ShmIngestPump::poll() {
     entry->pending.clear();
   }
   touched_.clear();
+  // Only a genuinely idle poll (cursor caught up to the producers' head)
+  // feeds the backoff. A drain that returned nothing while records are
+  // pending is BLOCKED — head-of-line slot claimed but unpublished (a
+  // producer crashed mid-batch) — and that is exactly when the loop must
+  // keep polling at the floor: the stall budget should be spent at floor
+  // pace so the committed records queued behind the torn run reach the
+  // hub promptly.
+  if (drained == 0 && cursor_.next >= queue_->produced()) {
+    if (empty_polls_ < 31) ++empty_polls_;  // cap the shift, not the count
+  } else {
+    empty_polls_ = 0;
+  }
   return drained;
+}
+
+util::TimeNs ShmIngestPump::suggested_sleep_ns() const {
+  const util::TimeNs floor =
+      opts_.idle_sleep_min_ns > 0 ? opts_.idle_sleep_min_ns : 1;
+  const util::TimeNs cap =
+      opts_.idle_sleep_max_ns > floor ? opts_.idle_sleep_max_ns : floor;
+  // floor << empty_polls_, saturating at the cap without overflow.
+  util::TimeNs sleep = floor;
+  for (std::uint32_t i = 0; i < empty_polls_ && sleep < cap; ++i) sleep *= 2;
+  return sleep < cap ? sleep : cap;
 }
 
 ShmIngestPumpStats ShmIngestPump::stats() const {

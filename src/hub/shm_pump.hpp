@@ -25,6 +25,7 @@
 #include "core/record.hpp"
 #include "hub/summary.hpp"
 #include "transport/shm_ingest.hpp"
+#include "util/time.hpp"
 
 namespace hb::hub {
 
@@ -46,6 +47,13 @@ struct ShmIngestPumpOptions {
   /// monitor wants beats produced while it watches, not a replay of
   /// whatever a previous session left in the ring.
   bool from_start = false;
+  /// Idle-backoff floor for suggested_sleep_ns(): the sleep after a poll
+  /// that drained records (the ring is busy — stay close).
+  util::TimeNs idle_sleep_min_ns = 1 * util::kNsPerMs;
+  /// Idle-backoff cap: consecutive empty polls double the suggestion from
+  /// the floor up to this bound (a quiet ring costs ~1 wakeup per cap
+  /// interval instead of a busy-spin). Clamped to >= idle_sleep_min_ns.
+  util::TimeNs idle_sleep_max_ns = 64 * util::kNsPerMs;
 };
 
 /// Cumulative pump counters (all monotonic since construction).
@@ -75,6 +83,15 @@ class ShmIngestPump {
   /// ingested. Returns the number of records ingested by this call.
   std::size_t poll();
 
+  /// How long the poll loop should sleep before the next poll(): the
+  /// idle-backoff schedule. idle_sleep_min_ns right after a poll that
+  /// drained records, doubling per consecutive empty poll up to
+  /// idle_sleep_max_ns — so a busy ring is drained promptly and a quiet
+  /// one stops being busy-spun. Purely advisory; the pump never sleeps
+  /// itself (callers own their loop and may cap this further, e.g. to a
+  /// sweep deadline).
+  util::TimeNs suggested_sleep_ns() const;
+
   ShmIngestPumpStats stats() const;
 
   HeartbeatHub& hub() const { return *hub_; }
@@ -100,6 +117,7 @@ class ShmIngestPump {
 
   transport::ShmIngestQueue::Cursor cursor_;
   std::uint64_t polls_ = 0;
+  std::uint32_t empty_polls_ = 0;  ///< consecutive polls that drained nothing
 
   // Transparent lookup so routing a drained record never allocates a key.
   struct NameHash {

@@ -1,0 +1,87 @@
+#include "policy/action_sink.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hb::policy {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTransition: return "transition";
+    case EventKind::kCorrelatedFailure: return "correlated-failure";
+    case EventKind::kQuarantine: return "quarantine";
+    case EventKind::kQuarantineLifted: return "quarantine-lifted";
+  }
+  return "?";
+}
+
+std::string to_line(const FleetEvent& event, util::TimeNs base_ns) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "[%.3fs] ",
+                util::to_seconds(event.at_ns - base_ns));
+  std::string line(head);
+  line += to_string(event.kind);
+  switch (event.kind) {
+    case EventKind::kTransition:
+      line += ' ';
+      line += event.app;
+      line += ": ";
+      line += fault::to_string(event.from_health);
+      line += " -> ";
+      line += fault::to_string(event.to_health);
+      if (event.quarantined) line += " (quarantined)";
+      break;
+    case EventKind::kCorrelatedFailure: {
+      char count[48];
+      std::snprintf(count, sizeof(count), " %s: %zu apps dead (",
+                    event.group.empty() ? "<ungrouped>" : event.group.c_str(),
+                    event.apps.size());
+      line += count;
+      // Name the first few members; a 40-VM rack does not need 40 names
+      // on one alert line.
+      constexpr std::size_t kNamed = 3;
+      for (std::size_t i = 0; i < event.apps.size() && i < kNamed; ++i) {
+        if (i) line += ' ';
+        line += event.apps[i];
+      }
+      if (event.apps.size() > kNamed) line += " ...";
+      line += ')';
+      break;
+    }
+    case EventKind::kQuarantine:
+      line += ' ';
+      line += event.app;
+      line += ": flapping, remediation suspended";
+      break;
+    case EventKind::kQuarantineLifted:
+      line += ' ';
+      line += event.app;
+      line += ": stable again, remediation re-armed";
+      break;
+  }
+  return line;
+}
+
+void LogSink::on_event(const PolicyEngine&, const FleetEvent& event) {
+  std::fprintf(out_, "%s\n", to_line(event, base_ns_).c_str());
+  std::fflush(out_);
+}
+
+void TestSink::on_event(const PolicyEngine&, const FleetEvent& event) {
+  events_.push_back(event);
+}
+
+std::uint64_t TestSink::count(EventKind kind) const {
+  return static_cast<std::uint64_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const FleetEvent& e) { return e.kind == kind; }));
+}
+
+std::uint64_t TestSink::transitions_to(fault::Health to) const {
+  return static_cast<std::uint64_t>(std::count_if(
+      events_.begin(), events_.end(), [to](const FleetEvent& e) {
+        return e.kind == EventKind::kTransition && e.to_health == to;
+      }));
+}
+
+}  // namespace hb::policy

@@ -1,0 +1,69 @@
+// ActionSink: where fleet events go — the "act" half of observe-decide-act.
+//
+// The PolicyEngine decides WHAT happened (policy/events.hpp); sinks decide
+// WHAT TO DO about it. A sink may merely report (LogSink), count for tests
+// (TestSink), or actually remediate (policy/cloud_restart_sink.hpp drives
+// CloudSim::restart_vm). Sinks receive every event exactly once, in
+// emission order, on the thread that called PolicyEngine::observe — a sink
+// needs its own synchronization only if it shares state with other
+// threads.
+//
+// Each dispatch also hands the sink the engine itself, so acting sinks can
+// consult policy state the event does not carry (per-member quarantine in
+// a correlated failure, flap-edge history) without holding a back-pointer.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "policy/events.hpp"
+
+namespace hb::policy {
+
+class PolicyEngine;
+
+class ActionSink {
+ public:
+  virtual ~ActionSink() = default;
+
+  /// One event. `engine` is the emitting PolicyEngine, mid-observe: its
+  /// query methods (quarantined(), transitions() counters) are valid; do
+  /// not call observe() re-entrantly from a sink.
+  virtual void on_event(const PolicyEngine& engine,
+                        const FleetEvent& event) = 0;
+};
+
+/// Prints each event as its to_line() form, one per line, flushed — the
+/// operator / CI-log sink (hbmon fleet --watch streams through one).
+/// `base_ns` makes the printed stamps relative (see to_line): pass the
+/// sweep clock's "now" at loop start when that clock is the raw monotonic
+/// one, so lines show seconds into the run instead of machine uptime.
+class LogSink : public ActionSink {
+ public:
+  explicit LogSink(std::FILE* out = stderr, util::TimeNs base_ns = 0)
+      : out_(out), base_ns_(base_ns) {}
+  void on_event(const PolicyEngine& engine, const FleetEvent& event) override;
+
+ private:
+  std::FILE* out_;
+  util::TimeNs base_ns_;
+};
+
+/// Records every event and counts them by kind — the assertion surface for
+/// tests and the bench (no side effects, no I/O).
+class TestSink : public ActionSink {
+ public:
+  void on_event(const PolicyEngine& engine, const FleetEvent& event) override;
+
+  const std::vector<FleetEvent>& events() const { return events_; }
+  std::uint64_t count(EventKind kind) const;
+  /// Transitions whose to_health matches (e.g. deaths seen).
+  std::uint64_t transitions_to(fault::Health to) const;
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<FleetEvent> events_;
+};
+
+}  // namespace hb::policy

@@ -1,0 +1,69 @@
+#include "policy/cloud_restart_sink.hpp"
+
+#include "cloud/cloud_sim.hpp"
+#include "policy/policy_engine.hpp"
+
+namespace hb::policy {
+
+CloudRestartSink::CloudRestartSink(cloud::CloudSim& sim,
+                                   CloudRestartSinkOptions opts)
+    : sim_(&sim), opts_(opts) {}
+
+void CloudRestartSink::maybe_restart(const PolicyEngine& engine,
+                                     const std::string& app, hub::AppId id) {
+  // Id-keyed lookup: O(1) per death, where the name overload would scan
+  // every tracked app inside the sweep loop the policy bench gates.
+  if (engine.quarantined(id)) {
+    ++stats_.suppressed_quarantined;
+    return;
+  }
+  const int vm = sim_->find_vm(app);
+  if (vm < 0) {
+    ++stats_.unknown_apps;
+    return;
+  }
+  if (restarts_of(app) >= opts_.restart_budget) {
+    ++stats_.suppressed_budget;
+    return;
+  }
+  // A "dead" verdict can outlive the actual outage by one sweep (staleness
+  // decays only with fresh beats); restarting a VM that is already running
+  // is a no-op in the sim, but spending budget on it would be a leak —
+  // only act on VMs that are really down.
+  if (!sim_->vm_killed(vm)) {
+    ++stats_.suppressed_already_running;
+    return;
+  }
+  sim_->restart_vm(vm);
+  ++spent_[app];  // inserted only when a restart actually happens
+  ++stats_.restarts;
+}
+
+void CloudRestartSink::on_event(const PolicyEngine& engine,
+                                const FleetEvent& event) {
+  switch (event.kind) {
+    case EventKind::kTransition:
+      if (event.to_health == fault::Health::kDead) {
+        maybe_restart(engine, event.app, event.id);
+      }
+      break;
+    case EventKind::kCorrelatedFailure:
+      // One incident, many casualties: each member still gets its own
+      // guarded restart (quarantine is per-app — consult the engine, the
+      // folded event carries no per-member flag).
+      for (std::size_t i = 0; i < event.apps.size(); ++i) {
+        maybe_restart(engine, event.apps[i], event.app_ids[i]);
+      }
+      break;
+    case EventKind::kQuarantine:
+    case EventKind::kQuarantineLifted:
+      break;  // informational; budgets deliberately do NOT refill on lift
+  }
+}
+
+std::uint32_t CloudRestartSink::restarts_of(const std::string& app) const {
+  const auto it = spent_.find(app);
+  return it == spent_.end() ? 0u : it->second;
+}
+
+}  // namespace hb::policy

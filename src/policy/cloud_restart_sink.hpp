@@ -1,0 +1,73 @@
+// CloudRestartSink: the acting sink that makes a simulated fleet self-heal.
+//
+// Closes the loop the paper leaves to "an external agent": when the
+// PolicyEngine reports a death edge (individual transition or a member of
+// a correlated failure), this sink calls CloudSim::restart_vm on the VM —
+// subject to two guards that keep automation from making things worse:
+//
+//   - QUARANTINE: flapping apps (engine-quarantined) are never restarted;
+//     a crash loop is a bug to page about, not a state to fight.
+//   - RESTART BUDGET: at most `restart_budget` automatic restarts per app
+//     over the sink's lifetime. An app that keeps dying past its budget
+//     stays down for a human — unbounded retries hide real failures.
+//
+// Every suppressed action is counted (stats()), so tests and operators can
+// tell "healed" from "gave up" at a glance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "policy/action_sink.hpp"
+
+namespace hb::cloud {
+class CloudSim;
+}
+
+namespace hb::policy {
+
+struct CloudRestartSinkOptions {
+  /// Automatic restarts allowed per app (sink lifetime). 0 disables the
+  /// sink entirely (observe-only).
+  std::uint32_t restart_budget = 3;
+};
+
+/// Cumulative action counters. Every death event the sink declines to act
+/// on lands in exactly one suppression bucket, so
+/// restarts + suppressed_* + unknown_apps reconciles with the deaths seen.
+struct CloudRestartStats {
+  std::uint64_t restarts = 0;              ///< restart_vm calls issued
+  std::uint64_t suppressed_quarantined = 0;  ///< deaths left alone: flapping
+  std::uint64_t suppressed_budget = 0;     ///< deaths left alone: budget spent
+  /// Deaths left alone because the VM was already running again — a dead
+  /// verdict can outlive the outage by a sweep (staleness decays only
+  /// with fresh beats); restarting would waste budget on a ghost.
+  std::uint64_t suppressed_already_running = 0;
+  std::uint64_t unknown_apps = 0;  ///< death events naming no sim VM
+};
+
+class CloudRestartSink : public ActionSink {
+ public:
+  /// Non-owning: `sim` must outlive the sink. Events are matched to VMs by
+  /// app name via CloudSim::find_vm (hub app names == VmSpec names).
+  explicit CloudRestartSink(cloud::CloudSim& sim,
+                            CloudRestartSinkOptions opts = {});
+
+  void on_event(const PolicyEngine& engine, const FleetEvent& event) override;
+
+  const CloudRestartStats& stats() const { return stats_; }
+  /// Automatic restarts issued so far for one app.
+  std::uint32_t restarts_of(const std::string& app) const;
+
+ private:
+  void maybe_restart(const PolicyEngine& engine, const std::string& app,
+                     hub::AppId id);
+
+  cloud::CloudSim* sim_;
+  CloudRestartSinkOptions opts_;
+  CloudRestartStats stats_;
+  std::unordered_map<std::string, std::uint32_t> spent_;  ///< app -> restarts
+};
+
+}  // namespace hb::policy

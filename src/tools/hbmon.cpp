@@ -14,13 +14,18 @@
 //   hbmon fleet --live [-d run_ms] [-i poll_ms] [-s dead_ms]
 //                                      # sweep LIVE external producers via the
 //                                      # shm ingest ring (no registry replay)
+//   hbmon fleet --watch [-d run_ms] [-i poll_ms] [-s dead_ms] [-p sweep_ms]
+//                                      # continuous decide loop: stream policy
+//                                      # events until SIGINT/SIGTERM (-d 0)
 //
 // Registry directory: $HB_DIR or <tmp>/heartbeats.
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +36,8 @@
 #include "hub/hub.hpp"
 #include "hub/shm_pump.hpp"
 #include "hub/view.hpp"
+#include "policy/action_sink.hpp"
+#include "policy/policy_engine.hpp"
 #include "transport/registry.hpp"
 #include "transport/shm_ingest.hpp"
 
@@ -45,8 +52,27 @@ int usage() {
                "       hbmon history <app> [-n beats]\n"
                "       hbmon fleet [-s dead_ms] [-n history_beats]\n"
                "       hbmon fleet --live [-d run_ms] [-i poll_ms] "
-               "[-s dead_ms]\n");
+               "[-s dead_ms]\n"
+               "       hbmon fleet --watch [-d run_ms] [-i poll_ms] "
+               "[-s dead_ms] [-p sweep_ms]\n");
   return 2;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
+
+// The transport-loss footer both ring-fed fleet modes print under the
+// verdict table: ring drops/torn slots are lost evidence — an operator who
+// cannot see them would misread transport loss as producer staleness.
+void print_transport_footer(const hb::hub::ShmIngestPumpStats& stats) {
+  std::printf("transport: %llu beats ingested from %llu producers, "
+              "%llu dropped (ring lapped), %llu torn (producer died "
+              "mid-publish)%s\n",
+              static_cast<unsigned long long>(stats.consumed),
+              static_cast<unsigned long long>(stats.apps),
+              static_cast<unsigned long long>(stats.dropped),
+              static_cast<unsigned long long>(stats.torn),
+              stats.dropped || stats.torn ? "  <-- ring loss" : "");
 }
 
 int cmd_list(const hb::transport::Registry& registry) {
@@ -172,6 +198,47 @@ int cmd_fleet(const hb::transport::Registry& registry, int dead_ms,
   return hb::fault::print_fleet_report(stdout, report);
 }
 
+// Shared wiring for the ring-fed fleet modes (--live, --watch): the ingest
+// queue at the registry's well-known path, a hub on the producers'
+// monotonic epoch, an adaptively polled pump (floor 1 ms behind a busy
+// ring, backing off to poll_ms while it is quiet), and a detector whose
+// staleness slack discounts transport lag — a beat can be one poll
+// interval old before the pump sees it, plus the producer-side batch
+// hold. One function, so the slack formula can never diverge between the
+// modes.
+struct LivePipeline {
+  std::shared_ptr<hb::transport::ShmIngestQueue> queue;
+  std::shared_ptr<hb::hub::HeartbeatHub> hub;
+  std::unique_ptr<hb::hub::ShmIngestPump> pump;
+  hb::fault::FleetDetector detector;
+};
+
+LivePipeline make_live_pipeline(const hb::transport::Registry& registry,
+                                int poll_ms, int dead_ms,
+                                hb::util::TimeNs evict_after_ns = 0) {
+  LivePipeline p;
+  p.queue = hb::transport::ShmIngestQueue::open(
+      registry.ingest_queue_path(),
+      hb::transport::Registry::kDefaultIngestCapacity);
+  hb::hub::HubOptions opts;
+  opts.shard_count = 8;
+  opts.evict_after_ns = evict_after_ns;
+  p.hub = std::make_shared<hb::hub::HeartbeatHub>(opts);
+  p.pump = std::make_unique<hb::hub::ShmIngestPump>(
+      p.queue, p.hub,
+      hb::hub::ShmIngestPumpOptions{
+          .idle_sleep_min_ns = hb::util::kNsPerMs,
+          .idle_sleep_max_ns =
+              static_cast<hb::util::TimeNs>(poll_ms) * hb::util::kNsPerMs});
+  p.detector = hb::fault::FleetDetector(
+      {.absolute_staleness_ns =
+           static_cast<hb::util::TimeNs>(dead_ms) * hb::util::kNsPerMs,
+       .staleness_slack_ns =
+           static_cast<hb::util::TimeNs>(poll_ms) * hb::util::kNsPerMs +
+           hb::transport::ShmHubSinkOptions{}.max_hold_ns});
+  return p;
+}
+
 // Sweep LIVE producers: external processes publish beats into the fleet
 // ingest ring (transport/ShmIngestQueue, well-known path in the registry
 // dir); we pump the ring into a hub for run_ms and classify the fleet from
@@ -180,48 +247,110 @@ int cmd_fleet_live(const hb::transport::Registry& registry, int run_ms,
                    int poll_ms, int dead_ms) {
   if (run_ms <= 0) run_ms = 2000;
   if (poll_ms <= 0) poll_ms = 50;
-
-  auto queue = hb::transport::ShmIngestQueue::open(
-      registry.ingest_queue_path(),
-      hb::transport::Registry::kDefaultIngestCapacity);
-
-  hb::hub::HubOptions opts;
-  opts.shard_count = 8;
-  hb::hub::HeartbeatHub hub(opts);  // monotonic clock, producers' epoch
-  hb::hub::ShmIngestPump pump(queue, hub);
+  LivePipeline p = make_live_pipeline(registry, poll_ms, dead_ms);
 
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(run_ms);
   while (std::chrono::steady_clock::now() < deadline) {
-    pump.poll();
-    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    p.pump->poll();
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(p.pump->suggested_sleep_ns()));
   }
-  pump.poll();  // final drain so the sweep sees everything
+  p.pump->poll();  // final drain so the sweep sees everything
 
-  const auto stats = pump.stats();
-  std::fprintf(stderr,
-               "live: %llu beats from %llu producers via %s "
-               "(dropped %llu, torn %llu)\n",
+  const auto stats = p.pump->stats();
+  std::fprintf(stderr, "live: %llu beats from %llu producers via %s\n",
                static_cast<unsigned long long>(stats.consumed),
                static_cast<unsigned long long>(stats.apps),
-               queue->file().c_str(),
-               static_cast<unsigned long long>(stats.dropped),
-               static_cast<unsigned long long>(stats.torn));
+               p.queue->file().c_str());
   if (stats.consumed == 0) {
-    std::printf("no live producers on %s\n", queue->file().c_str());
+    std::printf("no live producers on %s\n", p.queue->file().c_str());
+    // Nothing ingested does NOT mean nothing happened: a lapped ring or a
+    // producer that died mid-publish still leaves loss counters to report.
+    print_transport_footer(stats);
     return 0;
   }
 
-  // Staleness slack: a beat can be up to one poll interval old before the
-  // pump even sees it, plus the producer-side default batch hold —
-  // transport lag, not silence.
-  hb::fault::FleetDetector detector(
-      {.absolute_staleness_ns =
-           static_cast<hb::util::TimeNs>(dead_ms) * 1000000,
-       .staleness_slack_ns = static_cast<hb::util::TimeNs>(poll_ms) * 1000000 +
-                             hb::transport::ShmHubSinkOptions{}.max_hold_ns});
-  hb::fault::FleetReport report = detector.sweep(hb::hub::HubView(hub));
-  return hb::fault::print_fleet_report(stdout, report);
+  hb::fault::FleetReport report =
+      p.detector.sweep(hb::hub::HubView(*p.hub));
+  const int code = hb::fault::print_fleet_report(stdout, report);
+  print_transport_footer(stats);
+  return code;
+}
+
+// Continuous observe-decide loop over the live ring: pump adaptively, run a
+// FleetDetector sweep every sweep_ms, and stream the PolicyEngine's
+// edge-triggered events (transitions, correlated failures, flap
+// quarantines) to stdout as they happen — level-triggered spam is exactly
+// what the engine exists to remove. Runs until SIGINT/SIGTERM (or -d ms if
+// positive); the final table + transport footer print on exit, with the
+// usual fleet exit-code contract.
+int cmd_fleet_watch(const hb::transport::Registry& registry, int run_ms,
+                    int poll_ms, int dead_ms, int sweep_ms) {
+  if (poll_ms <= 0) poll_ms = 50;
+  if (sweep_ms <= 0) sweep_ms = 1000;
+  // Long watches accumulate dead producers; evict them once they are far
+  // beyond the death bound so sweeps do not slow down over hours. Evicted
+  // apps still classify dead (and revive on their next beat).
+  LivePipeline p = make_live_pipeline(
+      registry, poll_ms, dead_ms,
+      20 * static_cast<hb::util::TimeNs>(dead_ms) * hb::util::kNsPerMs);
+
+  hb::policy::PolicyEngine engine;
+  // Event stamps live on the hub's monotonic clock (machine uptime);
+  // anchor the printed lines to the start of this watch.
+  engine.add_sink(std::make_shared<hb::policy::LogSink>(
+      stdout, p.hub->clock()->now()));
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+  std::fprintf(stderr, "watch: ring %s, sweep every %d ms, %s\n",
+               p.queue->file().c_str(), sweep_ms,
+               run_ms > 0 ? "bounded run" : "until SIGINT/SIGTERM");
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::milliseconds(run_ms);
+  auto next_sweep = start + std::chrono::milliseconds(sweep_ms);
+  hb::fault::FleetReport report;
+  while (!g_stop && (run_ms <= 0 || Clock::now() < deadline)) {
+    p.pump->poll();
+    if (Clock::now() >= next_sweep) {
+      report = p.detector.sweep(hb::hub::HubView(*p.hub));
+      engine.observe(report);
+      next_sweep += std::chrono::milliseconds(sweep_ms);
+      // A stalled process (SIGSTOP, laptop sleep) can fall many intervals
+      // behind; skip the missed ones rather than burst-sweeping to catch
+      // up — each sweep reads current state, so replays add nothing.
+      if (next_sweep < Clock::now()) {
+        next_sweep = Clock::now() + std::chrono::milliseconds(sweep_ms);
+      }
+    }
+    // Sleep the pump's adaptive suggestion, but never past the next sweep.
+    const auto sleep_ns =
+        std::chrono::nanoseconds(p.pump->suggested_sleep_ns());
+    const auto until_sweep =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(next_sweep -
+                                                             Clock::now());
+    std::this_thread::sleep_for(
+        std::clamp(until_sweep, std::chrono::nanoseconds(0), sleep_ns));
+  }
+
+  p.pump->poll();  // final drain: the exit table reflects everything
+  report = p.detector.sweep(hb::hub::HubView(*p.hub));
+  engine.observe(report);
+  std::printf("\n");
+  const int code = hb::fault::print_fleet_report(stdout, report);
+  print_transport_footer(p.pump->stats());
+  const auto& pstats = engine.stats();
+  std::printf("policy: %llu sweeps, %llu transitions, %llu correlated "
+              "failures, %llu quarantines (%zu active)\n",
+              static_cast<unsigned long long>(pstats.sweeps),
+              static_cast<unsigned long long>(pstats.transitions),
+              static_cast<unsigned long long>(pstats.correlated_failures),
+              static_cast<unsigned long long>(pstats.quarantines),
+              engine.quarantined_apps().size());
+  return code;
 }
 
 int parse_flag(int argc, char** argv, const char* flag, int fallback) {
@@ -247,6 +376,12 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "list") return cmd_list(registry);
     if (cmd == "fleet" || cmd == "--fleet") {
+      if (has_flag(argc, argv, "--watch")) {
+        return cmd_fleet_watch(registry, parse_flag(argc, argv, "-d", 0),
+                               parse_flag(argc, argv, "-i", 50),
+                               parse_flag(argc, argv, "-s", 5000),
+                               parse_flag(argc, argv, "-p", 1000));
+      }
       if (has_flag(argc, argv, "--live")) {
         return cmd_fleet_live(registry, parse_flag(argc, argv, "-d", 2000),
                               parse_flag(argc, argv, "-i", 50),

@@ -14,6 +14,7 @@
 #include "fault/fleet_detector.hpp"
 #include "hub/hub.hpp"
 #include "hub/view.hpp"
+#include "policy/policy_engine.hpp"
 #include "sched/global_scheduler.hpp"
 #include "util/clock.hpp"
 #include "util/time.hpp"
@@ -270,6 +271,84 @@ TEST(FleetSweep, AutoEvictedDeathsStayInTheReport) {
   EXPECT_EQ(report.fleet.evicted, 1u);
   ASSERT_EQ(report.fleet.dead_apps.size(), 1u);
   EXPECT_EQ(report.fleet.dead_apps[0], "doomed");
+}
+
+TEST(FleetSweep, EvictionRevivalChurnStaysConsistent) {
+  // A producer that kill/restart-cycles ACROSS the hub's evict_after_ns
+  // boundary: every silent phase must confirm death (and eviction), every
+  // active phase must revive it — with total_beats accumulating through
+  // evictions, FleetHealth::{dead,evicted} tracking each phase exactly,
+  // and the policy layer counting one death + one revival per cycle (the
+  // substrate the flap detector counts edges on).
+  auto clock = std::make_shared<util::ManualClock>();
+  hub::HubOptions opts;
+  opts.evict_after_ns = 2 * kNsPerSec;
+  opts.clock = clock;
+  hub::HeartbeatHub hub(opts);
+  const hub::AppId churn = hub.register_app("churn");
+  const hub::AppId steady = hub.register_app("steady");
+
+  const FleetDetector det;
+  policy::PolicyEngine engine(
+      {.flap_window_ns = 1000 * kNsPerSec, .flap_threshold = 100});
+  hub::HubView view(hub);
+
+  constexpr int kCycles = 3;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    // Active: both beat at 10 b/s for 2 s.
+    for (int i = 0; i < 20; ++i) {
+      clock->advance(100 * kNsPerMs);
+      hub.beat(churn);
+      hub.beat(steady);
+    }
+    FleetReport up = det.sweep(view);
+    engine.observe(up);
+    EXPECT_EQ(up.fleet.apps, 2u) << "cycle " << cycle;
+    EXPECT_EQ(up.fleet.dead, 0u) << "cycle " << cycle;
+    EXPECT_EQ(up.fleet.evicted, 0u) << "cycle " << cycle;
+    const auto revived = view.app("churn");
+    ASSERT_TRUE(revived.has_value());
+    EXPECT_FALSE(revived->evicted);
+    // Lifetime beats survive every eviction so far.
+    EXPECT_EQ(revived->total_beats,
+              static_cast<std::uint64_t>(20 * (cycle + 1)));
+
+    // Silent: churn stops for 4 s — past the relative death bound AND the
+    // eviction bound; steady keeps beating.
+    for (int i = 0; i < 40; ++i) {
+      clock->advance(100 * kNsPerMs);
+      hub.beat(steady);
+    }
+    FleetReport down = det.sweep(view);
+    engine.observe(down);
+    EXPECT_EQ(down.fleet.apps, 2u) << "cycle " << cycle;
+    EXPECT_EQ(down.fleet.dead, 1u) << "cycle " << cycle;
+    EXPECT_EQ(down.fleet.evicted, 1u) << "cycle " << cycle;
+    ASSERT_EQ(down.fleet.dead_apps.size(), 1u);
+    EXPECT_EQ(down.fleet.dead_apps[0], "churn");
+    const auto evicted = view.app("churn");
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_TRUE(evicted->evicted);
+    EXPECT_EQ(evicted->total_beats,
+              static_cast<std::uint64_t>(20 * (cycle + 1)));
+  }
+  // One death and one revival edge per cycle — no double-counted deaths
+  // from eviction, no phantom revivals from the steady producer.
+  EXPECT_EQ(engine.stats().deaths, static_cast<std::uint64_t>(kCycles));
+  EXPECT_EQ(engine.stats().revivals, static_cast<std::uint64_t>(kCycles - 1));
+  EXPECT_EQ(engine.stats().quarantines, 0u);  // threshold far away
+
+  // Come back one last time: the fleet ends clean.
+  for (int i = 0; i < 20; ++i) {
+    clock->advance(100 * kNsPerMs);
+    hub.beat(churn);
+    hub.beat(steady);
+  }
+  const FleetReport healed = det.sweep(view);
+  engine.observe(healed);
+  EXPECT_EQ(healed.fleet.dead, 0u);
+  EXPECT_EQ(engine.stats().revivals, static_cast<std::uint64_t>(kCycles));
+  EXPECT_EQ(hub.app_count(), 2u);  // revival never re-registers
 }
 
 TEST(FleetSweep, AgedOutDeadProducerIsReportedDeadWithoutAbsoluteBound) {

@@ -1,0 +1,476 @@
+// The autonomic remediation engine: edge-vs-level event semantics, flap
+// quarantine, correlated-failure grouping, budgeted CloudSim restarts, and
+// the 1000-VM self-healing acceptance drill.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_sim.hpp"
+#include "fault/fleet_detector.hpp"
+#include "hub/hub.hpp"
+#include "policy/action_sink.hpp"
+#include "policy/cloud_restart_sink.hpp"
+#include "policy/policy_engine.hpp"
+#include "util/clock.hpp"
+#include "util/time.hpp"
+
+namespace hb::policy {
+namespace {
+
+using fault::Health;
+using util::kNsPerSec;
+
+// Synthetic-report driver: policy logic is pure math over successive
+// FleetReports, so most tests feed hand-built reports instead of standing
+// up a hub — every edge is then explicit in the test body.
+struct FleetScript {
+  fault::FleetReport report;
+  std::uint64_t next_id = 1;
+
+  hub::AppId add(const std::string& name, Health health) {
+    fault::AppHealth app;
+    app.name = name;
+    app.id = next_id++;
+    app.health = health;
+    report.apps.push_back(app);
+    return app.id;
+  }
+  void set(hub::AppId id, Health health) {
+    for (auto& app : report.apps) {
+      if (app.id == id) app.health = health;
+    }
+  }
+  const fault::FleetReport& at(util::TimeNs now) {
+    report.fleet.swept_at_ns = now;
+    return report;
+  }
+};
+
+TEST(PolicyTransitions, EdgeTriggeredNotLevelTriggered) {
+  PolicyEngine engine;
+  auto sink = std::make_shared<TestSink>();
+  engine.add_sink(sink);
+
+  FleetScript fleet;
+  const hub::AppId a = fleet.add("a", Health::kHealthy);
+  fleet.add("b", Health::kWarmingUp);
+
+  // First sweep: implicit prior state is warming-up, so only `a` fires.
+  auto events = engine.observe(fleet.at(1 * kNsPerSec));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kTransition);
+  EXPECT_EQ(events[0].app, "a");
+  EXPECT_EQ(events[0].from_health, Health::kWarmingUp);
+  EXPECT_EQ(events[0].to_health, Health::kHealthy);
+
+  // The same level re-asserted: silence, however many sweeps repeat it.
+  for (int s = 2; s < 10; ++s) {
+    EXPECT_TRUE(engine.observe(fleet.at(s * kNsPerSec)).empty()) << s;
+  }
+  EXPECT_EQ(sink->events().size(), 1u);
+
+  // One change, one event — and the counters saw everything.
+  fleet.set(a, Health::kSlow);
+  events = engine.observe(fleet.at(10 * kNsPerSec));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].from_health, Health::kHealthy);
+  EXPECT_EQ(events[0].to_health, Health::kSlow);
+  EXPECT_EQ(engine.stats().sweeps, 10u);
+  EXPECT_EQ(engine.stats().transitions, 2u);
+  EXPECT_EQ(engine.stats().events, 2u);
+  EXPECT_EQ(engine.last_health(a), Health::kSlow);
+}
+
+TEST(PolicyTransitions, DeathAndRevivalAreCountedEdges) {
+  PolicyEngine engine;
+  FleetScript fleet;
+  const hub::AppId a = fleet.add("a", Health::kHealthy);
+  engine.observe(fleet.at(1 * kNsPerSec));
+
+  fleet.set(a, Health::kDead);
+  auto events = engine.observe(fleet.at(2 * kNsPerSec));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].to_health, Health::kDead);
+  EXPECT_EQ(engine.stats().deaths, 1u);
+
+  // Revival through warming-up (the usual hub shape after a restart).
+  fleet.set(a, Health::kWarmingUp);
+  events = engine.observe(fleet.at(3 * kNsPerSec));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].from_health, Health::kDead);
+  EXPECT_EQ(events[0].to_health, Health::kWarmingUp);
+  EXPECT_EQ(engine.stats().revivals, 1u);
+
+  // warming-up -> healthy is a transition but NOT a dead<->alive edge.
+  fleet.set(a, Health::kHealthy);
+  engine.observe(fleet.at(4 * kNsPerSec));
+  EXPECT_EQ(engine.stats().deaths, 1u);
+  EXPECT_EQ(engine.stats().revivals, 1u);
+  EXPECT_EQ(engine.stats().transitions, 4u);
+}
+
+TEST(PolicyCorrelated, RackDeathsFoldIntoOneEvent) {
+  PolicyEngine engine({.correlated_min_apps = 3});
+  auto sink = std::make_shared<TestSink>();
+  engine.add_sink(sink);
+
+  FleetScript fleet;
+  std::vector<hub::AppId> rack;
+  for (int i = 0; i < 5; ++i) {
+    rack.push_back(fleet.add("rack1/vm-" + std::to_string(i),
+                             Health::kHealthy));
+  }
+  const hub::AppId pair0 = fleet.add("rack2/vm-0", Health::kHealthy);
+  const hub::AppId pair1 = fleet.add("rack2/vm-1", Health::kHealthy);
+  const hub::AppId loner = fleet.add("loner", Health::kHealthy);
+  engine.observe(fleet.at(1 * kNsPerSec));
+
+  // A whole rack, a sub-threshold pair, and an ungrouped app die at once.
+  for (const auto id : rack) fleet.set(id, Health::kDead);
+  fleet.set(pair0, Health::kDead);
+  fleet.set(pair1, Health::kDead);
+  fleet.set(loner, Health::kDead);
+  const auto& events = engine.observe(fleet.at(2 * kNsPerSec));
+
+  // rack1: ONE folded event naming all five, in sweep order.
+  std::size_t folded = 0;
+  for (const auto& ev : events) {
+    if (ev.kind != EventKind::kCorrelatedFailure) continue;
+    ++folded;
+    EXPECT_EQ(ev.group, "rack1");
+    ASSERT_EQ(ev.apps.size(), 5u);
+    EXPECT_EQ(ev.apps.front(), "rack1/vm-0");
+    EXPECT_EQ(ev.apps.back(), "rack1/vm-4");
+  }
+  EXPECT_EQ(folded, 1u);
+  EXPECT_EQ(engine.stats().correlated_failures, 1u);
+  // rack2 (2 < min 3) and the delimiterless loner fall through to plain
+  // per-app death transitions; every death is still counted exactly once.
+  EXPECT_EQ(sink->transitions_to(Health::kDead), 3u);
+  EXPECT_EQ(engine.stats().deaths, 8u);
+  // No event ever re-fires while everyone stays dead.
+  EXPECT_TRUE(engine.observe(fleet.at(3 * kNsPerSec)).empty());
+}
+
+TEST(PolicyFlap, RepeatedEdgesQuarantineAndCooldownLifts) {
+  PolicyEngine engine({.flap_window_ns = 100 * kNsPerSec,
+                       .flap_threshold = 4,
+                       .quarantine_cooldown_ns = 50 * kNsPerSec});
+  auto sink = std::make_shared<TestSink>();
+  engine.add_sink(sink);
+
+  FleetScript fleet;
+  const hub::AppId a = fleet.add("flappy", Health::kHealthy);
+  fleet.add("steady", Health::kHealthy);
+  engine.observe(fleet.at(1 * kNsPerSec));
+
+  // Two full kill/revive cycles = 4 edges; the 4th edge quarantines.
+  util::TimeNs now = 1 * kNsPerSec;
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    fleet.set(a, Health::kDead);
+    engine.observe(fleet.at(now += kNsPerSec));
+    fleet.set(a, Health::kHealthy);
+    engine.observe(fleet.at(now += kNsPerSec));
+  }
+  EXPECT_EQ(sink->count(EventKind::kQuarantine), 1u);
+  EXPECT_TRUE(engine.quarantined(a));
+  EXPECT_TRUE(engine.quarantined("flappy"));
+  EXPECT_FALSE(engine.quarantined("steady"));
+  ASSERT_EQ(engine.quarantined_apps().size(), 1u);
+  EXPECT_EQ(engine.quarantined_apps()[0], "flappy");
+  // The transition that crossed the threshold already carries the flag.
+  ASSERT_FALSE(sink->events().empty());
+  const auto& crossing = sink->events()[sink->events().size() - 2];
+  EXPECT_EQ(crossing.kind, EventKind::kTransition);
+  EXPECT_TRUE(crossing.quarantined);
+
+  // Still flapping while quarantined: edges keep extending the sentence,
+  // but no second kQuarantine fires.
+  fleet.set(a, Health::kDead);
+  engine.observe(fleet.at(now += kNsPerSec));
+  fleet.set(a, Health::kHealthy);
+  engine.observe(fleet.at(now += kNsPerSec));
+  EXPECT_EQ(sink->count(EventKind::kQuarantine), 1u);
+  EXPECT_TRUE(engine.quarantined(a));
+
+  // Not yet: cooldown measures from the LAST edge.
+  engine.observe(fleet.at(now + 49 * kNsPerSec));
+  EXPECT_TRUE(engine.quarantined(a));
+  EXPECT_EQ(sink->count(EventKind::kQuarantineLifted), 0u);
+
+  // Edge-free past the cooldown: trusted again.
+  engine.observe(fleet.at(now + 50 * kNsPerSec));
+  EXPECT_FALSE(engine.quarantined(a));
+  EXPECT_EQ(sink->count(EventKind::kQuarantineLifted), 1u);
+  EXPECT_EQ(engine.stats().quarantines_lifted, 1u);
+}
+
+TEST(PolicyFlap, StayingDeadThroughTheCooldownNeverLifts) {
+  // A quarantined app that just sits dead is edge-free, but lifting it
+  // would "re-arm" remediation for a death edge that was already consumed
+  // — nothing would ever restart it. Parole requires being alive.
+  PolicyEngine engine({.flap_window_ns = 100 * kNsPerSec,
+                       .flap_threshold = 2,
+                       .quarantine_cooldown_ns = 10 * kNsPerSec});
+  auto sink = std::make_shared<TestSink>();
+  engine.add_sink(sink);
+
+  FleetScript fleet;
+  const hub::AppId a = fleet.add("a", Health::kHealthy);
+  util::TimeNs now = kNsPerSec;
+  engine.observe(fleet.at(now));
+  fleet.set(a, Health::kDead);
+  engine.observe(fleet.at(now += kNsPerSec));
+  fleet.set(a, Health::kHealthy);
+  engine.observe(fleet.at(now += kNsPerSec));  // 2nd edge: quarantined
+  fleet.set(a, Health::kDead);
+  engine.observe(fleet.at(now += kNsPerSec));
+  ASSERT_TRUE(engine.quarantined(a));
+  // The quarantine event carries the app's real id (0 is a valid AppId,
+  // so misattribution would be silent).
+  for (const auto& ev : sink->events()) {
+    if (ev.kind == EventKind::kQuarantine) {
+      EXPECT_EQ(ev.id, a);
+    }
+  }
+
+  // Dead for many cooldowns: still quarantined, no lift event.
+  engine.observe(fleet.at(now += 50 * kNsPerSec));
+  EXPECT_TRUE(engine.quarantined(a));
+  EXPECT_EQ(sink->count(EventKind::kQuarantineLifted), 0u);
+
+  // Revived (an operator acted): the cooldown now runs from that edge.
+  fleet.set(a, Health::kHealthy);
+  engine.observe(fleet.at(now += kNsPerSec));
+  EXPECT_TRUE(engine.quarantined(a));
+  engine.observe(fleet.at(now += 10 * kNsPerSec));
+  EXPECT_FALSE(engine.quarantined(a));
+  EXPECT_EQ(sink->count(EventKind::kQuarantineLifted), 1u);
+
+  // Stats reconcile with the streamed log: folded deaths aside (none
+  // here), every counted transition was an emitted kTransition line.
+  EXPECT_EQ(engine.stats().transitions,
+            sink->transitions_to(Health::kHealthy) +
+                sink->transitions_to(Health::kDead));
+}
+
+TEST(PolicyFlap, SlowEdgesInsideWindowNeverQuarantine) {
+  // One death + one heal (2 edges) — the default threshold of 4 means a
+  // single incident never reads as flapping; and edges spaced wider than
+  // the window are pruned before they can accumulate.
+  PolicyEngine engine({.flap_window_ns = 10 * kNsPerSec,
+                       .flap_threshold = 3});
+  FleetScript fleet;
+  const hub::AppId a = fleet.add("a", Health::kHealthy);
+  util::TimeNs now = kNsPerSec;
+  engine.observe(fleet.at(now));
+  for (int cycle = 0; cycle < 5; ++cycle) {  // 10 edges, 15 s apart
+    fleet.set(a, Health::kDead);
+    engine.observe(fleet.at(now += 15 * kNsPerSec));
+    fleet.set(a, Health::kHealthy);
+    engine.observe(fleet.at(now += 15 * kNsPerSec));
+  }
+  EXPECT_FALSE(engine.quarantined(a));
+  EXPECT_EQ(engine.stats().quarantines, 0u);
+}
+
+// ------------------------------------------------------ CloudRestartSink
+
+struct RestartFixture : ::testing::Test {
+  std::shared_ptr<util::ManualClock> clock =
+      std::make_shared<util::ManualClock>();
+  cloud::CloudSim sim{4, /*capacity=*/100.0, clock};
+
+  int add_vm(const std::string& name) {
+    cloud::VmSpec spec;
+    spec.name = name;
+    spec.phases = {{600.0, 4.0}};
+    spec.target_min_bps = 2.0;
+    return sim.add_vm(std::move(spec));
+  }
+};
+
+TEST_F(RestartFixture, RestartsDeadVmsWithinBudgetOnly) {
+  const int v = add_vm("vm");
+  PolicyEngine engine;
+  CloudRestartSink sink(sim, {.restart_budget = 2});
+
+  FleetScript fleet;
+  const hub::AppId id = fleet.add("vm", Health::kHealthy);
+  util::TimeNs now = kNsPerSec;
+  engine.observe(fleet.at(now));
+
+  for (int round = 0; round < 3; ++round) {
+    sim.kill_vm(v);
+    fleet.set(id, Health::kDead);
+    for (const auto& ev : engine.observe(fleet.at(now += 20 * kNsPerSec))) {
+      sink.on_event(engine, ev);
+    }
+    fleet.set(id, Health::kHealthy);  // next sweep sees it back
+    engine.observe(fleet.at(now += 20 * kNsPerSec));
+    if (round < 2) {
+      EXPECT_FALSE(sim.vm_killed(v)) << "round " << round;  // healed
+    } else {
+      EXPECT_TRUE(sim.vm_killed(v));  // budget spent: left for a human
+      sim.restart_vm(v);
+    }
+  }
+  EXPECT_EQ(sink.stats().restarts, 2u);
+  EXPECT_EQ(sink.restarts_of("vm"), 2u);
+  EXPECT_EQ(sink.stats().suppressed_budget, 1u);
+}
+
+TEST_F(RestartFixture, QuarantinedAndUnknownAppsAreNeverRestarted) {
+  const int v = add_vm("flappy");
+  PolicyEngine engine({.flap_threshold = 2});
+  CloudRestartSink sink(sim, {.restart_budget = 10});
+
+  FleetScript fleet;
+  const hub::AppId id = fleet.add("flappy", Health::kHealthy);
+  const hub::AppId ghost = fleet.add("no-such-vm", Health::kHealthy);
+  engine.observe(fleet.at(kNsPerSec));
+
+  // Pre-flap only the flapper: one full cycle = 2 edges = quarantined.
+  fleet.set(id, Health::kDead);
+  engine.observe(fleet.at(10 * kNsPerSec));
+  fleet.set(id, Health::kHealthy);
+  engine.observe(fleet.at(20 * kNsPerSec));
+  ASSERT_TRUE(engine.quarantined(id));
+
+  // Now both die in one sweep. The ghost's single edge stays below the
+  // flap threshold, so it reaches the sink's VM lookup — and misses.
+  sim.kill_vm(v);
+  fleet.set(id, Health::kDead);
+  fleet.set(ghost, Health::kDead);
+  for (const auto& ev : engine.observe(fleet.at(40 * kNsPerSec))) {
+    sink.on_event(engine, ev);
+  }
+  EXPECT_TRUE(sim.vm_killed(v));  // quarantined: left alone
+  EXPECT_EQ(sink.stats().restarts, 0u);
+  EXPECT_EQ(sink.stats().suppressed_quarantined, 1u);
+  EXPECT_EQ(sink.stats().unknown_apps, 1u);
+}
+
+TEST_F(RestartFixture, SetPolicyRequiresAttachedHub) {
+  EXPECT_THROW(sim.set_policy(std::make_shared<PolicyEngine>()),
+               std::logic_error);
+}
+
+// --------------------------------------- the 1000-VM self-healing drill
+
+// The acceptance scenario (ISSUE 4): a 1000-VM fleet in 25 racks feeding
+// one hub, with the policy tick wired into CloudSim::step. An injected
+// whole-rack kill must fold into one correlated event and heal back to 0
+// dead purely through CloudRestartSink — while a deliberately flapping VM
+// is quarantined instead of restart-looped.
+TEST(PolicySelfHealing, ThousandVmRackKillHealsAndFlapperIsQuarantined) {
+  auto clock = std::make_shared<util::ManualClock>();
+  cloud::CloudSim sim(25, /*capacity=*/400.0, clock);
+  auto hub = std::make_shared<hub::HeartbeatHub>([&] {
+    hub::HubOptions opts;
+    opts.shard_count = 16;
+    opts.batch_capacity = 64;
+    opts.window_capacity = 64;
+    opts.clock = clock;
+    return opts;
+  }());
+  sim.attach_hub(hub);
+
+  constexpr int kRacks = 25, kPerRack = 40;  // 1000 VMs
+  constexpr int kKilledRack = 7;
+  std::vector<int> rack7;
+  int flapper = -1;
+  for (int r = 0; r < kRacks; ++r) {
+    for (int v = 0; v < kPerRack; ++v) {
+      cloud::VmSpec spec;
+      spec.name = "rack" + std::to_string(r) + "/vm-" + std::to_string(v);
+      spec.phases = {{600.0, 4.0}};  // steady 4 b/s
+      spec.target_min_bps = 2.0;
+      const int id = sim.add_vm(std::move(spec));
+      if (r == kKilledRack) rack7.push_back(id);
+      if (r == 0 && v == 0) flapper = id;  // rack0/vm-0 doubles as flapper
+    }
+  }
+
+  auto engine = std::make_shared<PolicyEngine>(
+      PolicyOptions{.flap_window_ns = 60 * kNsPerSec,
+                    .flap_threshold = 4,
+                    .quarantine_cooldown_ns = 120 * kNsPerSec,
+                    .correlated_min_apps = 3});
+  auto restarter =
+      std::make_shared<CloudRestartSink>(sim, CloudRestartSinkOptions{
+                                                  .restart_budget = 3});
+  auto sink = std::make_shared<TestSink>();
+  engine->add_sink(sink);
+  engine->add_sink(restarter);
+  sim.set_policy(engine, {.absolute_staleness_ns = 5 * kNsPerSec},
+                 /*period_s=*/0.5);
+
+  for (int i = 0; i < 150; ++i) sim.step(0.1);  // t=15s: warm, healthy
+
+  // Inject: the whole rack dies between sweeps; the flapper starts its
+  // crash loop (killed again a few seconds after every resurrection).
+  for (const int v : rack7) sim.kill_vm(v);
+  sim.kill_vm(flapper);
+  double last_flap_kill = sim.now_seconds();
+  int flap_kills = 1;
+  for (int i = 0; i < 450; ++i) {  // t=15..60s
+    sim.step(0.1);
+    if (!engine->quarantined("rack0/vm-0") && !sim.vm_killed(flapper) &&
+        sim.now_seconds() - last_flap_kill > 3.0) {
+      sim.kill_vm(flapper);
+      last_flap_kill = sim.now_seconds();
+      ++flap_kills;
+    }
+  }
+
+  // ONE correlated event for the rack, naming all 40 members — not 40
+  // separate death alerts.
+  ASSERT_EQ(sink->count(EventKind::kCorrelatedFailure), 1u);
+  for (const auto& ev : sink->events()) {
+    if (ev.kind != EventKind::kCorrelatedFailure) continue;
+    EXPECT_EQ(ev.group, "rack" + std::to_string(kKilledRack));
+    EXPECT_EQ(ev.apps.size(), static_cast<std::size_t>(kPerRack));
+  }
+
+  // The flapper was contained: quarantined after repeated cycles, its
+  // automatic restarts stopped short of the crash-loop length AND of the
+  // budget — it sits dead awaiting a human, not in a restart loop.
+  EXPECT_TRUE(engine->quarantined("rack0/vm-0"));
+  EXPECT_GE(flap_kills, 2);
+  EXPECT_LE(restarter->restarts_of("rack0/vm-0"), 3u);
+  EXPECT_LT(restarter->restarts_of("rack0/vm-0"),
+            static_cast<std::uint32_t>(flap_kills));
+  EXPECT_GE(restarter->stats().suppressed_quarantined, 1u);
+  EXPECT_TRUE(sim.vm_killed(flapper));
+
+  // The rack healed without human input: every member restarted exactly
+  // once, and the fleet (flapper aside) swept back to zero dead.
+  for (const int v : rack7) EXPECT_FALSE(sim.vm_killed(v));
+  std::uint64_t rack_restarts = 0;
+  for (int v = 0; v < kPerRack; ++v) {
+    rack_restarts += restarter->restarts_of(
+        "rack" + std::to_string(kKilledRack) + "/vm-" + std::to_string(v));
+  }
+  EXPECT_EQ(rack_restarts, static_cast<std::uint64_t>(kPerRack));
+
+  // Operator fixes the flapper; with it stable again, the whole fleet —
+  // 1000 VMs — must sweep clean: 0 dead, everything healthy.
+  sim.restart_vm(flapper);
+  for (int i = 0; i < 200; ++i) sim.step(0.1);
+  const fault::FleetReport report = sim.fleet_health(
+      fault::FleetDetector({.absolute_staleness_ns = 5 * kNsPerSec}));
+  EXPECT_EQ(report.fleet.apps, 1000u);
+  EXPECT_EQ(report.fleet.dead, 0u);
+  EXPECT_EQ(report.fleet.healthy, 1000u);
+  // Still quarantined (cooldown not yet served) — trust is rebuilt on the
+  // policy's clock, not the operator's.
+  EXPECT_TRUE(engine->quarantined("rack0/vm-0"));
+}
+
+}  // namespace
+}  // namespace hb::policy

@@ -240,6 +240,49 @@ TEST_F(ShmIngestTest, IndependentConsumersSeeTheFullStream) {
   EXPECT_EQ(drain_all(*q, c2).size(), 5u);  // non-destructive reads
 }
 
+TEST_F(ShmIngestTest, PumpSuggestsIdleBackoffSleeps) {
+  // The adaptive poll schedule: a pump that keeps draining nothing should
+  // suggest exponentially longer sleeps (up to the cap) so a quiet ring is
+  // not busy-spun; one drained record snaps it back to the floor.
+  auto q = ShmIngestQueue::create(file(), 32);
+  hub::HeartbeatHub hub;
+  hub::ShmIngestPump pump(q, hub,
+                          {.max_stall_polls = 2,
+                           .idle_sleep_min_ns = 1 * kNsPerMs,
+                           .idle_sleep_max_ns = 8 * kNsPerMs});
+
+  EXPECT_EQ(pump.suggested_sleep_ns(), 1 * kNsPerMs);  // nothing seen yet
+  EXPECT_EQ(pump.poll(), 0u);
+  EXPECT_EQ(pump.suggested_sleep_ns(), 2 * kNsPerMs);
+  EXPECT_EQ(pump.poll(), 0u);
+  EXPECT_EQ(pump.suggested_sleep_ns(), 4 * kNsPerMs);
+  EXPECT_EQ(pump.poll(), 0u);
+  EXPECT_EQ(pump.suggested_sleep_ns(), 8 * kNsPerMs);
+  EXPECT_EQ(pump.poll(), 0u);  // capped, however long the quiet lasts
+  EXPECT_EQ(pump.suggested_sleep_ns(), 8 * kNsPerMs);
+
+  q->append("a", rec_at(kNsPerMs), {});
+  EXPECT_EQ(pump.poll(), 1u);  // records reset the schedule to the floor
+  EXPECT_EQ(pump.suggested_sleep_ns(), 1 * kNsPerMs);
+  EXPECT_EQ(pump.poll(), 0u);
+  EXPECT_EQ(pump.suggested_sleep_ns(), 2 * kNsPerMs);
+
+  // A BLOCKED ring is not an idle ring: a producer claims a slot and dies
+  // unpublished with a live record queued behind it. Drains return 0 while
+  // the stall budget burns, but the backoff must stay at the floor — the
+  // stalled run should be skipped at floor pace, not at the cap, or the
+  // records behind a crash wait longest exactly during the failure.
+  q->claim(1);
+  q->append("a", rec_at(2 * kNsPerMs), {});
+  EXPECT_EQ(pump.poll(), 0u);  // blocked on the unpublished slot
+  EXPECT_EQ(pump.suggested_sleep_ns(), 1 * kNsPerMs);
+  EXPECT_EQ(pump.poll(), 0u);  // still blocked, still at the floor
+  EXPECT_EQ(pump.suggested_sleep_ns(), 1 * kNsPerMs);
+  EXPECT_EQ(pump.poll(), 1u);  // stall budget spent: torn skipped, record in
+  EXPECT_EQ(pump.suggested_sleep_ns(), 1 * kNsPerMs);
+  EXPECT_EQ(pump.stats().torn, 1u);
+}
+
 TEST_F(ShmIngestTest, HubSinkMirrorsSharedChannelOnly) {
   auto q = ShmIngestQueue::create(file(), 64);
   auto clock = std::make_shared<util::ManualClock>();
