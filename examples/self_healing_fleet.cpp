@@ -16,9 +16,16 @@
 // Everything runs on a ManualClock, so every event line below is
 // bit-reproducible — this is also the CI smoke for the policy layer.
 //
-//   ./example_self_healing_fleet        (no arguments; exits 0 on the
-//                                        expected end state)
+//   ./example_self_healing_fleet            (the scenario above; exits 0 on
+//                                            the expected end state)
+//   ./example_self_healing_fleet --refill    (the refilling-budget scenario:
+//                                            a storm exhausts a VM's restart
+//                                            budget, a quiet stretch refills
+//                                            it, and automation heals the
+//                                            next death instead of being
+//                                            permanently disarmed)
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -31,8 +38,128 @@
 #include "util/clock.hpp"
 #include "util/time.hpp"
 
-int main() {
+namespace {
+
+// The refilling-budget scenario (CloudRestartSinkOptions::budget_refill_ns):
+// long-lived fleets must not stay one transient storm away from "automatic
+// remediation off forever". A crash storm spends storm-vm's whole budget
+// (third death left for a human); after a quiet refill interval the budget
+// recovers and the next, unrelated death heals automatically again. Flap
+// quarantine is disarmed here — the storm is the point, and the budget
+// guard (not the flap guard) is what this scenario demonstrates.
+int run_refill_scenario() {
   using hb::util::kNsPerSec;
+
+  auto clock = std::make_shared<hb::util::ManualClock>();
+  hb::cloud::CloudSim sim(4, /*capacity=*/100.0, clock);
+  auto hub = std::make_shared<hb::hub::HeartbeatHub>([&] {
+    hb::hub::HubOptions opts;
+    opts.shard_count = 4;
+    opts.window_capacity = 64;
+    opts.clock = clock;
+    return opts;
+  }());
+  sim.attach_hub(hub);
+
+  int storm = -1;
+  for (int v = 0; v < 4; ++v) {
+    hb::cloud::VmSpec spec;
+    spec.name = v == 0 ? "storm-vm" : "steady-" + std::to_string(v);
+    spec.phases = {{600.0, 4.0}};
+    spec.target_min_bps = 2.0;
+    const int id = sim.add_vm(std::move(spec));
+    if (v == 0) storm = id;
+  }
+
+  auto engine = std::make_shared<hb::policy::PolicyEngine>(
+      hb::policy::PolicyOptions{.flap_threshold = 100});
+  auto restarter = std::make_shared<hb::policy::CloudRestartSink>(
+      sim, hb::policy::CloudRestartSink::Options{
+               .restart_budget = 2,
+               .budget_refill_ns = 30 * kNsPerSec});
+  engine->add_sink(std::make_shared<hb::policy::LogSink>(stdout));
+  engine->add_sink(restarter);
+  sim.set_policy(engine, {.absolute_staleness_ns = 5 * kNsPerSec},
+                 /*period_s=*/0.5);
+
+  std::printf("self_healing_fleet --refill: budget 2, one credit back per "
+              "30s quiet\n\n");
+  const hb::hub::AppId storm_id = hub->id_of("storm-vm");
+
+  // Storm: kill storm-vm again once the policy loop has SEEN it alive
+  // (the engine is edge-triggered — a kill landing before any sweep
+  // observes the revival produces no new death edge, so the sink would
+  // never be consulted again) until the sink gives up (budget spent,
+  // third death suppressed).
+  double last_kill_s = 0.0;
+  bool storming = false, operator_done = false;
+  double quiet_since_s = 0.0;
+  bool refire_done = false;
+  for (int tick = 0; tick < 1200; ++tick) {  // 120 s at dt = 0.1
+    sim.step(0.1);
+    const double now = sim.now_seconds();
+    if (!storming && now >= 5.0) {
+      storming = true;
+      std::printf("-- storm begins: first storm-vm crash at t=%.1fs\n", now);
+      sim.kill_vm(storm);
+      last_kill_s = now;
+    }
+    if (storming && !operator_done) {
+      if (!sim.vm_killed(storm) &&
+          engine->last_health(storm_id) != hb::fault::Health::kDead &&
+          now - last_kill_s > 3.0) {
+        sim.kill_vm(storm);
+        last_kill_s = now;
+      }
+      if (restarter->stats().suppressed_budget >= 1 &&
+          now - last_kill_s > 8.0) {
+        // The sink has given up (budget empty) and the VM stayed down.
+        std::printf("-- budget exhausted; operator restarts storm-vm by "
+                    "hand at t=%.1fs, storm ends\n", now);
+        sim.restart_vm(storm);
+        operator_done = true;
+        quiet_since_s = now;
+      }
+    }
+    if (operator_done && !refire_done && now - quiet_since_s > 40.0) {
+      // Well past budget_refill_ns of quiet: at least one credit is back.
+      std::printf("-- post-refill death at t=%.1fs (should self-heal)\n",
+                  now);
+      sim.kill_vm(storm);
+      refire_done = true;
+    }
+  }
+
+  const hb::fault::FleetReport report =
+      sim.fleet_health(hb::fault::FleetDetector(
+          {.absolute_staleness_ns = 5 * kNsPerSec}));
+  const auto& rstats = restarter->stats();
+  std::printf("\nrestarts: %llu automatic, %llu suppressed by budget, "
+              "%llu credits refilled; %llu dead at end (snapshot epoch "
+              "%llu)\n",
+              static_cast<unsigned long long>(rstats.restarts),
+              static_cast<unsigned long long>(rstats.suppressed_budget),
+              static_cast<unsigned long long>(rstats.refilled),
+              static_cast<unsigned long long>(report.fleet.dead),
+              static_cast<unsigned long long>(report.snapshot_epoch));
+
+  // Acceptance shape: the storm spent the budget (2 automatic restarts,
+  // then a suppression), the quiet stretch refilled at least one credit,
+  // and the post-refill death healed automatically — fleet ends 0 dead.
+  const bool ok = rstats.restarts == 3 && rstats.suppressed_budget >= 1 &&
+                  rstats.refilled >= 1 && refire_done &&
+                  !sim.vm_killed(0) && report.fleet.dead == 0;
+  std::printf("%s\n", ok ? "refill: ok" : "UNEXPECTED END STATE");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hb::util::kNsPerSec;
+  if (argc > 1 && std::strcmp(argv[1], "--refill") == 0) {
+    return run_refill_scenario();
+  }
 
   auto clock = std::make_shared<hb::util::ManualClock>();
   hb::cloud::CloudSim sim(8, /*capacity=*/100.0, clock);

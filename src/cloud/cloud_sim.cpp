@@ -108,7 +108,11 @@ fault::FleetReport CloudSim::fleet_health(
   if (!hub_) {
     throw std::logic_error("CloudSim::fleet_health: attach_hub first");
   }
-  return detector.sweep(hub::HubView(*hub_));
+  // Sweep the hub's coherent snapshot directly: the policy tick, an
+  // external fleet_health caller, and a consolidator poll inside the same
+  // sim tick all reuse the one cached FleetSnapshot instead of forcing
+  // per-shard flush walks of their own.
+  return detector.sweep(hub_->snapshot());
 }
 
 double CloudSim::vm_demand(int vm) const {

@@ -98,45 +98,52 @@ int print_fleet_report(std::FILE* out, const FleetReport& report) {
 }
 
 FleetReport FleetDetector::sweep(const hub::HubView& view) const {
+  return sweep(view.snapshot());
+}
+
+FleetReport FleetDetector::sweep(
+    const std::shared_ptr<const hub::FleetSnapshot>& snap) const {
   FleetReport report;
 
-  // The one hub pass: every app's summary — evicted ones included, so a
-  // death the hub already confirmed (auto-eviction) stays in the report —
-  // already flushed and staleness-stamped per shard, in shard order (no
-  // name sort — at fleet scale the sort would cost more than the verdict
-  // math; the order is still deterministic for a fixed registration
-  // order). Everything below is local math.
-  std::vector<hub::AppSummary> summaries =
-      view.apps_unsorted(/*include_evicted=*/true);
-  report.apps.reserve(summaries.size());
+  // One coherent epoch for the whole report: every summary below comes
+  // from the same FleetSnapshot — evicted apps included, so a death the
+  // hub already confirmed (auto-eviction) stays in the report — in shard
+  // order (no name sort — at fleet scale the sort would cost more than
+  // the verdict math; the order is still deterministic for a fixed
+  // registration order). Everything below is local math over immutable
+  // data; no hub lock is held anywhere in this function.
+  report.snapshot_epoch = snap->epoch();
+  report.apps.reserve(snap->app_count());
 
   FleetHealth& fleet = report.fleet;
-  fleet.swept_at_ns = view.hub().clock()->now();
+  fleet.swept_at_ns = snap->composed_at_ns();
 
-  for (hub::AppSummary& s : summaries) {
-    AppHealth app;
-    app.id = s.id;
-    app.health = classify(s);
-    app.staleness_ns = s.staleness_ns;
-    app.total_beats = s.total_beats;
-    app.rate_bps = s.rate_bps;
-    app.target = s.target;
-    app.name = std::move(s.name);
+  snap->for_each_app(
+      [&](const hub::AppSummary& s) {
+        AppHealth app;
+        app.id = s.id;
+        app.health = classify(s);
+        app.staleness_ns = s.staleness_ns;
+        app.total_beats = s.total_beats;
+        app.rate_bps = s.rate_bps;
+        app.target = s.target;
+        app.name = s.name;
 
-    ++fleet.apps;
-    switch (app.health) {
-      case Health::kWarmingUp: ++fleet.warming_up; break;
-      case Health::kHealthy: ++fleet.healthy; break;
-      case Health::kSlow: ++fleet.slow; break;
-      case Health::kErratic: ++fleet.erratic; break;
-      case Health::kDead:
-        ++fleet.dead;
-        if (s.evicted) ++fleet.evicted;
-        fleet.dead_apps.push_back(app.name);
-        break;
-    }
-    report.apps.push_back(std::move(app));
-  }
+        ++fleet.apps;
+        switch (app.health) {
+          case Health::kWarmingUp: ++fleet.warming_up; break;
+          case Health::kHealthy: ++fleet.healthy; break;
+          case Health::kSlow: ++fleet.slow; break;
+          case Health::kErratic: ++fleet.erratic; break;
+          case Health::kDead:
+            ++fleet.dead;
+            if (s.evicted) ++fleet.evicted;
+            fleet.dead_apps.push_back(app.name);
+            break;
+        }
+        report.apps.push_back(std::move(app));
+      },
+      /*include_evicted=*/true);
 
   // Worst offenders: unhealthy apps, most severe verdict first, ties
   // broken by staleness (most stale = longest silent = worst), then name

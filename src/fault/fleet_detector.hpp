@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fault/failure_detector.hpp"
+#include "hub/snapshot.hpp"
 #include "hub/summary.hpp"
 #include "hub/view.hpp"
 #include "util/time.hpp"
@@ -103,11 +104,18 @@ struct FleetHealth {
 };
 
 /// Everything one sweep produced: per-app verdicts (hub shard order, the
-/// HubView::apps_unsorted() order — deterministic for a fixed registration
-/// order; sort by name yourself for display) and the fleet rollup.
+/// FleetSnapshot::for_each_app order — deterministic for a fixed
+/// registration order; sort by name yourself for display) and the fleet
+/// rollup.
 struct FleetReport {
   std::vector<AppHealth> apps;
   FleetHealth fleet;
+  /// Epoch of the FleetSnapshot this report was derived from
+  /// (FleetSnapshot::epoch). Every verdict in one report comes from this
+  /// single epoch — no per-shard tearing. Monotone non-decreasing across
+  /// successive sweeps of one hub; 0 for reports fabricated without a
+  /// snapshot (hand-built tests).
+  std::uint64_t snapshot_epoch = 0;
 };
 
 /// Render a sweep as the standard operator verdict table: one row per app
@@ -125,9 +133,15 @@ class FleetDetector {
  public:
   explicit FleetDetector(FleetDetectorOptions opts = {}) : opts_(opts) {}
 
-  /// Classify every registered app from one aggregated snapshot. Exactly
-  /// one hub pass: a single HubView::apps() call (one flush+copy per
-  /// shard), then pure math over the returned summaries.
+  /// Classify every registered app from one coherent FleetSnapshot: pure
+  /// math over the snapshot's summaries, no hub locks held. Every verdict
+  /// in the report observes the SAME epoch (report.snapshot_epoch) — a
+  /// concurrent flush cannot tear the sweep across windows.
+  FleetReport sweep(const std::shared_ptr<const hub::FleetSnapshot>& snap)
+      const;
+
+  /// Convenience: grab the view's current snapshot (publishing pending
+  /// beats) and sweep it. Same cost as sweep(view.snapshot()).
   FleetReport sweep(const hub::HubView& view) const;
 
   /// Verdict for a single app from its hub summary alone (no hub access).

@@ -19,9 +19,13 @@ HubOptions normalize(HubOptions opts) {
 }  // namespace
 
 HeartbeatHub::HeartbeatHub(HubOptions opts) : opts_(normalize(std::move(opts))) {
-  const ShardConfig config{opts_.batch_capacity, opts_.window_capacity,
-                           opts_.rate_window,    opts_.window_ns,
-                           opts_.evict_after_ns, opts_.clock};
+  const ShardConfig config{opts_.batch_capacity,
+                           opts_.window_capacity,
+                           opts_.rate_window,
+                           opts_.window_ns,
+                           opts_.evict_after_ns,
+                           opts_.snapshot_min_interval_ns,
+                           opts_.clock};
   shards_.reserve(opts_.shard_count);
   for (std::size_t i = 0; i < opts_.shard_count; ++i) {
     shards_.push_back(
@@ -81,6 +85,50 @@ void HeartbeatHub::evict(AppId id) {
 
 void HeartbeatHub::flush() {
   for (auto& shard : shards_) shard->flush();
+}
+
+std::shared_ptr<const FleetSnapshot> HeartbeatHub::snapshot() {
+  // Phase 1, no fleet lock held: publish every shard. Each publish applies
+  // pending beats and republishes only if something changed; unchanged
+  // shards hand back their existing pointer with the epoch standing still.
+  std::vector<std::shared_ptr<const ShardSnapshot>> parts;
+  parts.reserve(shards_.size());
+  for (auto& shard : shards_) parts.push_back(shard->publish());
+
+  // Phase 2: serve from the cache when it COVERS the grabbed parts —
+  // component-wise: every cached shard epoch >= the grabbed one (shard
+  // epochs are monotone, so a cached shard at a higher epoch holds a
+  // superset of that shard's ingested beats). A sum comparison would be
+  // wrong here: concurrent callers can grab incomparable vectors (e.g.
+  // [4,6] vs a cached [5,5]) whose sums tie while each misses the other's
+  // beats. For an uncovered grab we compose a fresh view of the parts we
+  // actually grabbed, and cache it only if its total epoch advances —
+  // never regressing the cache (FleetReport::snapshot_epoch is documented
+  // monotone non-decreasing) or discarding a concurrent caller's newer
+  // composition.
+  std::lock_guard lock(snap_mu_);
+  if (fleet_snap_ && fleet_snap_->shard_count() == parts.size()) {
+    bool covered = true;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (fleet_snap_->shard(i).epoch < parts[i]->epoch) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) {
+      ++snap_stats_.fleet_hits;
+      return fleet_snap_;
+    }
+  }
+  ++snap_stats_.fleet_rebuilds;
+  auto snap = FleetSnapshot::compose(std::move(parts), opts_.clock->now());
+  if (!fleet_snap_ || snap->epoch() > fleet_snap_->epoch()) fleet_snap_ = snap;
+  return snap;
+}
+
+SnapshotStats HeartbeatHub::snapshot_stats() const {
+  std::lock_guard lock(snap_mu_);
+  return snap_stats_;
 }
 
 std::size_t HeartbeatHub::app_count() const {

@@ -34,6 +34,7 @@
 
 #include "core/record.hpp"
 #include "hub/shard.hpp"
+#include "hub/snapshot.hpp"
 #include "hub/summary.hpp"
 #include "util/clock.hpp"
 
@@ -56,6 +57,18 @@ struct HubOptions {
   /// Auto-evict apps whose staleness exceeds this bound (dead producers
   /// stop costing rollup time; a new beat revives them). 0 = never.
   util::TimeNs evict_after_ns = 0;
+  /// Snapshot freshness tolerance: a query that finds no new beats and no
+  /// dirty state reuses the published snapshot while it is younger than
+  /// this, instead of re-stamping staleness and rebuilding. 0 (default)
+  /// republishes whenever the clock advanced — the exact pre-snapshot
+  /// per-query semantics. Monitoring loops polling much faster than their
+  /// decision cadence should set this to a fraction of that cadence. The
+  /// observable effect: ALL time-driven maintenance — staleness_ns,
+  /// window_ns aging, evict_after_ns auto-eviction — may lag queries by
+  /// up to the tolerance (see ShardSnapshot::published_at_ns). New beats,
+  /// target changes, and evictions always cut through, and an explicit
+  /// HeartbeatHub::flush() always catches maintenance up regardless.
+  util::TimeNs snapshot_min_interval_ns = 0;
   /// Timestamp source for beat(), staleness stamping, and time-based
   /// aging; null selects the process monotonic clock.
   std::shared_ptr<util::Clock> clock;
@@ -111,9 +124,19 @@ class HeartbeatHub {
   void evict(AppId id);
 
   /// Force every shard to drain its batch, age time windows, re-stamp
-  /// staleness, and apply auto-eviction (deterministic snapshots). Every
-  /// HubView query does this implicitly for the shards it reads.
+  /// staleness, apply auto-eviction, and republish its snapshot. Every
+  /// HubView query does this implicitly via snapshot().
   void flush();
+
+  /// The read side: a coherent, epoch-stamped view of the whole fleet.
+  /// Publishes every shard first (applying pending beats), then returns
+  /// the cached FleetSnapshot if no shard's epoch advanced — repeated
+  /// queries between flushes are pointer reads — or composes and caches a
+  /// new one. Thread-safe; the returned snapshot is immutable and shared.
+  std::shared_ptr<const FleetSnapshot> snapshot();
+
+  /// Cache effectiveness counters for snapshot() (rebuilds vs hits).
+  SnapshotStats snapshot_stats() const;
 
   /// Number of lock stripes (fixed at construction). Thread-safe.
   std::size_t shard_count() const { return shards_.size(); }
@@ -136,6 +159,13 @@ class HeartbeatHub {
 
   mutable std::mutex names_mu_;
   std::unordered_map<std::string, AppId> names_;
+
+  /// The fleet-level snapshot cache. Guards the composed pointer and the
+  /// stats; composition itself is O(shard_count) so holding the lock
+  /// through it costs readers less than racing duplicate compositions.
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const FleetSnapshot> fleet_snap_;
+  SnapshotStats snap_stats_;
 };
 
 /// Stable 64-bit FNV-1a (shard routing must not depend on the C++ runtime's

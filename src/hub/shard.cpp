@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <stdexcept>
 
 #include "util/time.hpp"
@@ -27,7 +28,7 @@ HubShard::HubShard(std::uint32_t index, ShardConfig config)
 }
 
 std::uint32_t HubShard::add_app(std::string name, core::TargetRate target) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(state_mu_);
   AppState app(config_);
   app.name = std::move(name);
   app.target = target;
@@ -38,94 +39,170 @@ std::uint32_t HubShard::add_app(std::string name, core::TargetRate target) {
   app.cached.shard = index_;
   app.cached.target = target;
   apps_.push_back(std::move(app));
+  state_dirty_ = true;  // the next publish must include the newcomer
+  app_count_.store(apps_.size(), std::memory_order_release);
   return slot;
 }
 
-std::size_t HubShard::app_count() const {
-  std::lock_guard lock(mu_);
-  return apps_.size();
-}
-
-void HubShard::enqueue(std::uint32_t slot, const core::HeartbeatRecord& rec) {
-  std::lock_guard lock(mu_);
-  check_slot_locked(slot);
-  batch_.emplace_back(slot, rec);
-  ++ingested_;
-  // Overflow flushes skip time-based maintenance: nobody observes cached
-  // summaries until a query, and each query forces a maintaining flush —
-  // so the ingest hot path never pays the O(apps-per-shard) stamp walk.
-  if (batch_.size() >= config_.batch_capacity) flush_locked(/*maintain=*/false);
-}
-
-void HubShard::enqueue(std::uint32_t slot,
-                       std::span<const core::HeartbeatRecord> recs) {
-  std::lock_guard lock(mu_);
-  check_slot_locked(slot);
-  for (const auto& rec : recs) {
-    batch_.emplace_back(slot, rec);
-    ++ingested_;
-    if (batch_.size() >= config_.batch_capacity) {
-      flush_locked(/*maintain=*/false);
-    }
-  }
-}
-
-void HubShard::check_slot_locked(std::uint32_t slot) const {
-  if (slot >= apps_.size()) {
+void HubShard::check_slot(std::uint32_t slot) const {
+  if (slot >= app_count_.load(std::memory_order_acquire)) {
     // An AppId minted by a different hub: reject before it reaches the
-    // batch, where apply_locked indexes unchecked.
+    // batch, where apply_locked indexes unchecked. Slots are append-only,
+    // so the lock-free bound can only ever under-approximate — a false
+    // reject is impossible for ids this hub handed out before the call.
     throw std::out_of_range("HubShard: AppId slot not registered here");
   }
 }
 
+void HubShard::enqueue(std::uint32_t slot, const core::HeartbeatRecord& rec) {
+  enqueue(slot, std::span<const core::HeartbeatRecord>(&rec, 1));
+}
+
+void HubShard::enqueue(std::uint32_t slot,
+                       std::span<const core::HeartbeatRecord> recs) {
+  check_slot(slot);
+  bool overflowed = false;
+  {
+    std::lock_guard lock(ingest_mu_);
+    for (const auto& rec : recs) {
+      batch_.emplace_back(slot, rec);
+      ++ingested_;
+      if (batch_.size() >= config_.batch_capacity) {
+        // O(1) handoff: the full batch joins the apply FIFO and producers
+        // keep filling a fresh one. The drain below runs off this lock.
+        overflow_.push_back(std::move(batch_));
+        batch_ = Batch();
+        batch_.reserve(config_.batch_capacity);
+        overflowed = true;
+      }
+    }
+  }
+  if (overflowed) drain_overflow();
+}
+
+void HubShard::drain_overflow() {
+  // Apply-only: no maintenance, no refresh, no snapshot build — nobody
+  // observes summaries until a publish, and every publish rebuilds them.
+  // Contends with readers on state_mu_, never with other producers.
+  // The dirty mark is what makes the next publish rebuild even when it
+  // finds nothing left to apply itself (a beat count that is an exact
+  // multiple of batch_capacity drains entirely here): applied data must
+  // always cut through the snapshot freshness tolerance.
+  std::lock_guard lock(state_mu_);
+  if (apply_pending_locked(/*include_partial=*/false)) state_dirty_ = true;
+}
+
+bool HubShard::apply_pending_locked(bool include_partial) {
+  // Bound the drain to what was pending at ENTRY: under sustained ingest
+  // an until-empty loop would never exit (producers refill faster than we
+  // apply) and this function runs with state_mu_ held — every reader and
+  // overflowing producer would block behind it unboundedly. Batches that
+  // arrive during the drain belong to the next drain (their producers
+  // trigger one). overflow_ only shrinks under state_mu_, so the first
+  // `pending_batches` pops below are exactly the batches seen at entry.
+  std::size_t pending_batches;
+  {
+    std::lock_guard lock(ingest_mu_);
+    pending_batches = overflow_.size();
+  }
+  bool any = false;
+  for (std::size_t n = 0; n <= pending_batches; ++n) {
+    Batch batch;
+    {
+      std::lock_guard lock(ingest_mu_);
+      if (n < pending_batches) {
+        batch = std::move(overflow_.front());
+        overflow_.pop_front();
+      } else if (include_partial && !batch_.empty()) {
+        batch = std::move(batch_);
+        batch_ = Batch();
+        batch_.reserve(config_.batch_capacity);
+      } else {
+        break;
+      }
+    }
+    // FIFO is global: handoffs preserve arrival order and every apply pops
+    // under state_mu_, so batches land in the order their beats arrived.
+    for (const auto& [slot, rec] : batch) apply_locked(slot, rec);
+    ++flushes_;
+    any = true;
+  }
+  return any;
+}
+
 void HubShard::set_target(std::uint32_t slot, core::TargetRate target) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(state_mu_);
   AppState& app = apps_.at(slot);
   app.target = target;
   app.dirty = true;
+  state_dirty_ = true;
 }
 
 void HubShard::evict(std::uint32_t slot) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(state_mu_);
   // Apply pending beats first: they were ingested before the eviction was
-  // requested, so they still count toward total_beats.
-  flush_locked();
+  // requested, so they still count toward total_beats — and whatever got
+  // applied (any app's beats) must reach the next snapshot even when the
+  // eviction itself is an idempotent no-op below.
+  if (apply_pending_locked(/*include_partial=*/true)) state_dirty_ = true;
   AppState& app = apps_.at(slot);
   if (!app.evicted) {
     evict_locked(app);
-    refresh_locked(app);
+    state_dirty_ = true;
   }
 }
 
-void HubShard::flush() {
-  std::lock_guard lock(mu_);
-  flush_locked();
-}
+std::shared_ptr<const ShardSnapshot> HubShard::publish(bool force_fresh) {
+  std::lock_guard lock(state_mu_);
+  const bool applied = apply_pending_locked(/*include_partial=*/true);
+  const util::TimeNs now = config_.clock ? config_.clock->now() : 0;
 
-AppSummary HubShard::summary(std::uint32_t slot) {
-  std::lock_guard lock(mu_);
-  // Drain the batch, then maintain only the queried app: a single-app
-  // query must not pay an O(apps-per-shard) stamp walk.
-  flush_locked(/*maintain=*/false);
-  AppState& app = apps_.at(slot);
-  if (config_.clock) maintain_locked(app, config_.clock->now());
-  if (app.dirty) refresh_locked(app);
-  return app.cached;
-}
-
-void HubShard::collect(std::vector<AppSummary>& out, bool include_evicted) {
-  std::lock_guard lock(mu_);
-  flush_locked();
-  for (const AppState& app : apps_) {
-    if (include_evicted || !app.evicted) out.push_back(app.cached);
+  // Freshness: rebuild when new beats landed, when state changed without
+  // beats (targets, evictions, registrations), or when the clock moved
+  // past the tolerance (staleness stamps and time windows must catch up;
+  // a forced flush shrinks the tolerance to "any movement at all").
+  // Otherwise the published snapshot is still the truth — hand it back and
+  // leave the epoch alone, so fleet caches keep hitting.
+  const util::TimeNs tolerance =
+      force_fresh ? 1
+                  : std::max<util::TimeNs>(config_.snapshot_min_interval_ns, 1);
+  bool stale = false;
+  {
+    std::lock_guard snap_lock(snap_mu_);
+    if (!snap_) {
+      stale = true;
+    } else if (config_.clock && now > snap_->published_at_ns &&
+               now - snap_->published_at_ns >= tolerance) {
+      stale = true;
+    }
+    if (!applied && !state_dirty_ && !stale) return snap_;
   }
+
+  rebuild_snapshot_locked(now);
+  return published();
 }
 
-void HubShard::collect_cluster(ClusterAccum& accum) {
-  std::lock_guard lock(mu_);
-  flush_locked();
-  ClusterSummary& sum = accum.sum;
-  for (const AppState& app : apps_) {
+std::shared_ptr<const ShardSnapshot> HubShard::published() const {
+  std::lock_guard lock(snap_mu_);
+  return snap_;
+}
+
+void HubShard::rebuild_snapshot_locked(util::TimeNs now) {
+  auto next = std::make_shared<ShardSnapshot>();
+  next->shard = index_;
+  next->epoch = ++epoch_;
+  next->published_at_ns = now;
+  next->apps.reserve(apps_.size());
+
+  ClusterSummary& sum = next->cluster_part;
+  std::map<std::uint64_t, TagSummary> by_tag;
+  for (AppState& app : apps_) {
+    // One walk does everything the old per-query collect paths did:
+    // time maintenance, dirty refresh, summary copy, rollup accumulation.
+    if (config_.clock) maintain_locked(app, now);
+    if (app.dirty) refresh_locked(app);
+    next->apps.push_back(app.cached);
+
     if (app.evicted) {
       ++sum.evicted;
       continue;
@@ -154,67 +231,47 @@ void HubShard::collect_cluster(ClusterAccum& accum) {
     }
     sum.last_beat_ns = std::max(sum.last_beat_ns, s.last_beat_ns);
     if (app.intervals.size() > 0) {
-      accum.intervals.merge(app.hist);
-      if (!accum.any_interval) {
+      next->intervals.merge(app.hist);
+      if (!next->any_interval) {
         sum.interval_min_ns = s.interval_min_ns;
         sum.interval_max_ns = s.interval_max_ns;
-        accum.any_interval = true;
+        next->any_interval = true;
       } else {
         sum.interval_min_ns = std::min(sum.interval_min_ns, s.interval_min_ns);
         sum.interval_max_ns = std::max(sum.interval_max_ns, s.interval_max_ns);
       }
     }
-  }
-}
-
-void HubShard::collect_tags(std::map<std::uint64_t, TagSummary>& out) {
-  std::lock_guard lock(mu_);
-  flush_locked();
-  for (const AppState& app : apps_) {
-    if (app.evicted) continue;
     for (const auto& [tag, count] : app.tag_counts) {
-      TagSummary& t = out[tag];
+      TagSummary& t = by_tag[tag];
       t.tag = tag;
       t.beats += count;
       ++t.apps;
     }
   }
+  next->tags.reserve(by_tag.size());
+  for (const auto& [_, t] : by_tag) next->tags.push_back(t);
+  state_dirty_ = false;
+
+  std::lock_guard snap_lock(snap_mu_);
+  snap_ = std::move(next);
 }
 
 ShardStats HubShard::stats() const {
-  std::lock_guard lock(mu_);
   ShardStats s;
   s.shard = index_;
-  s.apps = apps_.size();
-  s.ingested = ingested_;
-  s.flushes = flushes_;
-  s.pending = batch_.size();
+  {
+    std::lock_guard lock(state_mu_);
+    s.apps = apps_.size();
+    s.flushes = flushes_;
+    s.epoch = epoch_;
+  }
+  {
+    std::lock_guard lock(ingest_mu_);
+    s.ingested = ingested_;
+    s.pending = batch_.size();
+    for (const Batch& b : overflow_) s.pending += b.size();
+  }
   return s;
-}
-
-void HubShard::flush_locked(bool maintain) {
-  if (!batch_.empty()) {
-    for (const auto& [slot, rec] : batch_) apply_locked(slot, rec);
-    batch_.clear();
-    ++flushes_;
-  }
-  if (maintain) {
-    if (config_.clock) {
-      // Time-based maintenance, evaluated lazily at query-forced flushes
-      // (so snapshots are current as of the hub clock's "now").
-      const util::TimeNs now = config_.clock->now();
-      for (AppState& app : apps_) maintain_locked(app, now);
-    }
-    // Refresh outside the batch check: set_target dirties an app without
-    // enqueueing anything, and must still be visible to the next query.
-    // Skipped on the overflow path (maintain=false): nobody reads cached
-    // summaries until a query, and every query path refreshes — summary()
-    // refreshes its own app, the collect paths come back here with
-    // maintain=true. Keeps the ingest hot path free of O(window) refreshes.
-    for (AppState& app : apps_) {
-      if (app.dirty) refresh_locked(app);
-    }
-  }
 }
 
 void HubShard::maintain_locked(AppState& app, util::TimeNs now) {

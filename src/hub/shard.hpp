@@ -1,21 +1,33 @@
 // HubShard: one lock stripe of the heartbeat aggregation hub.
 //
 // A shard owns a subset of the registered apps (assigned by name hash) and
-// a single raw-record batch buffer shared by those apps. Producers only pay
-// for a mutex acquire plus a vector push per beat; the expensive work —
-// sliding-window maintenance, interval histograms, summary refresh — runs
-// once per batch flush, amortized over batch_capacity beats. Everything a
-// shard hands out is a copy, so observers never hold references into state
-// guarded by the stripe lock.
+// is split into two stages with separate locks:
 //
-// Scaling shape (what bench/hub_throughput measures): more shards means
-// (a) fewer producers contending per stripe and (b) fewer co-resident apps
-// whose summaries each flush must refresh, so per-beat cost falls as the
-// shard count grows even before true parallelism kicks in.
+//   INGEST stage (ingest_mu_): producers pay a mutex acquire plus a vector
+//   push per beat. When the batch fills it is moved wholesale onto a FIFO
+//   of full batches — still under ingest_mu_, still O(1) — and the
+//   producer then drains the FIFO into app state under state_mu_, where it
+//   contends with readers but NOT with other producers, who keep appending
+//   to the fresh batch. The ingest critical section never contains window
+//   maintenance, summary refresh, or snapshot construction.
+//
+//   PUBLISH stage (state_mu_): the expensive work — applying batches,
+//   sliding-window maintenance, interval histograms, summary refresh —
+//   runs at publish time and ends by swapping in an immutable, epoch-
+//   stamped ShardSnapshot (shared_ptr). Readers grab the pointer under a
+//   third, trivially short lock (snap_mu_) and never hold any shard lock
+//   across summary copies.
+//
+// A publish that finds nothing new (no pending beats, no dirty targets or
+// evictions, clock within the freshness tolerance) republishes nothing:
+// the epoch stands still and fleet-level caches keep serving pointer
+// reads. This is what makes repeated cluster queries between flushes
+// nearly free (bench/snapshot_query).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -24,6 +36,7 @@
 #include <vector>
 
 #include "core/record.hpp"
+#include "hub/snapshot.hpp"
 #include "hub/summary.hpp"
 #include "util/clock.hpp"
 #include "util/histogram.hpp"
@@ -38,23 +51,23 @@ struct ShardConfig {
   std::size_t window_capacity = 256;  ///< sliding-window beats per app
   std::uint32_t rate_window = 0;      ///< beats for rate; 0 = whole window
   /// Time-based window: beats older than this age out of rate/percentile
-  /// state, evaluated lazily at every flush. 0 = beat-count window only.
+  /// state, evaluated lazily at every publish. 0 = beat-count window only.
   util::TimeNs window_ns = 0;
   /// Auto-evict an app whose staleness exceeds this bound (checked at
-  /// flush). 0 = never auto-evict.
+  /// publish). 0 = never auto-evict.
   util::TimeNs evict_after_ns = 0;
+  /// Snapshot freshness tolerance: a query-forced publish that finds no new
+  /// beats and no dirty state skips the rebuild while the published
+  /// snapshot is younger than this. 0 = republish whenever the clock
+  /// advanced at all (exactly the pre-snapshot per-query staleness
+  /// semantics; under a ManualClock that never moves between queries, the
+  /// cache still hits). See HubOptions::snapshot_min_interval_ns.
+  util::TimeNs snapshot_min_interval_ns = 0;
   /// Clock for aging / staleness stamping. HeartbeatHub always installs
   /// one (normalize() defaults to the monotonic clock); null is only
   /// reachable when a shard is constructed standalone, and then disables
   /// time-based maintenance entirely.
   std::shared_ptr<util::Clock> clock;
-};
-
-/// Accumulator for cluster-wide rollups; filled shard by shard.
-struct ClusterAccum {
-  ClusterSummary sum;
-  util::LatencyHistogram intervals;
-  bool any_interval = false;
 };
 
 class HubShard {
@@ -68,9 +81,13 @@ class HubShard {
   std::uint32_t add_app(std::string name, core::TargetRate target);
 
   std::uint32_t index() const { return index_; }
-  std::size_t app_count() const;
+  std::size_t app_count() const {
+    return app_count_.load(std::memory_order_acquire);
+  }
 
-  /// Append one raw beat to the batch; flushes when the batch fills.
+  /// Append one raw beat to the batch. When the batch fills, the full
+  /// batch moves to the apply FIFO and is drained into app state — off the
+  /// ingest lock, so concurrent producers keep appending meanwhile.
   void enqueue(std::uint32_t slot, const core::HeartbeatRecord& rec);
 
   /// Append many raw beats for one app (amortizes the lock acquire).
@@ -82,24 +99,21 @@ class HubShard {
   /// again (total_beats survives). Idempotent.
   void evict(std::uint32_t slot);
 
-  /// Drain the pending batch, age time-based windows, re-stamp staleness,
-  /// auto-evict dead apps, and refresh touched summaries.
-  void flush();
+  /// Apply all pending beats, run time maintenance, and (re)publish the
+  /// shard snapshot if anything changed. Returns the current snapshot —
+  /// the one true read entry point. Never null. `force_fresh` ignores the
+  /// snapshot_min_interval_ns tolerance: any clock movement republishes
+  /// (an explicit flush must re-stamp staleness, age windows, and apply
+  /// auto-eviction NOW, not within-the-tolerance-eventually).
+  std::shared_ptr<const ShardSnapshot> publish(bool force_fresh = false);
 
-  /// Flush, then copy out one app's summary (only this app pays the
-  /// age/stamp maintenance — the O(1)-per-query path).
-  AppSummary summary(std::uint32_t slot);
+  /// The last published snapshot without forcing a publish (may be null
+  /// before the first publish). Lock held only for the pointer grab.
+  std::shared_ptr<const ShardSnapshot> published() const;
 
-  /// Flush, then append every app's summary to `out`. Evicted apps are
-  /// skipped unless `include_evicted` (fleet sweeps want them: an evicted
-  /// app is a confirmed death, not a non-entity).
-  void collect(std::vector<AppSummary>& out, bool include_evicted = false);
-
-  /// Flush, then fold this shard's apps into a cluster rollup.
-  void collect_cluster(ClusterAccum& accum);
-
-  /// Flush, then fold windowed per-tag beat counts into `out`.
-  void collect_tags(std::map<std::uint64_t, TagSummary>& out);
+  /// Forced-fresh publish for callers that ignore the result
+  /// (HeartbeatHub::flush): time maintenance always catches up.
+  void flush() { publish(/*force_fresh=*/true); }
 
   ShardStats stats() const;
 
@@ -134,12 +148,19 @@ class HubShard {
                                                : 1) {}
   };
 
-  /// maintain=false (batch-overflow path) drains the batch only; aging,
-  /// staleness stamping, and auto-eviction wait for a query-forced flush.
-  void flush_locked(bool maintain = true);
+  using Batch = std::vector<std::pair<std::uint32_t, core::HeartbeatRecord>>;
+
+  /// Drain the apply FIFO (and, when `include_partial`, the current batch)
+  /// into app state, FIFO order. Caller holds state_mu_; ingest_mu_ is
+  /// taken only for each O(1) batch handoff. Returns true if any record
+  /// was applied.
+  bool apply_pending_locked(bool include_partial);
+  /// The producer-side overflow drain: full batches only, no maintenance,
+  /// no refresh, no snapshot — the cheapest correct apply.
+  void drain_overflow();
   void apply_locked(std::uint32_t slot, const core::HeartbeatRecord& rec);
   void refresh_locked(AppState& app);
-  void check_slot_locked(std::uint32_t slot) const;  ///< throws out_of_range
+  void check_slot(std::uint32_t slot) const;  ///< throws out_of_range
   /// Per-app time maintenance: age past window_ns, stamp staleness,
   /// auto-evict past evict_after_ns.
   void maintain_locked(AppState& app, util::TimeNs now);
@@ -147,15 +168,38 @@ class HubShard {
   void retire_oldest_tag_locked(AppState& app);  ///< tag count bookkeeping
   void drop_oldest_locked(AppState& app);  ///< one record + its interval
   void evict_locked(AppState& app);
+  /// Build the next ShardSnapshot from current app state (one walk:
+  /// maintenance + refresh + copy + rollups) and swap it in. Caller holds
+  /// state_mu_; the swap itself takes snap_mu_ only.
+  void rebuild_snapshot_locked(util::TimeNs now);
 
   const std::uint32_t index_;
   const ShardConfig config_;
 
-  mutable std::mutex mu_;
+  /// INGEST stage. Guards batch_, overflow_, ingested_. Producers touch
+  /// nothing else on the hot path.
+  mutable std::mutex ingest_mu_;
+  Batch batch_;
+  std::deque<Batch> overflow_;  ///< full batches awaiting apply, FIFO
+
+  /// PUBLISH stage. Guards apps_, flushes_, epoch_, state_dirty_.
+  /// Lock order: state_mu_ before ingest_mu_ (never the reverse).
+  mutable std::mutex state_mu_;
   std::vector<AppState> apps_;
-  std::vector<std::pair<std::uint32_t, core::HeartbeatRecord>> batch_;
-  std::uint64_t ingested_ = 0;
+  std::uint64_t ingested_ = 0;  ///< guarded by ingest_mu_
   std::uint64_t flushes_ = 0;
+  std::uint64_t epoch_ = 0;
+  /// Set by add_app/set_target/evict: state changed without any beat, so
+  /// the next publish must rebuild even if no records arrive.
+  bool state_dirty_ = false;
+
+  /// Slot-validity bound for the lock-free enqueue check (slots are
+  /// append-only, so a stale read only ever under-approximates).
+  std::atomic<std::size_t> app_count_{0};
+
+  /// Published-pointer swap/read only; never held across any copy.
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const ShardSnapshot> snap_;
 };
 
 }  // namespace hb::hub

@@ -105,8 +105,9 @@ struct ShardStats {
   std::uint32_t shard = 0;
   std::uint64_t apps = 0;
   std::uint64_t ingested = 0;  ///< raw beats accepted into the batch
-  std::uint64_t flushes = 0;   ///< batch flushes (full or forced)
+  std::uint64_t flushes = 0;   ///< batch applies (overflow or query-forced)
   std::uint64_t pending = 0;   ///< raw beats currently buffered
+  std::uint64_t epoch = 0;     ///< published ShardSnapshot epoch (0: none yet)
 };
 
 }  // namespace hb::hub

@@ -1,13 +1,15 @@
 #include "hub/view.hpp"
 
-#include <algorithm>
-#include <map>
 #include <stdexcept>
 
 #include "hub/hub.hpp"
 #include "util/clock.hpp"
 
 namespace hb::hub {
+
+std::shared_ptr<const FleetSnapshot> HubView::snapshot() const {
+  return hub_->snapshot();
+}
 
 std::optional<AppSummary> HubView::app(const std::string& name) const {
   try {
@@ -18,58 +20,42 @@ std::optional<AppSummary> HubView::app(const std::string& name) const {
 }
 
 AppSummary HubView::app(AppId id) const {
-  return hub_->shard(app_id_shard(id)).summary(app_id_slot(id));
+  // Single-app routing stays single-SHARD: publish only the owning
+  // stripe and read its snapshot, instead of forcing all shards to
+  // republish plus a fleet compose. A per-app poller therefore pays
+  // O(apps-per-shard) worst case (and a pointer read when the shard's
+  // snapshot is still fresh), never O(fleet). hub_->shard(i) and the
+  // slot check both throw out_of_range for foreign AppIds.
+  const auto snap = hub_->shard(app_id_shard(id)).publish();
+  const std::uint32_t slot = app_id_slot(id);
+  if (slot >= snap->apps.size()) {
+    throw std::out_of_range("HubView: AppId slot not registered here");
+  }
+  return snap->apps[slot];
 }
 
 std::vector<AppSummary> HubView::apps() const {
-  std::vector<AppSummary> out = apps_unsorted();
-  std::sort(out.begin(), out.end(),
-            [](const AppSummary& a, const AppSummary& b) {
-              return a.name < b.name;
-            });
-  return out;
+  // Sorted once per snapshot epoch inside the snapshot, reused here.
+  return hub_->snapshot()->apps_sorted();
 }
 
 std::vector<AppSummary> HubView::apps_unsorted(bool include_evicted) const {
+  const auto snap = hub_->snapshot();
   std::vector<AppSummary> out;
-  out.reserve(hub_->app_count());
-  for (std::size_t i = 0; i < hub_->shard_count(); ++i) {
-    hub_->shard(i).collect(out, include_evicted);
-  }
+  out.reserve(snap->app_count());
+  snap->for_each_app([&out](const AppSummary& s) { out.push_back(s); },
+                     include_evicted);
   return out;
 }
 
-ClusterSummary HubView::cluster() const {
-  ClusterAccum accum;
-  for (std::size_t i = 0; i < hub_->shard_count(); ++i) {
-    hub_->shard(i).collect_cluster(accum);
-  }
-  ClusterSummary& sum = accum.sum;
-  if (accum.any_interval) {
-    const auto clamp = [&](double p) {
-      return std::clamp(accum.intervals.percentile(p), sum.interval_min_ns,
-                        sum.interval_max_ns);
-    };
-    sum.interval_p50_ns = clamp(50.0);
-    sum.interval_p95_ns = clamp(95.0);
-    sum.interval_p99_ns = clamp(99.0);
-  }
-  return sum;
-}
+ClusterSummary HubView::cluster() const { return hub_->snapshot()->cluster(); }
 
 std::vector<TagSummary> HubView::tags() const {
-  std::map<std::uint64_t, TagSummary> by_tag;
-  for (std::size_t i = 0; i < hub_->shard_count(); ++i) {
-    hub_->shard(i).collect_tags(by_tag);
-  }
-  std::vector<TagSummary> out;
-  out.reserve(by_tag.size());
-  for (const auto& [_, summary] : by_tag) out.push_back(summary);
-  return out;
+  return hub_->snapshot()->tags();
 }
 
 TagSummary HubView::tag(std::uint64_t t) const {
-  for (const TagSummary& s : tags()) {
+  for (const TagSummary& s : hub_->snapshot()->tags()) {
     if (s.tag == t) return s;
   }
   TagSummary none;
@@ -92,9 +78,9 @@ double HubView::rate(const std::string& name) const {
 }
 
 std::optional<util::TimeNs> HubView::staleness_ns(const std::string& name) const {
-  // Stamped at the shard's flush, which the app() query just forced — so
-  // this is current as of the hub clock's "now". Never-beating apps
-  // measure from their registration time.
+  // Stamped at the shard's snapshot publish, which the app() query just
+  // forced (unless within the freshness tolerance) — current as of the
+  // hub clock's "now". Never-beating apps measure from registration.
   const auto summary = app(name);
   if (!summary) return std::nullopt;
   return summary->staleness_ns;

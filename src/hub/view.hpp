@@ -3,18 +3,27 @@
 // Consumers (GlobalScheduler, fault detectors, dashboards) hold a HubView
 // and ask aggregate questions — one call returns every app's summary, a
 // per-tag rollup, or the cluster-wide picture — instead of polling each
-// application's channel one by one. Every query forces the relevant shards
-// to drain their ingest batches first, so answers always reflect all beats
-// ingested so far (and are deterministic under a ManualClock).
+// application's channel one by one.
+//
+// Since the snapshot plane landed, a HubView is a thin adapter over
+// HeartbeatHub::snapshot(): every query grabs the current FleetSnapshot
+// (publishing any pending beats first, so answers always reflect all beats
+// ingested so far and stay deterministic under a ManualClock) and reads
+// from it. Queries never hold a shard lock across summary copies, and
+// repeated queries between flushes are served from the cached snapshot —
+// pointer reads, not per-shard flush-and-copy walks. Callers that issue
+// several related queries for one decision should grab snapshot() once and
+// read it directly; the per-call methods exist for API compatibility and
+// one-shot questions.
 //
 // A HubView is a cheap value object. Constructed from a shared_ptr it also
 // keeps the hub alive; constructed from a reference the caller owns the
 // lifetime (the usual pattern for stack-allocated hubs in tests).
 //
 // Thread-safety: every query is safe concurrently with ingestion and with
-// other views — results are copies, never references into shard state.
-// All _ns values are nanoseconds on the hub clock's epoch; rates are
-// beats/second.
+// other views — results are copies out of immutable snapshots, never
+// references into shard state. All _ns values are nanoseconds on the hub
+// clock's epoch; rates are beats/second.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "hub/snapshot.hpp"
 #include "hub/summary.hpp"
 #include "util/time.hpp"
 
@@ -39,16 +49,27 @@ class HubView {
   explicit HubView(std::shared_ptr<HeartbeatHub> hub)
       : hub_(hub.get()), owner_(std::move(hub)) {}
 
+  /// The coherent whole-fleet snapshot every other query reads through.
+  /// Grab it once per decision tick to amortize across related questions.
+  std::shared_ptr<const FleetSnapshot> snapshot() const;
+
   /// One app's windowed summary; nullopt if the name is not registered.
   /// Evicted apps still answer (total_beats/staleness survive eviction).
   std::optional<AppSummary> app(const std::string& name) const;
 
   /// Summary by id (O(1) routing; id must come from this hub, else
-  /// std::out_of_range).
+  /// std::out_of_range). Reads the OWNING shard's snapshot only — a
+  /// per-app poller never forces the rest of the fleet to republish.
+  /// Worst case per query is that one shard's republish (O(apps/shard),
+  /// whenever the clock advanced past snapshot_min_interval_ns); hot
+  /// per-app polling loops behind a real clock should set a nonzero
+  /// tolerance, or poll the fleet once via snapshot()/apps_unsorted().
   AppSummary app(AppId id) const;
 
   /// Every live (non-evicted) app's summary, sorted by name. An app with
   /// < 2 windowed beats is present but has rate_bps == 0 (warming up).
+  /// The sort happens once per snapshot epoch (FleetSnapshot::apps_sorted)
+  /// and is reused across calls; this method copies it out.
   std::vector<AppSummary> apps() const;
 
   /// Every app's summary in shard order (no sort) — the cheap path for hot
@@ -57,7 +78,8 @@ class HubView {
   /// hub-confirmed death (eviction) never silently drops out of a report.
   std::vector<AppSummary> apps_unsorted(bool include_evicted = false) const;
 
-  /// Cluster-wide rollup across all apps.
+  /// Cluster-wide rollup across all apps (precomposed in the snapshot —
+  /// a struct copy, not an O(apps) walk).
   ClusterSummary cluster() const;
 
   /// Windowed beat counts per tag, across all apps, ascending by tag.
@@ -66,7 +88,7 @@ class HubView {
   /// One tag's rollup; a zeroed summary if nobody emitted it.
   TagSummary tag(std::uint64_t t) const;
 
-  /// Per-shard ingestion counters (no flush: reports live batch fill).
+  /// Per-shard ingestion counters (no publish: reports live batch fill).
   std::vector<ShardStats> shard_stats() const;
 
   /// Convenience: windowed rate of one app (0 if unknown or < 2 beats).
@@ -74,7 +96,9 @@ class HubView {
 
   /// Nanoseconds since an app's newest ingested beat (or since its
   /// registration, if it never beat), on the hub clock; nullopt if the
-  /// name is unknown. The hub-side liveness signal.
+  /// name is unknown. The hub-side liveness signal. Stamped at the owning
+  /// shard's snapshot publish, which this query forces when the clock
+  /// advanced past HubOptions::snapshot_min_interval_ns.
   std::optional<util::TimeNs> staleness_ns(const std::string& name) const;
 
   HeartbeatHub& hub() const { return *hub_; }

@@ -1,5 +1,7 @@
 #include "policy/cloud_restart_sink.hpp"
 
+#include <algorithm>
+
 #include "cloud/cloud_sim.hpp"
 #include "policy/policy_engine.hpp"
 
@@ -9,8 +11,28 @@ CloudRestartSink::CloudRestartSink(cloud::CloudSim& sim,
                                    CloudRestartSinkOptions opts)
     : sim_(&sim), opts_(opts) {}
 
+std::uint32_t CloudRestartSink::refill_and_count(Budget& budget,
+                                                 util::TimeNs now_ns) {
+  if (opts_.budget_refill_ns == 0 || budget.spent == 0) return budget.spent;
+  if (now_ns <= budget.refill_from_ns) return budget.spent;
+  const util::TimeNs elapsed = now_ns - budget.refill_from_ns;
+  const std::uint64_t earned = elapsed / opts_.budget_refill_ns;
+  if (earned == 0) return budget.spent;
+  const std::uint32_t credits = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(earned, budget.spent));
+  budget.spent -= credits;
+  stats_.refilled += credits;
+  // Advance the accrual origin by whole intervals only: partial progress
+  // toward the next credit is kept, but an app that just emptied its spent
+  // count stops accruing (refill_from_ns is re-armed at the next spend).
+  budget.refill_from_ns += static_cast<util::TimeNs>(credits) *
+                           opts_.budget_refill_ns;
+  return budget.spent;
+}
+
 void CloudRestartSink::maybe_restart(const PolicyEngine& engine,
-                                     const std::string& app, hub::AppId id) {
+                                     const std::string& app, hub::AppId id,
+                                     util::TimeNs now_ns) {
   // Id-keyed lookup: O(1) per death, where the name overload would scan
   // every tracked app inside the sweep loop the policy bench gates.
   if (engine.quarantined(id)) {
@@ -22,8 +44,14 @@ void CloudRestartSink::maybe_restart(const PolicyEngine& engine,
     ++stats_.unknown_apps;
     return;
   }
-  if (restarts_of(app) >= opts_.restart_budget) {
+  auto it = spent_.find(app);
+  if (it != spent_.end() &&
+      refill_and_count(it->second, now_ns) >= opts_.restart_budget) {
     ++stats_.suppressed_budget;
+    return;
+  }
+  if (it == spent_.end() && opts_.restart_budget == 0) {
+    ++stats_.suppressed_budget;  // observe-only mode
     return;
   }
   // A "dead" verdict can outlive the actual outage by one sweep (staleness
@@ -35,7 +63,13 @@ void CloudRestartSink::maybe_restart(const PolicyEngine& engine,
     return;
   }
   sim_->restart_vm(vm);
-  ++spent_[app];  // inserted only when a restart actually happens
+  // Inserted only when a restart actually happens: long-lived fleets with
+  // churny names must not grow a Budget entry per never-restarted app.
+  Budget& budget = it != spent_.end()
+                       ? it->second
+                       : spent_.emplace(app, Budget{}).first->second;
+  if (budget.spent == 0) budget.refill_from_ns = now_ns;  // accrual starts
+  ++budget.spent;
   ++stats_.restarts;
 }
 
@@ -44,7 +78,7 @@ void CloudRestartSink::on_event(const PolicyEngine& engine,
   switch (event.kind) {
     case EventKind::kTransition:
       if (event.to_health == fault::Health::kDead) {
-        maybe_restart(engine, event.app, event.id);
+        maybe_restart(engine, event.app, event.id, event.at_ns);
       }
       break;
     case EventKind::kCorrelatedFailure:
@@ -52,18 +86,18 @@ void CloudRestartSink::on_event(const PolicyEngine& engine,
       // guarded restart (quarantine is per-app — consult the engine, the
       // folded event carries no per-member flag).
       for (std::size_t i = 0; i < event.apps.size(); ++i) {
-        maybe_restart(engine, event.apps[i], event.app_ids[i]);
+        maybe_restart(engine, event.apps[i], event.app_ids[i], event.at_ns);
       }
       break;
     case EventKind::kQuarantine:
     case EventKind::kQuarantineLifted:
-      break;  // informational; budgets deliberately do NOT refill on lift
+      break;  // informational; budgets refill by time alone, never on lift
   }
 }
 
 std::uint32_t CloudRestartSink::restarts_of(const std::string& app) const {
   const auto it = spent_.find(app);
-  return it == spent_.end() ? 0u : it->second;
+  return it == spent_.end() ? 0u : it->second.spent;
 }
 
 }  // namespace hb::policy

@@ -7,9 +7,13 @@
 //
 //   - QUARANTINE: flapping apps (engine-quarantined) are never restarted;
 //     a crash loop is a bug to page about, not a state to fight.
-//   - RESTART BUDGET: at most `restart_budget` automatic restarts per app
-//     over the sink's lifetime. An app that keeps dying past its budget
-//     stays down for a human — unbounded retries hide real failures.
+//   - RESTART BUDGET: at most `restart_budget` automatic restarts per app,
+//     replenished one credit per `budget_refill_ns` of event time (0 =
+//     never: the budget is a lifetime cap). An app that keeps dying past
+//     its budget stays down for a human — unbounded retries hide real
+//     failures — but with refill enabled, a long-lived fleet recovers its
+//     credits after a transient storm instead of being one incident away
+//     from "automation permanently off" forever after.
 //
 // Every suppressed action is counted (stats()), so tests and operators can
 // tell "healed" from "gave up" at a glance.
@@ -20,6 +24,7 @@
 #include <unordered_map>
 
 #include "policy/action_sink.hpp"
+#include "util/time.hpp"
 
 namespace hb::cloud {
 class CloudSim;
@@ -28,9 +33,20 @@ class CloudSim;
 namespace hb::policy {
 
 struct CloudRestartSinkOptions {
-  /// Automatic restarts allowed per app (sink lifetime). 0 disables the
-  /// sink entirely (observe-only).
+  /// Automatic restarts allowed per app (and the cap refill can restore
+  /// up to). 0 disables the sink entirely (observe-only).
   std::uint32_t restart_budget = 3;
+  /// Event time after which one spent restart credit returns to an app's
+  /// budget (spent credits refill one per interval, up to restart_budget).
+  /// Token-bucket accrual on the sweep clock (FleetEvent::at_ns): the
+  /// accrual clock starts at the spend that takes an app from 0 spent
+  /// credits, runs continuously while any credit is spent (later restarts
+  /// do NOT reset it; partial progress toward the next credit is kept),
+  /// and stops — banking nothing — while the budget is full. An app
+  /// dying faster than one death per interval therefore still exhausts
+  /// its budget and stays down. 0 (default) keeps the pre-refill
+  /// semantics: the budget is a lifetime cap.
+  util::TimeNs budget_refill_ns = 0;
 };
 
 /// Cumulative action counters. Every death event the sink declines to act
@@ -45,10 +61,13 @@ struct CloudRestartStats {
   /// with fresh beats); restarting would waste budget on a ghost.
   std::uint64_t suppressed_already_running = 0;
   std::uint64_t unknown_apps = 0;  ///< death events naming no sim VM
+  std::uint64_t refilled = 0;  ///< credits returned by budget_refill_ns
 };
 
 class CloudRestartSink : public ActionSink {
  public:
+  using Options = CloudRestartSinkOptions;
+
   /// Non-owning: `sim` must outlive the sink. Events are matched to VMs by
   /// app name via CloudSim::find_vm (hub app names == VmSpec names).
   explicit CloudRestartSink(cloud::CloudSim& sim,
@@ -57,17 +76,26 @@ class CloudRestartSink : public ActionSink {
   void on_event(const PolicyEngine& engine, const FleetEvent& event) override;
 
   const CloudRestartStats& stats() const { return stats_; }
-  /// Automatic restarts issued so far for one app.
+  /// Spent restart credits currently charged against one app (refills as
+  /// of the last event the sink processed).
   std::uint32_t restarts_of(const std::string& app) const;
 
  private:
+  struct Budget {
+    std::uint32_t spent = 0;          ///< credits currently used
+    util::TimeNs refill_from_ns = 0;  ///< accrual start (last spend/refill)
+  };
+
   void maybe_restart(const PolicyEngine& engine, const std::string& app,
-                     hub::AppId id);
+                     hub::AppId id, util::TimeNs now_ns);
+  /// Return elapsed-time credits to the app's budget, then report the
+  /// still-spent count.
+  std::uint32_t refill_and_count(Budget& budget, util::TimeNs now_ns);
 
   cloud::CloudSim* sim_;
   CloudRestartSinkOptions opts_;
   CloudRestartStats stats_;
-  std::unordered_map<std::string, std::uint32_t> spent_;  ///< app -> restarts
+  std::unordered_map<std::string, Budget> spent_;  ///< app -> budget state
 };
 
 }  // namespace hb::policy

@@ -71,15 +71,21 @@ int GlobalScheduler::free_cores() const {
 std::vector<GlobalScheduler::Snapshot> GlobalScheduler::observe() const {
   std::vector<Snapshot> out(apps_.size());
 
-  // One cluster snapshot serves every hub-backed app this poll. Evicted
+  // One FleetSnapshot serves every hub-backed app this poll — grabbed
+  // once, read in place (the snapshot is immutable and shared, so the
+  // name index points straight into it; no flat copy of the fleet).
+  // Between hub flushes this is the cached snapshot: polling faster than
+  // the fleet changes costs pointer reads, not per-shard walks. Evicted
   // apps stay listed: an eviction is the hub's own death verdict, and
   // classify() below turns it into snap.dead.
   std::unordered_map<std::string, const hub::AppSummary*> by_name;
-  std::vector<hub::AppSummary> summaries;
+  std::shared_ptr<const hub::FleetSnapshot> fleet;
   if (view_) {
-    summaries = view_->apps_unsorted(/*include_evicted=*/true);
-    by_name.reserve(summaries.size());
-    for (const auto& s : summaries) by_name.emplace(s.name, &s);
+    fleet = view_->snapshot();
+    by_name.reserve(fleet->app_count());
+    fleet->for_each_app(
+        [&by_name](const hub::AppSummary& s) { by_name.emplace(s.name, &s); },
+        /*include_evicted=*/true);
   }
 
   const fault::FleetDetector fleet_detector(opts_.fault_options);

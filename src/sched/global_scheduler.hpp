@@ -18,10 +18,11 @@
 //
 // Observation sources: each app is watched either through its own
 // HeartbeatReader (the paper's one-observer-per-channel shape) or through a
-// hub::HubView. Hub-backed scheduling reads ONE cluster snapshot per poll —
-// every app's windowed rate, beat count, and target in a single call —
-// instead of polling channels one by one, which is what makes thousands of
-// registered apps affordable.
+// hub::HubView. Hub-backed scheduling grabs ONE epoch-coherent
+// FleetSnapshot per poll — every app's windowed rate, beat count, and
+// target behind a single shared pointer — instead of polling channels one
+// by one; polls between hub flushes reuse the cached snapshot outright,
+// which is what makes thousands of registered apps affordable.
 #pragma once
 
 #include <functional>

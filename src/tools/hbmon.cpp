@@ -205,7 +205,10 @@ int cmd_fleet(const hb::transport::Registry& registry, int dead_ms,
 // staleness slack discounts transport lag — a beat can be one poll
 // interval old before the pump sees it, plus the producer-side batch
 // hold. One function, so the slack formula can never diverge between the
-// modes.
+// modes. Sweeps read the hub's published FleetSnapshot: the detector never
+// holds a stripe lock across summary copies, so a sweep can never block
+// the pump's ingest path mid-drain (shard ingest contends only on its own
+// batch-buffer lock).
 struct LivePipeline {
   std::shared_ptr<hb::transport::ShmIngestQueue> queue;
   std::shared_ptr<hb::hub::HeartbeatHub> hub;
@@ -344,12 +347,14 @@ int cmd_fleet_watch(const hb::transport::Registry& registry, int run_ms,
   print_transport_footer(p.pump->stats());
   const auto& pstats = engine.stats();
   std::printf("policy: %llu sweeps, %llu transitions, %llu correlated "
-              "failures, %llu quarantines (%zu active)\n",
+              "failures, %llu quarantines (%zu active), snapshot epoch "
+              "%llu\n",
               static_cast<unsigned long long>(pstats.sweeps),
               static_cast<unsigned long long>(pstats.transitions),
               static_cast<unsigned long long>(pstats.correlated_failures),
               static_cast<unsigned long long>(pstats.quarantines),
-              engine.quarantined_apps().size());
+              engine.quarantined_apps().size(),
+              static_cast<unsigned long long>(report.snapshot_epoch));
   return code;
 }
 

@@ -1,0 +1,301 @@
+// The snapshot plane: epoch semantics, fleet-cache hits, sort-once reuse,
+// and sweep coherence under threaded ingest (no torn reports).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fleet_detector.hpp"
+#include "hub/hub.hpp"
+#include "hub/view.hpp"
+#include "util/clock.hpp"
+#include "util/time.hpp"
+
+namespace hb::hub {
+namespace {
+
+using util::kNsPerMs;
+using util::kNsPerSec;
+
+HubOptions manual_opts(std::shared_ptr<util::ManualClock> clock,
+                       std::size_t shards = 4, std::size_t batch = 8,
+                       std::size_t window = 64) {
+  HubOptions opts;
+  opts.shard_count = shards;
+  opts.batch_capacity = batch;
+  opts.window_capacity = window;
+  opts.clock = std::move(clock);
+  return opts;
+}
+
+// ------------------------------------------------------------- epoch rules
+
+TEST(SnapshotEpochs, RepeatedQueriesBetweenFlushesReuseTheSnapshot) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock));
+  const AppId a = hub.register_app("a");
+  const AppId b = hub.register_app("b");
+  HubView view(hub);
+
+  clock->advance(kNsPerMs);
+  hub.beat(a);
+  hub.beat(b);
+
+  // First query publishes and composes...
+  const auto snap1 = view.snapshot();
+  const auto stats1 = hub.snapshot_stats();
+  EXPECT_GE(stats1.fleet_rebuilds, 1u);
+
+  // ...and with a frozen clock and no new beats, every further query —
+  // whatever its shape — is the SAME snapshot object: pointer reads.
+  const auto snap2 = view.snapshot();
+  const ClusterSummary c1 = view.cluster();
+  const ClusterSummary c2 = view.cluster();
+  EXPECT_EQ(snap1.get(), snap2.get());
+  EXPECT_EQ(snap1->epoch(), snap2->epoch());
+  EXPECT_EQ(c1.total_beats, c2.total_beats);
+  const auto stats2 = hub.snapshot_stats();
+  EXPECT_EQ(stats2.fleet_rebuilds, stats1.fleet_rebuilds);
+  EXPECT_GE(stats2.fleet_hits, stats1.fleet_hits + 3);
+
+  // A new beat advances exactly the owning shard's epoch; the fleet view
+  // recomposes once and the total epoch strictly increases.
+  hub.beat(a);
+  const auto snap3 = view.snapshot();
+  EXPECT_NE(snap3.get(), snap1.get());
+  EXPECT_GT(snap3->epoch(), snap1->epoch());
+
+  // Clock movement alone (staleness must restamp) also republishes.
+  clock->advance(kNsPerSec);
+  const auto snap4 = view.snapshot();
+  EXPECT_GT(snap4->epoch(), snap3->epoch());
+  EXPECT_EQ(snap4->find(b)->staleness_ns, kNsPerSec);  // b's last beat: t=1ms
+}
+
+TEST(SnapshotEpochs, DirtyStateRepublishesWithoutBeats) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, /*shards=*/1));
+  const AppId id = hub.register_app("a");
+  HubView view(hub);
+  clock->advance(kNsPerMs);
+  hub.beat(id);
+
+  const auto before = view.snapshot();
+  // set_target with a frozen clock and no beats must still reach readers.
+  hub.set_target(id, {2.5, 80.0});
+  const auto after = view.snapshot();
+  EXPECT_GT(after->epoch(), before->epoch());
+  EXPECT_DOUBLE_EQ(after->find(id)->target.min_bps, 2.5);
+
+  // Eviction too.
+  hub.evict(id);
+  const auto evicted = view.snapshot();
+  EXPECT_GT(evicted->epoch(), after->epoch());
+  EXPECT_TRUE(evicted->find(id)->evicted);
+}
+
+TEST(SnapshotEpochs, FreshnessToleranceSkipsSubToleranceRepublishes) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HubOptions opts = manual_opts(clock, 2);
+  opts.snapshot_min_interval_ns = 100 * kNsPerMs;
+  HeartbeatHub hub(opts);
+  const AppId id = hub.register_app("a");
+  HubView view(hub);
+  clock->advance(kNsPerMs);
+  hub.beat(id);
+
+  const auto snap1 = view.snapshot();
+  // The clock moved, but less than the tolerance: the published snapshot
+  // stands (staleness is allowed to lag up to the tolerance).
+  clock->advance(50 * kNsPerMs);
+  const auto snap2 = view.snapshot();
+  EXPECT_EQ(snap1.get(), snap2.get());
+  // An explicit flush cuts through the tolerance: maintenance (staleness
+  // stamps, aging, auto-eviction) must catch up NOW, as documented.
+  hub.flush();
+  const auto forced = view.snapshot();
+  EXPECT_GT(forced->epoch(), snap2->epoch());
+  EXPECT_EQ(forced->find(id)->staleness_ns, 50 * kNsPerMs);
+  // Past the tolerance (measured from the forced publish) the republish
+  // happens on its own.
+  clock->advance(110 * kNsPerMs);
+  const auto snap3 = view.snapshot();
+  EXPECT_GT(snap3->epoch(), forced->epoch());
+  EXPECT_EQ(snap3->find(id)->staleness_ns, 160 * kNsPerMs);
+  // New beats always cut through the tolerance: data, not time.
+  hub.beat(id);
+  const auto snap4 = view.snapshot();
+  EXPECT_GT(snap4->epoch(), snap3->epoch());
+}
+
+TEST(SnapshotEpochs, OverflowDrainedBeatsAlwaysReachTheNextSnapshot) {
+  // Regression: a beat count that is an exact multiple of batch_capacity
+  // drains entirely through the producer-side overflow path, leaving
+  // nothing for the query-forced apply. The publish must still rebuild —
+  // applied data cuts through the freshness tolerance, frozen clock or
+  // not — or those beats stay invisible until the clock moves.
+  auto clock = std::make_shared<util::ManualClock>();
+  HubOptions opts = manual_opts(clock, /*shards=*/1, /*batch=*/4);
+  opts.snapshot_min_interval_ns = kNsPerSec;  // tolerance must not hide data
+  HeartbeatHub hub(opts);
+  const AppId id = hub.register_app("a");
+  HubView view(hub);
+
+  clock->advance(kNsPerMs);
+  hub.beat(id);
+  EXPECT_EQ(view.cluster().total_beats, 1u);
+
+  // Exactly one full batch, clock frozen: all 4 beats overflow-drain.
+  for (int i = 0; i < 4; ++i) hub.beat(id);
+  EXPECT_EQ(view.cluster().total_beats, 5u);
+
+  // Same shape through the span path and an idempotent re-evict.
+  std::vector<core::HeartbeatRecord> recs(4);
+  for (auto& r : recs) r.timestamp_ns = clock->now();
+  hub.ingest_batch(id, recs);
+  EXPECT_EQ(view.cluster().total_beats, 9u);
+}
+
+// ------------------------------------------------- sort-once regression
+
+TEST(SnapshotSortOnce, AppsAreSortedOncePerEpochAndReused) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock));
+  // Registration order deliberately unsorted.
+  hub.register_app("charlie");
+  hub.register_app("alpha");
+  hub.register_app("bravo");
+  clock->advance(kNsPerMs);
+  hub.flush();
+  HubView view(hub);
+
+  const auto snap = view.snapshot();
+  const auto& sorted1 = snap->apps_sorted();
+  const auto& sorted2 = snap->apps_sorted();
+  // Same vector object: the sort ran at most once for this epoch.
+  EXPECT_EQ(&sorted1, &sorted2);
+  ASSERT_EQ(sorted1.size(), 3u);
+  EXPECT_EQ(sorted1[0].name, "alpha");
+  EXPECT_EQ(sorted1[1].name, "bravo");
+  EXPECT_EQ(sorted1[2].name, "charlie");
+
+  // The view adapter serves repeated apps() from the same snapshot: the
+  // query-cost regression guard — many calls, exactly one composition
+  // (and therefore exactly one sort), while the answers stay correct.
+  const auto stats_before = hub.snapshot_stats();
+  for (int i = 0; i < 100; ++i) {
+    const auto apps = view.apps();
+    ASSERT_EQ(apps.size(), 3u);
+    EXPECT_EQ(apps.front().name, "alpha");
+  }
+  const auto stats_after = hub.snapshot_stats();
+  EXPECT_EQ(stats_after.fleet_rebuilds, stats_before.fleet_rebuilds);
+  EXPECT_GE(stats_after.fleet_hits, stats_before.fleet_hits + 100);
+}
+
+// ------------------------------------------------------- sweep coherence
+
+// Threaded ingest while a reader loops sweeps: every FleetReport must be
+// derived from ONE FleetSnapshot epoch — each app exactly once, verdict
+// buckets reconciling with the app count, epochs monotone — and the run
+// must be ASan/UBSan clean (CI runs this suite under both).
+TEST(SnapshotCoherence, ThreadedIngestNeverTearsASweep) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HubOptions opts = manual_opts(clock, /*shards=*/8, /*batch=*/16);
+  HeartbeatHub hub(opts);
+  HubView view(hub);
+
+  constexpr int kApps = 96;
+  constexpr int kProducers = 4;
+  std::vector<AppId> ids;
+  for (int i = 0; i < kApps; ++i) {
+    ids.push_back(hub.register_app("app-" + std::to_string(i), {1.0, 1e9}));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      std::uint64_t k = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        hub.beat(ids[(static_cast<std::size_t>(t) + k * kProducers) % kApps],
+                 k % 7);
+        if (k % 16 == 0) clock->advance(kNsPerMs);
+        ++k;
+      }
+    });
+  }
+
+  const fault::FleetDetector detector(
+      {.absolute_staleness_ns = 60 * kNsPerSec});
+  std::uint64_t last_epoch = 0;
+  for (int sweep = 0; sweep < 200; ++sweep) {
+    const fault::FleetReport report = detector.sweep(view);
+
+    // One coherent epoch per report, monotone across sweeps.
+    EXPECT_GE(report.snapshot_epoch, last_epoch);
+    last_epoch = report.snapshot_epoch;
+
+    // Every registered app appears exactly once — an app counted under two
+    // windows (the pre-snapshot tearing mode) would show up as a duplicate
+    // name or a count mismatch.
+    EXPECT_EQ(report.apps.size(), static_cast<std::size_t>(kApps));
+    std::set<std::string> names;
+    for (const auto& app : report.apps) names.insert(app.name);
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(kApps));
+
+    // The rollup reconciles with the per-app verdicts.
+    const auto& fleet = report.fleet;
+    EXPECT_EQ(fleet.apps, static_cast<std::uint64_t>(kApps));
+    EXPECT_EQ(fleet.warming_up + fleet.healthy + fleet.slow + fleet.erratic +
+                  fleet.dead,
+              fleet.apps);
+
+    // Cluster view from the same cache: internally consistent with itself
+    // (apps + evicted == registered) at whatever epoch it reflects.
+    const ClusterSummary cluster = view.cluster();
+    EXPECT_EQ(cluster.apps + cluster.evicted,
+              static_cast<std::uint64_t>(kApps));
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& p : producers) p.join();
+
+  // Nothing was lost on the way: a final snapshot accounts for every beat
+  // every producer sent (batched handoffs included).
+  hub.flush();
+  std::uint64_t ingested = 0;
+  for (const auto& s : view.shard_stats()) {
+    ingested += s.ingested;
+    EXPECT_EQ(s.pending, 0u);
+  }
+  EXPECT_EQ(view.cluster().total_beats, ingested);
+}
+
+// The report's epoch is the snapshot's epoch — pinned exactly in a
+// deterministic single-threaded run.
+TEST(SnapshotCoherence, ReportEpochMatchesTheSnapshotItWasDerivedFrom) {
+  auto clock = std::make_shared<util::ManualClock>();
+  HeartbeatHub hub(manual_opts(clock, 2));
+  const AppId id = hub.register_app("a");
+  HubView view(hub);
+  clock->advance(kNsPerMs);
+  hub.beat(id);
+
+  const fault::FleetDetector detector;
+  const auto snap = view.snapshot();
+  const fault::FleetReport report = detector.sweep(snap);
+  EXPECT_EQ(report.snapshot_epoch, snap->epoch());
+  EXPECT_EQ(report.fleet.swept_at_ns, snap->composed_at_ns());
+
+  // Sweeping through the view with nothing changed reuses the same epoch.
+  const fault::FleetReport again = detector.sweep(view);
+  EXPECT_EQ(again.snapshot_epoch, report.snapshot_epoch);
+}
+
+}  // namespace
+}  // namespace hb::hub

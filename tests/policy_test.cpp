@@ -355,6 +355,84 @@ TEST_F(RestartFixture, QuarantinedAndUnknownAppsAreNeverRestarted) {
   EXPECT_EQ(sink.stats().unknown_apps, 1u);
 }
 
+TEST_F(RestartFixture, BudgetRefillsOverTimeUpToTheCap) {
+  const int v = add_vm("vm");
+  // Flap quarantine off (threshold out of reach): this test scripts rapid
+  // kill/heal cycles and must exercise the BUDGET guard, not the flap one.
+  PolicyEngine engine({.flap_threshold = 100});
+  // 2 credits, one refilling per 60s of event time.
+  CloudRestartSink sink(
+      sim, {.restart_budget = 2, .budget_refill_ns = 60 * kNsPerSec});
+
+  FleetScript fleet;
+  const hub::AppId id = fleet.add("vm", Health::kHealthy);
+  util::TimeNs now = kNsPerSec;
+  engine.observe(fleet.at(now));
+
+  auto die_once = [&] {
+    sim.kill_vm(v);
+    fleet.set(id, Health::kDead);
+    for (const auto& ev : engine.observe(fleet.at(now += 10 * kNsPerSec))) {
+      sink.on_event(engine, ev);
+    }
+    fleet.set(id, Health::kHealthy);
+    engine.observe(fleet.at(now += 10 * kNsPerSec));
+  };
+
+  // Two quick deaths spend the whole budget; the third (still inside the
+  // refill interval) is suppressed — exactly the lifetime-cap behavior.
+  die_once();
+  die_once();
+  EXPECT_EQ(sink.restarts_of("vm"), 2u);
+  die_once();
+  EXPECT_TRUE(sim.vm_killed(v));
+  EXPECT_EQ(sink.stats().suppressed_budget, 1u);
+  sim.restart_vm(v);  // a human clears the backlog
+  fleet.set(id, Health::kHealthy);
+  engine.observe(fleet.at(now += 10 * kNsPerSec));
+
+  // After one quiet refill interval a single credit is back: the next
+  // death heals automatically again — the long-lived-fleet fix (a
+  // transient storm no longer disables automation forever).
+  now += 60 * kNsPerSec;
+  die_once();
+  EXPECT_FALSE(sim.vm_killed(v));
+  EXPECT_EQ(sink.stats().restarts, 3u);
+  EXPECT_GE(sink.stats().refilled, 1u);
+  // Spent count reflects the refill accounting, capped by what was spent.
+  EXPECT_LE(sink.restarts_of("vm"), 2u);
+}
+
+TEST_F(RestartFixture, RefillNeverBanksCreditsAboveTheBudget) {
+  const int v = add_vm("vm");
+  PolicyEngine engine({.flap_threshold = 100});  // budget guard under test
+  CloudRestartSink sink(
+      sim, {.restart_budget = 1, .budget_refill_ns = 10 * kNsPerSec});
+
+  FleetScript fleet;
+  const hub::AppId id = fleet.add("vm", Health::kHealthy);
+  util::TimeNs now = kNsPerSec;
+  engine.observe(fleet.at(now));
+
+  // A very long healthy stretch must not accumulate "negative spend": an
+  // app with a full budget banks nothing, however long it behaves.
+  now += 1000 * kNsPerSec;
+  for (int round = 0; round < 2; ++round) {
+    sim.kill_vm(v);
+    fleet.set(id, Health::kDead);
+    for (const auto& ev : engine.observe(fleet.at(now += kNsPerSec))) {
+      sink.on_event(engine, ev);
+    }
+    fleet.set(id, Health::kHealthy);
+    engine.observe(fleet.at(now += kNsPerSec));
+  }
+  // Budget 1: first death healed, second (2s later, inside the 10s refill
+  // interval) suppressed — the millennium of good behavior bought nothing.
+  EXPECT_EQ(sink.stats().restarts, 1u);
+  EXPECT_EQ(sink.stats().suppressed_budget, 1u);
+  EXPECT_TRUE(sim.vm_killed(v));
+}
+
 TEST_F(RestartFixture, SetPolicyRequiresAttachedHub) {
   EXPECT_THROW(sim.set_policy(std::make_shared<PolicyEngine>()),
                std::logic_error);
