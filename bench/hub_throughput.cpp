@@ -20,7 +20,7 @@
 //   * Each configuration runs 3 times; the summary reports the best run
 //     (standard practice to shed scheduler noise on small hosts).
 //
-//   ./bench_hub_throughput [total_beats_per_config]
+//   ./bench_hub_throughput [total_beats_per_config] [--json PATH]
 //
 // CSV on stdout; a final summary block prints best-of-3 throughput per
 // configuration and whether throughput grew monotonically from 1 shard to
@@ -29,11 +29,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "hub/hub.hpp"
 #include "hub/view.hpp"
 
@@ -116,11 +118,21 @@ RunResult run_once(int producers, int shards, std::uint64_t total_beats,
 
 int main(int argc, char** argv) {
   std::uint64_t total_beats = 768000;
-  if (argc > 1) {
+  const char* json_path = nullptr;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (!positional.empty()) {
     char* end = nullptr;
-    total_beats = std::strtoull(argv[1], &end, 10);
-    if (end == argv[1] || *end != '\0' || total_beats == 0) {
-      std::fprintf(stderr, "usage: %s [total_beats_per_config]\n", argv[0]);
+    total_beats = std::strtoull(positional[0], &end, 10);
+    if (end == positional[0] || *end != '\0' || total_beats == 0) {
+      std::fprintf(stderr, "usage: %s [total_beats_per_config] [--json PATH]\n",
+                   argv[0]);
       return 1;
     }
     // Below this, thread create/join overhead swamps ingestion and the
@@ -175,5 +187,23 @@ int main(int argc, char** argv) {
   }
   std::printf("# monotonic_1_to_4_shards_at_16_producers=%s\n",
               monotone ? "yes" : "no");
+
+  if (json_path) {
+    hb::bench::JsonRecord rec("hub_throughput");
+    rec.config("total_beats_per_config", total_beats);
+    rec.config("apps", kResidues * kAppsPerResidue);
+    rec.config("reps", kReps);
+    for (const int p : producer_counts) {
+      for (const int s : shard_counts) {
+        const std::string key = "best_bps_p" + std::to_string(p) + "_s" +
+                                std::to_string(s);
+        rec.metric(key.c_str(), best[{p, s}]);
+      }
+    }
+    rec.metric("speedup_1_to_16_shards_at_16_producers",
+               best[{16, 1}] > 0 ? best[{16, 16}] / best[{16, 1}] : 0.0);
+    rec.metric("monotonic_1_to_4_shards_at_16_producers", monotone);
+    rec.write(json_path);
+  }
   return 0;
 }

@@ -24,6 +24,7 @@
 //
 //   ./bench_policy_sweep [apps] [sweeps]     (default 4000 x 50)
 //   ./bench_policy_sweep --smoke             (small + correctness only)
+//   ./bench_policy_sweep --json PATH         (write a BENCH json record)
 //
 // CSV on stdout; `# policy_overhead_pct=` is the headline number
 // (acceptance shape: < 10% at 4k apps). Exit: 0 ok, 2 on a correctness
@@ -38,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "fault/fleet_detector.hpp"
 #include "hub/hub.hpp"
 #include "hub/view.hpp"
@@ -65,17 +67,25 @@ double timed(const auto& fn) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  const char* json_path = nullptr;
   int apps = 4000;
   int sweeps = 50;
+  std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
   }
   if (smoke) {
     apps = 400;
     sweeps = 10;
   } else {
-    if (argc > 1) apps = std::atoi(argv[1]);
-    if (argc > 2) sweeps = std::atoi(argv[2]);
+    if (positional.size() > 0) apps = std::atoi(positional[0]);
+    if (positional.size() > 1) sweeps = std::atoi(positional[1]);
     // Short timing loops read scheduler noise as policy overhead on a
     // shared 1-core host; keep each measured run a few hundred ms so the
     // best-of minimum is a real floor (4k apps republish + sweep in
@@ -185,6 +195,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(folded), folded_apps,
               static_cast<unsigned long long>(revived));
   std::printf("# correctness=%s\n", ok ? "ok" : "FAILED");
+
+  if (json_path) {
+    hb::bench::JsonRecord rec("policy_sweep");
+    rec.config("apps", apps);
+    rec.config("sweeps", sweeps);
+    rec.config("smoke", smoke);
+    rec.metric("bare_sweeps_per_sec", bare_s > 0 ? sweeps / bare_s : 0.0);
+    rec.metric("policy_sweeps_per_sec",
+               policy_s > 0 ? sweeps / policy_s : 0.0);
+    rec.metric("policy_overhead_pct", overhead_pct);
+    rec.metric("correctness", ok);
+    rec.write(json_path);
+  }
+
   if (!ok) return 2;
   if (!smoke && overhead_pct >= 10.0) {
     std::printf("# overhead_ok=no\n");

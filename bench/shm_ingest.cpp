@@ -25,13 +25,14 @@
 // Expectation (the PR's acceptance shape): the ring wins at 64+ producers,
 // where P x window overlap copies dominate the polling pass.
 //
-//   ./bench_shm_ingest [rounds] [repeat]
+//   ./bench_shm_ingest [rounds] [repeat] [--json PATH]
 //
 // CSV on stdout; a final verdict line prints ring_beats_polling_at_64=yes|no.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -39,6 +40,7 @@
 
 #include <unistd.h>
 
+#include "bench_json.hpp"
 #include "hub/hub.hpp"
 #include "hub/shm_pump.hpp"
 #include "transport/shm_ingest.hpp"
@@ -167,10 +169,20 @@ RunResult best_of(int repeat, Fn&& fn) {
 int main(int argc, char** argv) {
   int rounds = 400;
   int repeat = 3;
-  if (argc > 1) rounds = std::atoi(argv[1]);
-  if (argc > 2) repeat = std::atoi(argv[2]);
+  const char* json_path = nullptr;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() > 0) rounds = std::atoi(positional[0]);
+  if (positional.size() > 1) repeat = std::atoi(positional[1]);
   if (rounds < 8 || repeat < 1) {
-    std::fprintf(stderr, "usage: %s [rounds>=8] [repeat>=1]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [rounds>=8] [repeat>=1] [--json PATH]\n",
+                 argv[0]);
     return 1;
   }
 
@@ -185,6 +197,11 @@ int main(int argc, char** argv) {
   double ring_at_64 = 0.0;
   double polling_at_64 = 0.0;
   std::uint64_t lost = 0;  // correctness: every beat must reach the hub
+  struct Row {
+    int producers;
+    double ring_s, polling_s;
+  };
+  std::vector<Row> rows;
   for (const int producers : kProducerCounts) {
     const RunResult ring =
         best_of(repeat, [&] { return run_ring(dir, producers, rounds); });
@@ -203,6 +220,8 @@ int main(int argc, char** argv) {
     const std::uint64_t expected = static_cast<std::uint64_t>(producers) *
                                    static_cast<std::uint64_t>(rounds);
     lost += (expected - ring.delivered) + (expected - polling.delivered);
+    rows.push_back({producers, ring.consumer_seconds,
+                    polling.consumer_seconds});
     if (producers == 64) {
       ring_at_64 = ring.consumer_seconds;
       polling_at_64 = polling.consumer_seconds;
@@ -216,6 +235,21 @@ int main(int argc, char** argv) {
       "polling %.4fs)\n",
       ring_wins ? "yes" : "no", ring_at_64, polling_at_64);
   std::printf("# lost_beats=%llu\n", static_cast<unsigned long long>(lost));
+
+  if (json_path) {
+    hb::bench::JsonRecord rec("shm_ingest");
+    rec.config("rounds", rounds);
+    rec.config("repeat", repeat);
+    for (const Row& row : rows) {
+      const std::string p = std::to_string(row.producers);
+      rec.metric(("ring_consumer_s_p" + p).c_str(), row.ring_s);
+      rec.metric(("polling_consumer_s_p" + p).c_str(), row.polling_s);
+    }
+    rec.metric("ring_beats_polling_at_64", ring_wins);
+    rec.metric("lost_beats", lost);
+    rec.write(json_path);
+  }
+
   // Exit gates on delivery correctness only; the perf verdict above is a
   // noisy-runner-unsafe claim and stays informational (same policy as
   // bench_fleet_sweep's mismatch gate).

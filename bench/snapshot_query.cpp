@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "fault/fleet_detector.hpp"
 #include "hub/hub.hpp"
 #include "hub/view.hpp"
@@ -225,22 +226,19 @@ int main(int argc, char** argv) {
   std::printf("# correctness=%s\n", ok ? "ok" : "FAILED");
 
   if (json_path) {
-    if (std::FILE* f = std::fopen(json_path, "w")) {
-      std::fprintf(
-          f,
-          "{\"bench\":\"snapshot_query\",\"apps\":%d,\"queries\":%d,"
-          "\"cluster_cached_qps\":%.0f,\"cluster_rebuild_qps\":%.0f,"
-          "\"cluster_speedup\":%.2f,\"sweep_speedup\":%.2f,"
-          "\"ingest_beats_per_sec_with_observer\":%.0f,"
-          "\"correctness\":%s}\n",
-          apps, queries,
-          cached_cluster_s > 0 ? queries / cached_cluster_s : 0.0,
-          rebuild_cluster_s > 0 ? queries / rebuild_cluster_s : 0.0,
-          cluster_speedup, sweep_speedup, ingest_bps, ok ? "true" : "false");
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", json_path);
-    }
+    hb::bench::JsonRecord rec("snapshot_query");
+    rec.config("apps", apps);
+    rec.config("queries", queries);
+    rec.config("smoke", smoke);
+    rec.metric("cluster_cached_qps",
+               cached_cluster_s > 0 ? queries / cached_cluster_s : 0.0);
+    rec.metric("cluster_rebuild_qps",
+               rebuild_cluster_s > 0 ? queries / rebuild_cluster_s : 0.0);
+    rec.metric("cluster_speedup", cluster_speedup);
+    rec.metric("sweep_speedup", sweep_speedup);
+    rec.metric("ingest_beats_per_sec_with_observer", ingest_bps);
+    rec.metric("correctness", ok);
+    rec.write(json_path);
   }
 
   if (!ok) return 2;

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bench-record schema check: every BENCH_*.json must share one shape.
+
+Usage: check_bench_json.py FILE.json [FILE.json ...]
+
+The bench binaries (bench/bench_json.hpp) emit one flat record each:
+
+    {
+      "name":    str,            # bench identifier, e.g. "snapshot_query"
+      "config":  {str: scalar},  # knobs the run was taken with
+      "metrics": {str: scalar},  # the measured numbers (non-empty)
+      "git_sha": str             # commit the binary was built from
+    }
+
+CI runs this over every record it is about to upload, so a bench that
+drifts from the schema (renamed key, nested object, NaN leaked into a
+metric) fails the push instead of silently corrupting the perf
+trajectory the artifacts accumulate across PRs. Scalars are str, bool,
+int, or float; JSON has no NaN/Infinity literal, and json.load's default
+permissiveness toward them is explicitly disabled here. Stdlib only, so
+it runs identically in CI and locally:
+
+    python3 scripts/check_bench_json.py BENCH_*.json
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+SCALARS = (str, bool, int, float)
+
+
+def _reject_nonfinite(value: str) -> float:
+    raise ValueError(f"non-finite number in record: {value}")
+
+
+def record_errors(path: Path) -> list[str]:
+    try:
+        record = json.loads(
+            path.read_text(encoding="utf-8"),
+            parse_constant=_reject_nonfinite,
+        )
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable record: {exc}"]
+
+    errors = []
+    if not isinstance(record, dict):
+        return [f"{path}: top level must be an object"]
+
+    extra = sorted(set(record) - {"name", "config", "metrics", "git_sha"})
+    if extra:
+        errors.append(f"{path}: unexpected top-level keys {extra}")
+
+    for key in ("name", "git_sha"):
+        value = record.get(key)
+        if not isinstance(value, str) or not value:
+            errors.append(f"{path}: '{key}' must be a non-empty string")
+
+    for section in ("config", "metrics"):
+        table = record.get(section)
+        if not isinstance(table, dict):
+            errors.append(f"{path}: '{section}' must be an object")
+            continue
+        if section == "metrics" and not table:
+            errors.append(f"{path}: 'metrics' must not be empty")
+        for key, value in table.items():
+            if not isinstance(value, SCALARS):
+                errors.append(
+                    f"{path}: {section}[{key!r}] must be a scalar, "
+                    f"got {type(value).__name__}"
+                )
+            elif isinstance(value, float) and not math.isfinite(value):
+                errors.append(f"{path}: {section}[{key!r}] is non-finite")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv[1:]:
+        errors.extend(record_errors(Path(name)))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"check_bench_json: {len(argv) - 1} record(s) ok")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,8 +4,28 @@
 #include <cmath>
 
 #include "hub/hub.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hb::fault {
+
+namespace {
+
+struct SweepMetrics {
+  obs::Counter* count;
+  obs::Histogram* ns;
+
+  static const SweepMetrics& get() {
+    static const SweepMetrics m = [] {
+      auto& r = obs::MetricsRegistry::global();
+      return SweepMetrics{&r.counter("hb.sweep.count"),
+                          &r.histogram("hb.sweep.ns")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Health FleetDetector::classify(const hub::AppSummary& s) const {
   // An evicted app was already judged dead by the hub's staleness bound.
@@ -103,6 +123,9 @@ FleetReport FleetDetector::sweep(const hub::HubView& view) const {
 
 FleetReport FleetDetector::sweep(
     const std::shared_ptr<const hub::FleetSnapshot>& snap) const {
+  const SweepMetrics& metrics = SweepMetrics::get();
+  obs::ObsSpan span("fleet.sweep", snap->app_count(), metrics.ns);
+  metrics.count->add(1);
   FleetReport report;
 
   // One coherent epoch for the whole report: every summary below comes

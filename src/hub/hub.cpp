@@ -2,11 +2,33 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_id.hpp"
 
 namespace hb::hub {
 
 namespace {
+
+/// Registry cells for the fleet-snapshot layer, resolved once. These
+/// dual-write alongside the per-instance SnapshotStats: the struct stays
+/// the per-hub view tests assert on; the registry is the process-wide
+/// plane hbmon and the self-heartbeat read.
+struct HubMetrics {
+  obs::Counter* snapshot_hits;
+  obs::Counter* snapshot_rebuilds;
+  obs::Counter* self_beats;
+
+  static const HubMetrics& get() {
+    static const HubMetrics m = [] {
+      auto& r = obs::MetricsRegistry::global();
+      return HubMetrics{&r.counter("hb.hub.snapshot_hits"),
+                        &r.counter("hb.hub.snapshot_rebuilds"),
+                        &r.counter("hb.hub.self_beats")};
+    }();
+    return m;
+  }
+};
 
 HubOptions normalize(HubOptions opts) {
   if (opts.shard_count == 0) opts.shard_count = 1;
@@ -31,6 +53,24 @@ HeartbeatHub::HeartbeatHub(HubOptions opts) : opts_(normalize(std::move(opts))) 
     shards_.push_back(
         std::make_unique<HubShard>(static_cast<std::uint32_t>(i), config));
   }
+  if (opts_.self_beat) {
+    self_id_ = register_app(std::string(kSelfAppName));
+    has_self_ = true;
+  }
+}
+
+AppId HeartbeatHub::self_app_id() const {
+  if (!has_self_) {
+    throw std::logic_error(
+        "HeartbeatHub: self_app_id() without HubOptions::self_beat");
+  }
+  return self_id_;
+}
+
+void HeartbeatHub::maybe_self_beat() {
+  if (!has_self_ || self_beat_paused_.load(std::memory_order_relaxed)) return;
+  beat(self_id_);
+  HubMetrics::get().self_beats->add(1);
 }
 
 AppId HeartbeatHub::register_app(const std::string& name,
@@ -85,9 +125,14 @@ void HeartbeatHub::evict(AppId id) {
 
 void HeartbeatHub::flush() {
   for (auto& shard : shards_) shard->flush();
+  // The beat lands in its shard's batch and is applied by the next flush
+  // or publish — what matters for the staleness signal is that the
+  // timestamp was stamped *now*, while the maintenance loop was alive.
+  maybe_self_beat();
 }
 
 std::shared_ptr<const FleetSnapshot> HeartbeatHub::snapshot() {
+  obs::ObsSpan span("hub.snapshot", shards_.size());
   // Phase 1, no fleet lock held: publish every shard. Each publish applies
   // pending beats and republishes only if something changed; unchanged
   // shards hand back their existing pointer with the epoch standing still.
@@ -106,24 +151,40 @@ std::shared_ptr<const FleetSnapshot> HeartbeatHub::snapshot() {
   // never regressing the cache (FleetReport::snapshot_epoch is documented
   // monotone non-decreasing) or discarding a concurrent caller's newer
   // composition.
-  std::lock_guard lock(snap_mu_);
-  if (fleet_snap_ && fleet_snap_->shard_count() == parts.size()) {
-    bool covered = true;
-    for (std::size_t i = 0; i < parts.size(); ++i) {
-      if (fleet_snap_->shard(i).epoch < parts[i]->epoch) {
-        covered = false;
-        break;
+  std::shared_ptr<const FleetSnapshot> result;
+  bool rebuilt = false;
+  {
+    std::lock_guard lock(snap_mu_);
+    if (fleet_snap_ && fleet_snap_->shard_count() == parts.size()) {
+      bool covered = true;
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (fleet_snap_->shard(i).epoch < parts[i]->epoch) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered) {
+        ++snap_stats_.fleet_hits;
+        HubMetrics::get().snapshot_hits->add(1);
+        return fleet_snap_;
       }
     }
-    if (covered) {
-      ++snap_stats_.fleet_hits;
-      return fleet_snap_;
+    ++snap_stats_.fleet_rebuilds;
+    HubMetrics::get().snapshot_rebuilds->add(1);
+    auto snap = FleetSnapshot::compose(std::move(parts), opts_.clock->now());
+    if (!fleet_snap_ || snap->epoch() > fleet_snap_->epoch()) {
+      fleet_snap_ = snap;
     }
+    result = std::move(snap);
+    rebuilt = true;
   }
-  ++snap_stats_.fleet_rebuilds;
-  auto snap = FleetSnapshot::compose(std::move(parts), opts_.clock->now());
-  if (!fleet_snap_ || snap->epoch() > fleet_snap_->epoch()) fleet_snap_ = snap;
-  return snap;
+  // Self-heartbeat AFTER releasing snap_mu_: the beat funnels into shard
+  // ingest, and snapshot readers must never hold the fleet lock across a
+  // shard operation. One beat per rebuild (not per cache hit) means the
+  // self rate tracks real publish work, and a wedged compose path stops
+  // the beat — which is the point.
+  if (rebuilt) maybe_self_beat();
+  return result;
 }
 
 SnapshotStats HeartbeatHub::snapshot_stats() const {

@@ -22,6 +22,7 @@
 // simulation discipline).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -39,6 +40,11 @@
 #include "util/clock.hpp"
 
 namespace hb::hub {
+
+/// Reserved app name the hub registers for itself when
+/// HubOptions::self_beat is on. The "__" prefix keeps it out of any
+/// user namespace; the "/" cannot appear in shm channel names.
+inline constexpr std::string_view kSelfAppName = "__hub/self";
 
 struct HubOptions {
   /// Lock stripes; clamped to >= 1. Sizing rule of thumb: ~1-2x the
@@ -69,6 +75,15 @@ struct HubOptions {
   /// target changes, and evictions always cut through, and an explicit
   /// HeartbeatHub::flush() always catches maintenance up regardless.
   util::TimeNs snapshot_min_interval_ns = 0;
+  /// Self-telemetry: register the hub itself as app kSelfAppName and beat
+  /// it through the ordinary ingest path once per fleet-snapshot rebuild
+  /// and once per explicit flush(). The hub then shows up in its own
+  /// FleetReport, so a stalled publish loop surfaces as *staleness* — the
+  /// exact failure signal the detector already understands — instead of
+  /// silence. Off by default: a self app changes app counts and makes
+  /// every snapshot a rebuild (the self beat dirties its shard), which
+  /// single-purpose embedders and the snapshot-cache benches do not want.
+  bool self_beat = false;
   /// Timestamp source for beat(), staleness stamping, and time-based
   /// aging; null selects the process monotonic clock.
   std::shared_ptr<util::Clock> clock;
@@ -138,6 +153,20 @@ class HeartbeatHub {
   /// Cache effectiveness counters for snapshot() (rebuilds vs hits).
   SnapshotStats snapshot_stats() const;
 
+  /// True when this hub was built with HubOptions::self_beat.
+  bool self_beat_enabled() const { return has_self_; }
+  /// The hub's own app id (kSelfAppName). Throws std::logic_error unless
+  /// HubOptions::self_beat was set.
+  AppId self_app_id() const;
+  /// Test/chaos hook: suspend (or resume) the self heartbeat without
+  /// touching the rest of the pipeline. While paused, snapshot rebuilds
+  /// and flushes stop beating kSelfAppName, so its staleness grows exactly
+  /// as if the publish loop had stalled. Thread-safe; no-op when self_beat
+  /// is off.
+  void set_self_beat_paused(bool paused) {
+    self_beat_paused_.store(paused, std::memory_order_relaxed);
+  }
+
   /// Number of lock stripes (fixed at construction). Thread-safe.
   std::size_t shard_count() const { return shards_.size(); }
   /// Registered apps, evicted ones included (eviction drops window state,
@@ -154,8 +183,18 @@ class HeartbeatHub {
   HubShard& shard(std::size_t i) { return *shards_.at(i); }
 
  private:
+  /// Beat kSelfAppName unless self_beat is off or paused. Must be called
+  /// with snap_mu_ NOT held (it funnels into shard ingest).
+  void maybe_self_beat();
+
   HubOptions opts_;
   std::vector<std::unique_ptr<HubShard>> shards_;
+
+  /// Self-heartbeat state (HubOptions::self_beat). self_id_/has_self_ are
+  /// set once in the constructor and immutable after.
+  AppId self_id_ = 0;
+  bool has_self_ = false;
+  std::atomic<bool> self_beat_paused_{false};
 
   mutable std::mutex names_mu_;
   std::unordered_map<std::string, AppId> names_;

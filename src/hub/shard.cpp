@@ -6,11 +6,37 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/time.hpp"
 
 namespace hb::hub {
 
 namespace {
+
+/// Telemetry cells for every shard in the process (resolved once; the hot
+/// paths below only ever touch the cached pointers). Process-wide on
+/// purpose: fleet dashboards want "beats ingested by this process", not
+/// per-shard shrapnel — per-shard detail stays on ShardStats.
+struct ShardMetrics {
+  obs::Counter* ingested;       ///< beats enqueued (hb.hub.ingested)
+  obs::Counter* applied;        ///< beats applied to app state
+  obs::Counter* publishes;      ///< shard snapshot rebuilds
+  obs::Counter* publish_skips;  ///< publish() calls that reused the snapshot
+  obs::Histogram* publish_ns;   ///< rebuild_snapshot_locked duration
+
+  static const ShardMetrics& get() {
+    static const ShardMetrics m = [] {
+      auto& r = obs::MetricsRegistry::global();
+      return ShardMetrics{&r.counter("hb.hub.ingested"),
+                          &r.counter("hb.hub.applied"),
+                          &r.counter("hb.hub.publishes"),
+                          &r.counter("hb.hub.publish_skips"),
+                          &r.histogram("hb.hub.publish_ns")};
+    }();
+    return m;
+  }
+};
 
 /// Clamp a histogram percentile into the window-exact [min, max] range
 /// (the histogram's own bounds cover everything since reset, which may be
@@ -61,6 +87,7 @@ void HubShard::enqueue(std::uint32_t slot, const core::HeartbeatRecord& rec) {
 void HubShard::enqueue(std::uint32_t slot,
                        std::span<const core::HeartbeatRecord> recs) {
   check_slot(slot);
+  std::size_t handed_off = 0;
   bool overflowed = false;
   {
     std::lock_guard lock(ingest_mu_);
@@ -70,6 +97,7 @@ void HubShard::enqueue(std::uint32_t slot,
       if (batch_.size() >= config_.batch_capacity) {
         // O(1) handoff: the full batch joins the apply FIFO and producers
         // keep filling a fresh one. The drain below runs off this lock.
+        handed_off += batch_.size();
         overflow_.push_back(std::move(batch_));
         batch_ = Batch();
         batch_.reserve(config_.batch_capacity);
@@ -77,6 +105,12 @@ void HubShard::enqueue(std::uint32_t slot,
       }
     }
   }
+  // hb.hub.ingested counts at batch-handoff granularity, not per beat: one
+  // sharded fetch_add per batch_capacity beats keeps the telemetry plane
+  // inside its <5% ingest budget (bench/obs_overhead). The partial batch a
+  // flush drains is counted by apply_pending_locked when it leaves, so
+  // after any flush the counter equals the beats actually taken in.
+  if (handed_off > 0) ShardMetrics::get().ingested->add(handed_off);
   if (overflowed) drain_overflow();
 }
 
@@ -108,6 +142,7 @@ bool HubShard::apply_pending_locked(bool include_partial) {
   bool any = false;
   for (std::size_t n = 0; n <= pending_batches; ++n) {
     Batch batch;
+    bool partial = false;
     {
       std::lock_guard lock(ingest_mu_);
       if (n < pending_batches) {
@@ -117,13 +152,19 @@ bool HubShard::apply_pending_locked(bool include_partial) {
         batch = std::move(batch_);
         batch_ = Batch();
         batch_.reserve(config_.batch_capacity);
+        partial = true;
       } else {
         break;
       }
     }
+    // Partial batches never passed the handoff point in enqueue(), so the
+    // ingested counter picks them up here (full batches were counted at
+    // handoff; counting them again would double-book).
+    if (partial) ShardMetrics::get().ingested->add(batch.size());
     // FIFO is global: handoffs preserve arrival order and every apply pops
     // under state_mu_, so batches land in the order their beats arrived.
     for (const auto& [slot, rec] : batch) apply_locked(slot, rec);
+    ShardMetrics::get().applied->add(batch.size());
     ++flushes_;
     any = true;
   }
@@ -175,7 +216,10 @@ std::shared_ptr<const ShardSnapshot> HubShard::publish(bool force_fresh) {
                now - snap_->published_at_ns >= tolerance) {
       stale = true;
     }
-    if (!applied && !state_dirty_ && !stale) return snap_;
+    if (!applied && !state_dirty_ && !stale) {
+      ShardMetrics::get().publish_skips->add(1);
+      return snap_;
+    }
   }
 
   rebuild_snapshot_locked(now);
@@ -188,6 +232,9 @@ std::shared_ptr<const ShardSnapshot> HubShard::published() const {
 }
 
 void HubShard::rebuild_snapshot_locked(util::TimeNs now) {
+  const ShardMetrics& metrics = ShardMetrics::get();
+  obs::ObsSpan span("shard.publish", apps_.size(), metrics.publish_ns);
+  metrics.publishes->add(1);
   auto next = std::make_shared<ShardSnapshot>();
   next->shard = index_;
   next->epoch = ++epoch_;

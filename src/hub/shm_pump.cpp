@@ -3,8 +3,35 @@
 #include <bit>
 
 #include "hub/hub.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hb::hub {
+
+namespace {
+
+/// Registry cells for the pump, resolved once. Dual-written with the
+/// per-instance ShmIngestPumpStats (tests and embedders keep that view;
+/// the registry is the fleet-wide one hbmon reads).
+struct PumpMetrics {
+  obs::Counter* polls;
+  obs::Counter* empty_polls;
+  obs::Counter* records;
+  obs::Gauge* apps;
+
+  static const PumpMetrics& get() {
+    static const PumpMetrics m = [] {
+      auto& r = obs::MetricsRegistry::global();
+      return PumpMetrics{&r.counter("hb.pump.polls"),
+                         &r.counter("hb.pump.empty_polls"),
+                         &r.counter("hb.pump.records"),
+                         &r.gauge("hb.pump.apps")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 ShmIngestPump::ShmIngestPump(std::shared_ptr<transport::ShmIngestQueue> queue,
                              HeartbeatHub& hub, ShmIngestPumpOptions opts)
@@ -56,7 +83,10 @@ void ShmIngestPump::route(std::string_view app,
 }
 
 std::size_t ShmIngestPump::poll() {
+  const PumpMetrics& metrics = PumpMetrics::get();
+  obs::ObsSpan span("pump.poll");
   ++polls_;
+  metrics.polls->add(1);
   touched_.clear();
   const std::size_t drained = queue_->drain(
       cursor_,
@@ -77,9 +107,13 @@ std::size_t ShmIngestPump::poll() {
   // hub promptly.
   if (drained == 0 && cursor_.next >= queue_->produced()) {
     if (empty_polls_ < 31) ++empty_polls_;  // cap the shift, not the count
+    metrics.empty_polls->add(1);
   } else {
     empty_polls_ = 0;
   }
+  if (drained > 0) metrics.records->add(drained);
+  metrics.apps->set(static_cast<std::int64_t>(apps_.size()));
+  span.set_arg(drained);
   return drained;
 }
 

@@ -1,0 +1,248 @@
+// MetricsRegistry: the process-wide self-telemetry plane.
+//
+// The paper's thesis is that applications should expose their own progress
+// as heartbeats so an external observer can act on them — yet until this
+// layer existed the hub, ingest ring, pump, detector, and policy engine
+// were themselves opaque: their health lived in ad-hoc per-instance stats
+// structs each reader had to know about and poll separately. The registry
+// is the one place every pipeline stage publishes its counters, gauges,
+// and latency histograms, and the one place hbmon (and the hub's own
+// self-heartbeat) reads them back.
+//
+// Design, following the massively-parallel aggregate-then-compose shape
+// (PAPERS.md) and the PR 5 snapshot-plane idiom:
+//
+//   * The WRITE side is wait-free and thread-sharded: Counter::add is one
+//     relaxed fetch_add on a cache-line-padded per-thread-group slot (no
+//     mutex, no contention between producer threads on different slots).
+//   * The READ side composes: MetricsRegistry::snapshot() sums every
+//     counter's slots and summarizes every histogram into one immutable,
+//     epoch-stamped MetricsSnapshot — cheap local aggregation on the hot
+//     path, periodic global composition on the read path.
+//   * Instrument sites cache cell pointers once (registration takes the
+//     registry mutex; the hot path never does).
+//
+// Compile-time gate: building with -DHB_OBS=0 compiles the whole plane to
+// no-ops — Counter/Gauge/Histogram carry no state, add()/record() are
+// empty inline functions, and ObsSpan (obs/trace.hpp) is an empty struct —
+// so a build that wants zero telemetry cost pays literally nothing
+// (bench/obs_overhead verifies the enabled build stays within its budget
+// too). At runtime the enabled build has a master kill switch,
+// obs::set_enabled(false) (or env HB_OBS=0), that freezes every cell.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/thread_id.hpp"
+#include "util/time.hpp"
+
+/// Compile-time master switch. -DHB_OBS=0 turns every telemetry call site
+/// in the tree into a no-op (empty inline bodies, stateless cells).
+#ifndef HB_OBS
+#define HB_OBS 1
+#endif
+
+namespace hb::obs {
+
+/// True when the telemetry plane is compiled in (HB_OBS != 0).
+inline constexpr bool kCompiledIn = HB_OBS != 0;
+
+#if HB_OBS
+namespace detail {
+/// Master runtime switch; constant-initialized ON, overridden once from
+/// env HB_OBS at static-init time (metrics.cpp), and by set_enabled().
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Runtime master switch: when false, every Counter/Gauge/Histogram write
+/// and every ObsSpan is skipped (one relaxed load on the hot path).
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+#else
+constexpr bool enabled() { return false; }
+inline void set_enabled(bool) {}
+#endif
+
+/// Monotone process-wide event counter. Writes are wait-free: one relaxed
+/// fetch_add on the calling thread's slot (threads map onto kSlots padded
+/// cache lines by dense thread index, so concurrent producers rarely
+/// share a line). value() sums the slots — reads may be concurrent with
+/// writes and observe any valid intermediate total (monotone per slot).
+class Counter {
+ public:
+  static constexpr std::size_t kSlots = 16;  // power of two
+
+  void add(std::uint64_t n = 1) {
+#if HB_OBS
+    if (!enabled()) return;
+    slots_[util::current_thread_index() & (kSlots - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  std::uint64_t value() const {
+#if HB_OBS
+    std::uint64_t sum = 0;
+    for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+#else
+    return 0;
+#endif
+  }
+
+#if HB_OBS
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Slot, kSlots> slots_{};
+#endif
+};
+
+/// Last-writer-wins signed level (queue depths, registered-app counts).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+#if HB_OBS
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  void add(std::int64_t d) {
+#if HB_OBS
+    if (!enabled()) return;
+    v_.fetch_add(d, std::memory_order_relaxed);
+#else
+    (void)d;
+#endif
+  }
+
+  std::int64_t value() const {
+#if HB_OBS
+    return v_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+#if HB_OBS
+ private:
+  std::atomic<std::int64_t> v_{0};
+#endif
+};
+
+/// Latency distribution (log-bucket util::LatencyHistogram under a short
+/// mutex). record() is meant for publish/sweep-grade paths — once per
+/// batch or per sweep, not once per beat; the per-beat paths use Counters.
+class Histogram {
+ public:
+  void record(std::uint64_t v) {
+#if HB_OBS
+    if (!enabled()) return;
+    std::lock_guard lock(mu_);
+    hist_.record(v);
+#else
+    (void)v;
+#endif
+  }
+
+  /// Coherent copy of the distribution (one lock, one struct copy).
+  util::LatencyHistogram read() const {
+#if HB_OBS
+    std::lock_guard lock(mu_);
+    return hist_;
+#else
+    return {};
+#endif
+  }
+
+#if HB_OBS
+ private:
+  mutable std::mutex mu_;
+  util::LatencyHistogram hist_;
+#endif
+};
+
+/// One metric's composed value inside a MetricsSnapshot.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t count = 0;  ///< counter total / histogram sample count
+  std::int64_t gauge = 0;   ///< gauge level (kGauge only)
+  // Histogram summary (kHistogram only), nanoseconds by convention.
+  std::uint64_t min = 0, max = 0, p50 = 0, p95 = 0, p99 = 0;
+  double mean = 0.0;
+};
+
+/// Immutable composed view of every registered metric, sorted by name —
+/// the PR 5 epoch idiom applied to telemetry: writers keep appending to
+/// their sharded slots while readers hold a stable, coherent-enough copy
+/// (each metric is internally consistent; cross-metric skew is bounded by
+/// the composition walk).
+struct MetricsSnapshot {
+  /// Composition sequence number of the owning registry (monotone).
+  std::uint64_t epoch = 0;
+  util::TimeNs taken_at_ns = 0;  ///< monotonic-clock stamp of the compose
+  std::vector<MetricValue> metrics;  ///< ascending by name
+
+  /// The metric named `name`, or nullptr. O(log n).
+  const MetricValue* find(std::string_view name) const;
+};
+
+/// Named metric registry. Thread-safe: registration and snapshot take one
+/// mutex; returned cell references are stable for the registry's lifetime,
+/// so call sites resolve once and write lock-free ever after. Metric
+/// names are dot-separated lowercase, prefixed "hb.<subsystem>."
+/// (docs/ARCHITECTURE.md "The telemetry plane" lists them all).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();   // out of line: Cell is incomplete here
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in pipeline stage publishes
+  /// into (never destroyed — instrument sites may fire during shutdown).
+  static MetricsRegistry& global();
+
+  /// Get-or-create. Re-requesting a name returns the same cell; requesting
+  /// an existing name as a different kind throws std::logic_error.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Compose every metric into one immutable snapshot (sorted by name).
+  MetricsSnapshot snapshot() const;
+
+  /// Registered metric count (tests).
+  std::size_t size() const;
+
+ private:
+  struct Cell;
+  Cell& cell(std::string_view name, MetricValue::Kind kind);
+
+  mutable std::mutex mu_;
+  /// std::map: stable addresses + already name-sorted for snapshot().
+  std::map<std::string, std::unique_ptr<Cell>, std::less<>> cells_;
+  mutable std::uint64_t snapshot_epoch_ = 0;
+};
+
+}  // namespace hb::obs

@@ -3,7 +3,32 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace hb::policy {
+
+namespace {
+
+struct PolicyMetrics {
+  obs::Counter* observes;
+  obs::Counter* events;
+  obs::Counter* actions;
+  obs::Histogram* observe_ns;
+
+  static const PolicyMetrics& get() {
+    static const PolicyMetrics m = [] {
+      auto& r = obs::MetricsRegistry::global();
+      return PolicyMetrics{&r.counter("hb.policy.observes"),
+                           &r.counter("hb.policy.events"),
+                           &r.counter("hb.policy.actions"),
+                           &r.histogram("hb.policy.observe_ns")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 PolicyEngine::PolicyEngine(PolicyOptions opts) : opts_(opts) {
   if (opts_.flap_threshold == 0) opts_.flap_threshold = 1;
@@ -58,6 +83,9 @@ bool PolicyEngine::record_edge(AppState& state, util::TimeNs now) {
 
 const std::vector<FleetEvent>& PolicyEngine::observe(
     const fault::FleetReport& report) {
+  const PolicyMetrics& metrics = PolicyMetrics::get();
+  obs::ObsSpan span("policy.observe", report.apps.size(), metrics.observe_ns);
+  metrics.observes->add(1);
   ++stats_.sweeps;
   events_.clear();
   const util::TimeNs now = report.fleet.swept_at_ns;
@@ -196,9 +224,11 @@ const std::vector<FleetEvent>& PolicyEngine::observe(
   }
 
   stats_.events += events_.size();
+  metrics.events->add(events_.size());
   for (const FleetEvent& ev : events_) {
     for (const auto& sink : sinks_) sink->on_event(*this, ev);
   }
+  metrics.actions->add(events_.size() * sinks_.size());
   return events_;
 }
 

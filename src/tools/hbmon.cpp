@@ -17,6 +17,19 @@
 //   hbmon fleet --watch [-d run_ms] [-i poll_ms] [-s dead_ms] [-p sweep_ms]
 //                                      # continuous decide loop: stream policy
 //                                      # events until SIGINT/SIGTERM (-d 0)
+//   hbmon metrics [--json] [-d run_ms] [-i poll_ms]
+//                                      # run the live pipeline briefly, then
+//                                      # dump the self-telemetry registry
+//   hbmon trace [-o trace.json] [-d run_ms] [-i poll_ms]
+//                                      # same, exporting the stage-span ring
+//                                      # as Chrome trace-event JSON
+//
+// Fleet modes accept --metrics to append the registry table after the
+// verdict table. The ring-fed modes (--live, --watch, metrics, trace) run
+// with HubOptions::self_beat: the hub registers itself as "__hub/self" and
+// its own publish cadence is classified right alongside the fleet it
+// watches. The one-shot replay mode does not (one sweep of historical
+// beats would only ever show the self app warming up).
 //
 // Registry directory: $HB_DIR or <tmp>/heartbeats.
 #include <algorithm>
@@ -36,6 +49,8 @@
 #include "hub/hub.hpp"
 #include "hub/shm_pump.hpp"
 #include "hub/view.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "policy/action_sink.hpp"
 #include "policy/policy_engine.hpp"
 #include "transport/registry.hpp"
@@ -50,11 +65,15 @@ int usage() {
                "       hbmon watch <app> [-n samples] [-i interval_ms] "
                "[-w window]\n"
                "       hbmon history <app> [-n beats]\n"
-               "       hbmon fleet [-s dead_ms] [-n history_beats]\n"
+               "       hbmon fleet [-s dead_ms] [-n history_beats] "
+               "[--metrics]\n"
                "       hbmon fleet --live [-d run_ms] [-i poll_ms] "
-               "[-s dead_ms]\n"
+               "[-s dead_ms] [--metrics]\n"
                "       hbmon fleet --watch [-d run_ms] [-i poll_ms] "
-               "[-s dead_ms] [-p sweep_ms]\n");
+               "[-s dead_ms] [-p sweep_ms] [--metrics]\n"
+               "       hbmon metrics [--json] [-d run_ms] [-i poll_ms]\n"
+               "       hbmon trace [-o trace.json] [-d run_ms] "
+               "[-i poll_ms]\n");
   return 2;
 }
 
@@ -73,6 +92,111 @@ void print_transport_footer(const hb::hub::ShmIngestPumpStats& stats) {
               static_cast<unsigned long long>(stats.dropped),
               static_cast<unsigned long long>(stats.torn),
               stats.dropped || stats.torn ? "  <-- ring loss" : "");
+}
+
+const char* kind_name(hb::obs::MetricValue::Kind kind) {
+  switch (kind) {
+    case hb::obs::MetricValue::Kind::kCounter: return "counter";
+    case hb::obs::MetricValue::Kind::kGauge: return "gauge";
+    case hb::obs::MetricValue::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void print_metrics_table(const hb::obs::MetricsSnapshot& snap) {
+  if (!hb::obs::kCompiledIn) {
+    std::printf("metrics: telemetry compiled out (HB_OBS=0)\n");
+    return;
+  }
+  std::printf("%-26s %-9s %14s  %s\n", "metric", "kind", "value",
+              "distribution(ns)");
+  for (const auto& m : snap.metrics) {
+    switch (m.kind) {
+      case hb::obs::MetricValue::Kind::kCounter:
+        std::printf("%-26s %-9s %14llu\n", m.name.c_str(), "counter",
+                    static_cast<unsigned long long>(m.count));
+        break;
+      case hb::obs::MetricValue::Kind::kGauge:
+        std::printf("%-26s %-9s %14lld\n", m.name.c_str(), "gauge",
+                    static_cast<long long>(m.gauge));
+        break;
+      case hb::obs::MetricValue::Kind::kHistogram:
+        std::printf("%-26s %-9s %14llu  p50=%llu p95=%llu p99=%llu "
+                    "max=%llu mean=%.0f\n",
+                    m.name.c_str(), "histogram",
+                    static_cast<unsigned long long>(m.count),
+                    static_cast<unsigned long long>(m.p50),
+                    static_cast<unsigned long long>(m.p95),
+                    static_cast<unsigned long long>(m.p99),
+                    static_cast<unsigned long long>(m.max), m.mean);
+        break;
+    }
+  }
+  std::printf("metrics: %zu registered, registry epoch %llu\n",
+              snap.metrics.size(),
+              static_cast<unsigned long long>(snap.epoch));
+}
+
+void print_metrics_json(std::FILE* out, const hb::obs::MetricsSnapshot& snap) {
+  std::fprintf(out, "{\n  \"epoch\": %llu,\n  \"taken_at_ns\": %llu,\n"
+               "  \"compiled_in\": %s,\n  \"metrics\": {",
+               static_cast<unsigned long long>(snap.epoch),
+               static_cast<unsigned long long>(snap.taken_at_ns),
+               hb::obs::kCompiledIn ? "true" : "false");
+  bool first = true;
+  for (const auto& m : snap.metrics) {
+    std::fprintf(out, "%s\n    \"%s\": ", first ? "" : ",", m.name.c_str());
+    switch (m.kind) {
+      case hb::obs::MetricValue::Kind::kCounter:
+        std::fprintf(out, "%llu", static_cast<unsigned long long>(m.count));
+        break;
+      case hb::obs::MetricValue::Kind::kGauge:
+        std::fprintf(out, "%lld", static_cast<long long>(m.gauge));
+        break;
+      case hb::obs::MetricValue::Kind::kHistogram:
+        std::fprintf(out,
+                     "{\"kind\": \"histogram\", \"count\": %llu, "
+                     "\"min\": %llu, \"max\": %llu, \"mean\": %.3f, "
+                     "\"p50\": %llu, \"p95\": %llu, \"p99\": %llu}",
+                     static_cast<unsigned long long>(m.count),
+                     static_cast<unsigned long long>(m.min),
+                     static_cast<unsigned long long>(m.max), m.mean,
+                     static_cast<unsigned long long>(m.p50),
+                     static_cast<unsigned long long>(m.p95),
+                     static_cast<unsigned long long>(m.p99));
+        break;
+    }
+    first = false;
+  }
+  std::fprintf(out, "\n  }\n}\n");
+}
+
+// The snapshot-plane footer every fleet mode prints: the report's epoch
+// plus the cache hit/rebuild split — sourced from the telemetry registry
+// (the process-wide truth), falling back to the hub's per-instance stats
+// in an HB_OBS=0 build.
+void print_snapshot_footer(const hb::hub::HeartbeatHub& hub,
+                           std::uint64_t epoch) {
+  unsigned long long hits = 0;
+  unsigned long long rebuilds = 0;
+  if (hb::obs::kCompiledIn) {
+    auto& reg = hb::obs::MetricsRegistry::global();
+    hits = reg.counter("hb.hub.snapshot_hits").value();
+    rebuilds = reg.counter("hb.hub.snapshot_rebuilds").value();
+  } else {
+    const auto stats = hub.snapshot_stats();
+    hits = stats.fleet_hits;
+    rebuilds = stats.fleet_rebuilds;
+  }
+  std::printf("snapshot: epoch %llu, cache %llu hits / %llu rebuilds\n",
+              static_cast<unsigned long long>(epoch), hits, rebuilds);
+}
+
+// --metrics on any fleet mode: the registry table under the footers.
+void maybe_print_metrics_footer(bool want) {
+  if (!want) return;
+  std::printf("\n");
+  print_metrics_table(hb::obs::MetricsRegistry::global().snapshot());
 }
 
 int cmd_list(const hb::transport::Registry& registry) {
@@ -164,7 +288,7 @@ int cmd_history(const hb::transport::Registry& registry,
 // fleet-scale reading of §2.6: health comes from one rollup, not from
 // polling apps one by one).
 int cmd_fleet(const hb::transport::Registry& registry, int dead_ms,
-              int history_beats) {
+              int history_beats, bool metrics) {
   const auto apps = registry.list_applications();
   if (apps.empty()) {
     std::printf("no heartbeat applications in %s\n", registry.dir().c_str());
@@ -195,7 +319,10 @@ int cmd_fleet(const hb::transport::Registry& registry, int dead_ms,
       {.absolute_staleness_ns =
            static_cast<hb::util::TimeNs>(dead_ms) * 1000000});
   hb::fault::FleetReport report = detector.sweep(hb::hub::HubView(hub));
-  return hb::fault::print_fleet_report(stdout, report);
+  const int code = hb::fault::print_fleet_report(stdout, report);
+  print_snapshot_footer(hub, report.snapshot_epoch);
+  maybe_print_metrics_footer(metrics);
+  return code;
 }
 
 // Shared wiring for the ring-fed fleet modes (--live, --watch): the ingest
@@ -226,6 +353,9 @@ LivePipeline make_live_pipeline(const hb::transport::Registry& registry,
   hb::hub::HubOptions opts;
   opts.shard_count = 8;
   opts.evict_after_ns = evict_after_ns;
+  // The monitor monitors itself: a wedged pump/snapshot loop in THIS
+  // process reads as "__hub/self" going stale in the very table it serves.
+  opts.self_beat = true;
   p.hub = std::make_shared<hb::hub::HeartbeatHub>(opts);
   p.pump = std::make_unique<hb::hub::ShmIngestPump>(
       p.queue, p.hub,
@@ -247,15 +377,23 @@ LivePipeline make_live_pipeline(const hb::transport::Registry& registry,
 // dir); we pump the ring into a hub for run_ms and classify the fleet from
 // real-time state — no registry history replay, producers never linked.
 int cmd_fleet_live(const hb::transport::Registry& registry, int run_ms,
-                   int poll_ms, int dead_ms) {
+                   int poll_ms, int dead_ms, bool metrics) {
   if (run_ms <= 0) run_ms = 2000;
   if (poll_ms <= 0) poll_ms = 50;
   LivePipeline p = make_live_pipeline(registry, poll_ms, dead_ms);
 
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(run_ms);
-  while (std::chrono::steady_clock::now() < deadline) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(run_ms);
+  // Pulse the hub's snapshot path during the run: each pulse publishes the
+  // shards AND fires the self heartbeat, so by the final sweep
+  // "__hub/self" has a cadence to be judged on instead of one lone beat.
+  auto next_pulse = Clock::now() + std::chrono::milliseconds(250);
+  while (Clock::now() < deadline) {
     p.pump->poll();
+    if (Clock::now() >= next_pulse) {
+      p.hub->snapshot();
+      next_pulse += std::chrono::milliseconds(250);
+    }
     std::this_thread::sleep_for(
         std::chrono::nanoseconds(p.pump->suggested_sleep_ns()));
   }
@@ -271,6 +409,8 @@ int cmd_fleet_live(const hb::transport::Registry& registry, int run_ms,
     // Nothing ingested does NOT mean nothing happened: a lapped ring or a
     // producer that died mid-publish still leaves loss counters to report.
     print_transport_footer(stats);
+    print_snapshot_footer(*p.hub, p.hub->snapshot()->epoch());
+    maybe_print_metrics_footer(metrics);
     return 0;
   }
 
@@ -278,6 +418,8 @@ int cmd_fleet_live(const hb::transport::Registry& registry, int run_ms,
       p.detector.sweep(hb::hub::HubView(*p.hub));
   const int code = hb::fault::print_fleet_report(stdout, report);
   print_transport_footer(stats);
+  print_snapshot_footer(*p.hub, report.snapshot_epoch);
+  maybe_print_metrics_footer(metrics);
   return code;
 }
 
@@ -289,7 +431,7 @@ int cmd_fleet_live(const hb::transport::Registry& registry, int run_ms,
 // positive); the final table + transport footer print on exit, with the
 // usual fleet exit-code contract.
 int cmd_fleet_watch(const hb::transport::Registry& registry, int run_ms,
-                    int poll_ms, int dead_ms, int sweep_ms) {
+                    int poll_ms, int dead_ms, int sweep_ms, bool metrics) {
   if (poll_ms <= 0) poll_ms = 50;
   if (sweep_ms <= 0) sweep_ms = 1000;
   // Long watches accumulate dead producers; evict them once they are far
@@ -347,15 +489,89 @@ int cmd_fleet_watch(const hb::transport::Registry& registry, int run_ms,
   print_transport_footer(p.pump->stats());
   const auto& pstats = engine.stats();
   std::printf("policy: %llu sweeps, %llu transitions, %llu correlated "
-              "failures, %llu quarantines (%zu active), snapshot epoch "
-              "%llu\n",
+              "failures, %llu quarantines (%zu active)\n",
               static_cast<unsigned long long>(pstats.sweeps),
               static_cast<unsigned long long>(pstats.transitions),
               static_cast<unsigned long long>(pstats.correlated_failures),
               static_cast<unsigned long long>(pstats.quarantines),
-              engine.quarantined_apps().size(),
-              static_cast<unsigned long long>(report.snapshot_epoch));
+              engine.quarantined_apps().size());
+  print_snapshot_footer(*p.hub, report.snapshot_epoch);
+  maybe_print_metrics_footer(metrics);
   return code;
+}
+
+// Shared body for `hbmon metrics` and `hbmon trace`: run the live pipeline
+// for run_ms — pumping the ring, pulsing snapshots, and closing the loop
+// with one detector sweep + policy observe — so every stage's instrument
+// sites have fired at least once by the time we dump the registry or ring.
+void run_pipeline_briefly(const hb::transport::Registry& registry, int run_ms,
+                          int poll_ms) {
+  LivePipeline p = make_live_pipeline(registry, poll_ms, 5000);
+  hb::policy::PolicyEngine engine;
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(run_ms);
+  auto next_pulse = Clock::now() + std::chrono::milliseconds(100);
+  while (Clock::now() < deadline) {
+    p.pump->poll();
+    if (Clock::now() >= next_pulse) {
+      p.hub->snapshot();
+      next_pulse += std::chrono::milliseconds(100);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(p.pump->suggested_sleep_ns()));
+  }
+  p.pump->poll();
+  engine.observe(p.detector.sweep(hb::hub::HubView(*p.hub)));
+}
+
+int cmd_metrics(const hb::transport::Registry& registry, int run_ms,
+                int poll_ms, bool json) {
+  if (run_ms <= 0) run_ms = 500;
+  if (poll_ms <= 0) poll_ms = 50;
+  run_pipeline_briefly(registry, run_ms, poll_ms);
+  const hb::obs::MetricsSnapshot snap =
+      hb::obs::MetricsRegistry::global().snapshot();
+  if (json) {
+    print_metrics_json(stdout, snap);
+  } else {
+    print_metrics_table(snap);
+  }
+  return 0;
+}
+
+int cmd_trace(const hb::transport::Registry& registry, int run_ms,
+              int poll_ms, const char* out_path) {
+  if (run_ms <= 0) run_ms = 500;
+  if (poll_ms <= 0) poll_ms = 50;
+  run_pipeline_briefly(registry, run_ms, poll_ms);
+  const auto& ring = hb::obs::TraceRing::global();
+  std::FILE* out = std::strcmp(out_path, "-") == 0
+                       ? stdout
+                       : std::fopen(out_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "hbmon: cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  ring.export_chrome_json(out);
+  if (out != stdout) std::fclose(out);
+  std::fprintf(stderr,
+               "trace: %llu spans recorded (ring keeps the last %zu), "
+               "Chrome trace JSON -> %s\n",
+               static_cast<unsigned long long>(ring.recorded()),
+               ring.capacity(), out_path);
+  if (!hb::obs::kCompiledIn) {
+    std::fprintf(stderr, "trace: telemetry compiled out (HB_OBS=0); the "
+                 "export is an empty array\n");
+  }
+  return 0;
+}
+
+const char* parse_sflag(int argc, char** argv, const char* flag,
+                        const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
 }
 
 int parse_flag(int argc, char** argv, const char* flag, int fallback) {
@@ -380,20 +596,31 @@ int main(int argc, char** argv) {
   hb::transport::Registry registry;
   try {
     if (cmd == "list") return cmd_list(registry);
+    if (cmd == "metrics") {
+      return cmd_metrics(registry, parse_flag(argc, argv, "-d", 500),
+                         parse_flag(argc, argv, "-i", 50),
+                         has_flag(argc, argv, "--json"));
+    }
+    if (cmd == "trace") {
+      return cmd_trace(registry, parse_flag(argc, argv, "-d", 500),
+                       parse_flag(argc, argv, "-i", 50),
+                       parse_sflag(argc, argv, "-o", "trace.json"));
+    }
     if (cmd == "fleet" || cmd == "--fleet") {
+      const bool metrics = has_flag(argc, argv, "--metrics");
       if (has_flag(argc, argv, "--watch")) {
         return cmd_fleet_watch(registry, parse_flag(argc, argv, "-d", 0),
                                parse_flag(argc, argv, "-i", 50),
                                parse_flag(argc, argv, "-s", 5000),
-                               parse_flag(argc, argv, "-p", 1000));
+                               parse_flag(argc, argv, "-p", 1000), metrics);
       }
       if (has_flag(argc, argv, "--live")) {
         return cmd_fleet_live(registry, parse_flag(argc, argv, "-d", 2000),
                               parse_flag(argc, argv, "-i", 50),
-                              parse_flag(argc, argv, "-s", 5000));
+                              parse_flag(argc, argv, "-s", 5000), metrics);
       }
       return cmd_fleet(registry, parse_flag(argc, argv, "-s", 5000),
-                       parse_flag(argc, argv, "-n", 64));
+                       parse_flag(argc, argv, "-n", 64), metrics);
     }
     if (argc < 3) return usage();
     const std::string app = argv[2];

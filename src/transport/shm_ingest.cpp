@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "core/memory_store.hpp"
+#include "obs/metrics.hpp"
 #include "transport/posix_util.hpp"
 
 namespace hb::transport {
@@ -23,6 +24,27 @@ using detail::Fd;
 using detail::throw_errno;
 
 namespace {
+
+/// Registry cells for the shm ring, resolved once per process. Claims are
+/// producer-side (every process mapping the ring has its own registry);
+/// drained/dropped/torn are consumer-side deltas mirrored off the Cursor.
+struct ShmMetrics {
+  obs::Counter* claimed;
+  obs::Counter* drained;
+  obs::Counter* dropped;
+  obs::Counter* torn;
+
+  static const ShmMetrics& get() {
+    static const ShmMetrics m = [] {
+      auto& r = obs::MetricsRegistry::global();
+      return ShmMetrics{&r.counter("hb.shm.claimed"),
+                        &r.counter("hb.shm.drained"),
+                        &r.counter("hb.shm.dropped"),
+                        &r.counter("hb.shm.torn")};
+    }();
+    return m;
+  }
+};
 
 void* map_existing(const std::filesystem::path& file, std::size_t& bytes_out,
                    bool& retryable);
@@ -240,6 +262,7 @@ const ShmIngestSlot* ShmIngestQueue::slots() const {
 }
 
 std::uint64_t ShmIngestQueue::claim(std::uint64_t n) {
+  ShmMetrics::get().claimed->add(n);
   return header()->head.fetch_add(n, std::memory_order_acq_rel);
 }
 
@@ -283,6 +306,10 @@ std::uint64_t ShmIngestQueue::append_batch(
 
 std::size_t ShmIngestQueue::drain(Cursor& cur, const DrainFn& fn,
                                   std::uint32_t max_stall_polls) {
+  // Mirror the cursor's per-drain deltas into the process-wide registry on
+  // exit (one add per counter per drain, not per record).
+  const std::uint64_t dropped_before = cur.dropped;
+  const std::uint64_t torn_before = cur.torn;
   const std::uint64_t cap = capacity_;
   const std::uint64_t head = header()->head.load(std::memory_order_acquire);
 
@@ -353,6 +380,12 @@ std::size_t ShmIngestQueue::drain(Cursor& cur, const DrainFn& fn,
     ++cur.stalls;  // one stall credit per drain call
     break;
   }
+  const ShmMetrics& metrics = ShmMetrics::get();
+  if (delivered > 0) metrics.drained->add(delivered);
+  if (cur.dropped > dropped_before) {
+    metrics.dropped->add(cur.dropped - dropped_before);
+  }
+  if (cur.torn > torn_before) metrics.torn->add(cur.torn - torn_before);
   return delivered;
 }
 

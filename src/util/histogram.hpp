@@ -84,10 +84,12 @@ class LatencyHistogram {
 
   /// Nearest-rank percentile, p in [0, 100]: the upper bound of the bucket
   /// holding the ceil(p/100 * count)'th smallest value, clamped to the exact
-  /// observed [min, max]. Returns 0 when empty.
+  /// observed [min, max]. Returns 0 when empty. Out-of-range p clamps to
+  /// [min, max]; a NaN p reads as 0 (casting NaN to an integer rank would
+  /// be undefined behavior, so it must not reach the rank math).
   std::uint64_t percentile(double p) const {
     if (count_ == 0) return 0;
-    if (p <= 0.0) return min();
+    if (!(p > 0.0)) return min();  // p <= 0, and NaN
     if (p >= 100.0) return max();
     std::uint64_t rank = static_cast<std::uint64_t>(
         std::ceil(p / 100.0 * static_cast<double>(count_)));

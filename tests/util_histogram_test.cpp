@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/histogram.hpp"
@@ -116,6 +117,64 @@ TEST(LatencyHistogram, MergeEmptyIsIdentity) {
   EXPECT_EQ(a.max(), 42u);
   empty.merge(a);
   EXPECT_EQ(empty.min(), 42u);
+}
+
+TEST(LatencyHistogram, MergeDisjointRangesKeepsExtremes) {
+  LatencyHistogram lo, hi;
+  for (std::uint64_t v = 1; v <= 100; ++v) lo.record(v);
+  for (std::uint64_t v = 1000000; v <= 1000100; ++v) hi.record(v);
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), 201u);
+  EXPECT_EQ(lo.min(), 1u);
+  EXPECT_EQ(lo.max(), 1000100u);
+  EXPECT_LE(lo.percentile(25), 100u);       // low half stays low
+  EXPECT_GE(lo.percentile(75), 1000000u);   // high half stays high
+}
+
+TEST(LatencyHistogram, SingleSampleEveryPercentileIsTheSample) {
+  LatencyHistogram h;
+  h.record(777);
+  for (double p : {0.0, 0.001, 50.0, 99.999, 100.0}) {
+    EXPECT_EQ(h.percentile(p), 777u) << "p=" << p;
+  }
+  EXPECT_EQ(h.min(), 777u);
+  EXPECT_EQ(h.max(), 777u);
+  EXPECT_DOUBLE_EQ(h.mean(), 777.0);
+}
+
+TEST(LatencyHistogram, PercentileOutOfRangeClampsAndNanIsDefined) {
+  LatencyHistogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  // Out-of-range p clamps to the observed extremes instead of indexing
+  // a nonexistent rank.
+  EXPECT_EQ(h.percentile(-5.0), 10u);
+  EXPECT_EQ(h.percentile(150.0), 30u);
+  // NaN must not reach the rank cast (casting NaN to an integer is UB and
+  // returned garbage before the guard); it reads as p<=0.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(h.percentile(nan), 10u);
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.percentile(nan), 0u);
+}
+
+TEST(LatencyHistogram, ForgetToEmptyThenRecordAgain) {
+  LatencyHistogram h;
+  h.record(5);
+  h.record(500);
+  h.forget(5);
+  h.forget(500);
+  EXPECT_EQ(h.count(), 0u);
+  // Empty-by-forgetting reports like empty-by-construction for count-driven
+  // summaries (min/max track lifetime extremes only while non-empty).
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0u);
+  h.record(7);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile(50), 7u);
 }
 
 TEST(LatencyHistogram, ResetClears) {
