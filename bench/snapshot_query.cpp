@@ -161,6 +161,7 @@ int main(int argc, char** argv) {
   std::atomic<bool> stop{false};
   const double ingest_s = timed([&] {
     observer = std::thread([&] {
+      // relaxed: stop flag only; join() is the synchronization point.
       while (!stop.load(std::memory_order_relaxed)) {
         (void)view.cluster();
         clock->advance(kNsPerMs);  // keep the cache honest: epochs advance
@@ -176,6 +177,7 @@ int main(int argc, char** argv) {
       });
     }
     for (auto& th : threads) th.join();
+    // relaxed: stop flag only; join() is the synchronization point.
     stop.store(true, std::memory_order_relaxed);
     observer.join();
   });

@@ -53,11 +53,11 @@ std::shared_ptr<BeatStore> Heartbeat::make_store(
 Channel& Heartbeat::local() {
   const std::uint32_t tid = util::current_thread_id();
   {
-    std::shared_lock lock(locals_mu_);
+    util::ReaderMutexLock lock(locals_mu_);
     auto it = locals_.find(tid);
     if (it != locals_.end()) return *it->second;
   }
-  std::unique_lock lock(locals_mu_);
+  util::WriterMutexLock lock(locals_mu_);
   auto [it, inserted] = locals_.try_emplace(tid);
   if (inserted) {
     auto store = make_store(opts_.name + ".t" + std::to_string(tid),
@@ -69,7 +69,7 @@ Channel& Heartbeat::local() {
 
 std::vector<std::pair<std::uint32_t, std::shared_ptr<Channel>>>
 Heartbeat::locals() const {
-  std::shared_lock lock(locals_mu_);
+  util::ReaderMutexLock lock(locals_mu_);
   std::vector<std::pair<std::uint32_t, std::shared_ptr<Channel>>> out;
   out.reserve(locals_.size());
   for (const auto& [tid, ch] : locals_) out.emplace_back(tid, ch);

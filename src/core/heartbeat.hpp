@@ -21,7 +21,6 @@
 #include <functional>
 #include <limits>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +28,8 @@
 #include "core/channel.hpp"
 #include "core/store.hpp"
 #include "util/clock.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hb::core {
 
@@ -79,11 +80,12 @@ class Heartbeat {
   const Channel& global() const { return global_; }
 
   /// The calling thread's private channel (created on first use).
-  Channel& local();
+  Channel& local() HB_EXCLUDES(locals_mu_);
 
   /// Snapshot of every thread-local channel created so far, keyed by
   /// thread id. For observers that iterate workers (paper, Section 2.5).
-  std::vector<std::pair<std::uint32_t, std::shared_ptr<Channel>>> locals() const;
+  std::vector<std::pair<std::uint32_t, std::shared_ptr<Channel>>> locals() const
+      HB_EXCLUDES(locals_mu_);
 
   /// Set the global target range (paper: HB_set_target_rate).
   void set_target(double min_bps, double max_bps) {
@@ -101,8 +103,9 @@ class Heartbeat {
   std::shared_ptr<util::Clock> clock_;
   Channel global_;
 
-  mutable std::shared_mutex locals_mu_;
-  std::unordered_map<std::uint32_t, std::shared_ptr<Channel>> locals_;
+  mutable util::SharedMutex locals_mu_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<Channel>> locals_
+      HB_GUARDED_BY(locals_mu_);
 };
 
 }  // namespace hb::core

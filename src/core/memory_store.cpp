@@ -7,18 +7,14 @@ namespace hb::core {
 MemoryStore::MemoryStore(std::size_t capacity, bool synchronized,
                          std::uint32_t default_window)
     : synchronized_(synchronized),
+      capacity_(capacity == 0 ? 1 : capacity),
       buf_(capacity == 0 ? 1 : capacity),
       default_window_(default_window == 0 ? 1 : default_window) {
   target_.max_bps = std::numeric_limits<double>::infinity();
 }
 
-std::unique_lock<std::mutex> MemoryStore::maybe_lock() const {
-  if (synchronized_) return std::unique_lock<std::mutex>(mu_);
-  return std::unique_lock<std::mutex>();
-}
-
 std::uint64_t MemoryStore::append(const HeartbeatRecord& rec) {
-  auto lock = maybe_lock();
+  util::MutexLockIf lock(mu_, synchronized_);
   HeartbeatRecord stamped = rec;
   stamped.seq = buf_.total_pushed();
   // Producers stamp their clock before taking this lock, so two racing
@@ -35,32 +31,32 @@ std::uint64_t MemoryStore::append(const HeartbeatRecord& rec) {
 }
 
 std::uint64_t MemoryStore::count() const {
-  auto lock = maybe_lock();
+  util::MutexLockIf lock(mu_, synchronized_);
   return buf_.total_pushed();
 }
 
 std::vector<HeartbeatRecord> MemoryStore::history(std::size_t n) const {
-  auto lock = maybe_lock();
+  util::MutexLockIf lock(mu_, synchronized_);
   return buf_.last_n(n);
 }
 
 void MemoryStore::set_target(TargetRate t) {
-  auto lock = maybe_lock();
+  util::MutexLockIf lock(mu_, synchronized_);
   target_ = t;
 }
 
 TargetRate MemoryStore::target() const {
-  auto lock = maybe_lock();
+  util::MutexLockIf lock(mu_, synchronized_);
   return target_;
 }
 
 void MemoryStore::set_default_window(std::uint32_t w) {
-  auto lock = maybe_lock();
+  util::MutexLockIf lock(mu_, synchronized_);
   default_window_ = w == 0 ? 1 : w;
 }
 
 std::uint32_t MemoryStore::default_window() const {
-  auto lock = maybe_lock();
+  util::MutexLockIf lock(mu_, synchronized_);
   return default_window_;
 }
 

@@ -6,23 +6,25 @@
 // for exactly this) or unsynchronized for thread-private local channels.
 #pragma once
 
-#include <mutex>
-
 #include "core/store.hpp"
+#include "util/mutex.hpp"
 #include "util/ring_buffer.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hb::core {
 
 class MemoryStore final : public BeatStore {
  public:
   /// `capacity`: records retained. `synchronized`: guard all access with a
-  /// mutex (required when more than one thread touches the store).
+  /// mutex (required when more than one thread touches the store; an
+  /// unsynchronized store is single-thread-owned by contract, which is
+  /// what lets util::MutexLockIf treat mu_ as vacuously held there).
   explicit MemoryStore(std::size_t capacity, bool synchronized = true,
                        std::uint32_t default_window = 20);
 
   std::uint64_t append(const HeartbeatRecord& rec) override;
   std::uint64_t count() const override;
-  std::size_t capacity() const override { return buf_.capacity(); }
+  std::size_t capacity() const override { return capacity_; }
   std::vector<HeartbeatRecord> history(std::size_t n) const override;
   void set_target(TargetRate t) override;
   TargetRate target() const override;
@@ -30,14 +32,13 @@ class MemoryStore final : public BeatStore {
   std::uint32_t default_window() const override;
 
  private:
-  // Lock-if-synchronized helper: returns an engaged guard or an empty one.
-  std::unique_lock<std::mutex> maybe_lock() const;
-
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   const bool synchronized_;
-  util::RingBuffer<HeartbeatRecord> buf_;
-  TargetRate target_{0.0, 0.0};
-  std::uint32_t default_window_;
+  /// buf_.capacity() never changes; cached so capacity() stays lock-free.
+  const std::size_t capacity_;
+  util::RingBuffer<HeartbeatRecord> buf_ HB_GUARDED_BY(mu_);
+  TargetRate target_ HB_GUARDED_BY(mu_){0.0, 0.0};
+  std::uint32_t default_window_ HB_GUARDED_BY(mu_);
 };
 
 }  // namespace hb::core

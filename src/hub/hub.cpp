@@ -68,6 +68,7 @@ AppId HeartbeatHub::self_app_id() const {
 }
 
 void HeartbeatHub::maybe_self_beat() {
+  // relaxed: see set_self_beat_paused — a stale read costs one beat.
   if (!has_self_ || self_beat_paused_.load(std::memory_order_relaxed)) return;
   beat(self_id_);
   HubMetrics::get().self_beats->add(1);
@@ -75,7 +76,7 @@ void HeartbeatHub::maybe_self_beat() {
 
 AppId HeartbeatHub::register_app(const std::string& name,
                                  core::TargetRate target) {
-  std::lock_guard lock(names_mu_);
+  util::MutexLock lock(names_mu_);
   auto it = names_.find(name);
   if (it != names_.end()) return it->second;
   const std::uint32_t shard = shard_of(name);
@@ -86,7 +87,7 @@ AppId HeartbeatHub::register_app(const std::string& name,
 }
 
 AppId HeartbeatHub::id_of(const std::string& name) const {
-  std::lock_guard lock(names_mu_);
+  util::MutexLock lock(names_mu_);
   auto it = names_.find(name);
   if (it == names_.end()) {
     throw std::out_of_range("HeartbeatHub: unknown app \"" + name + "\"");
@@ -154,7 +155,7 @@ std::shared_ptr<const FleetSnapshot> HeartbeatHub::snapshot() {
   std::shared_ptr<const FleetSnapshot> result;
   bool rebuilt = false;
   {
-    std::lock_guard lock(snap_mu_);
+    util::MutexLock lock(snap_mu_);
     if (fleet_snap_ && fleet_snap_->shard_count() == parts.size()) {
       bool covered = true;
       for (std::size_t i = 0; i < parts.size(); ++i) {
@@ -188,12 +189,12 @@ std::shared_ptr<const FleetSnapshot> HeartbeatHub::snapshot() {
 }
 
 SnapshotStats HeartbeatHub::snapshot_stats() const {
-  std::lock_guard lock(snap_mu_);
+  util::MutexLock lock(snap_mu_);
   return snap_stats_;
 }
 
 std::size_t HeartbeatHub::app_count() const {
-  std::lock_guard lock(names_mu_);
+  util::MutexLock lock(names_mu_);
   return names_.size();
 }
 

@@ -26,7 +26,6 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -38,6 +37,8 @@
 #include "hub/snapshot.hpp"
 #include "hub/summary.hpp"
 #include "util/clock.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hb::hub {
 
@@ -106,11 +107,12 @@ class HeartbeatHub {
   /// returns the existing id (the target is left unchanged). Thread-safe.
   AppId register_app(const std::string& name,
                      core::TargetRate target = core::TargetRate{
-                         0.0, std::numeric_limits<double>::infinity()});
+                         0.0, std::numeric_limits<double>::infinity()})
+      HB_EXCLUDES(names_mu_);
 
   /// Id of a registered app, or nullopt-like: throws std::out_of_range if
   /// unknown. Use register_app for get-or-create semantics.
-  AppId id_of(const std::string& name) const;
+  AppId id_of(const std::string& name) const HB_EXCLUDES(names_mu_);
 
   /// Shard an app name routes to (exposed for tests and the bench).
   std::uint32_t shard_of(const std::string& name) const;
@@ -148,10 +150,10 @@ class HeartbeatHub {
   /// the cached FleetSnapshot if no shard's epoch advanced — repeated
   /// queries between flushes are pointer reads — or composes and caches a
   /// new one. Thread-safe; the returned snapshot is immutable and shared.
-  std::shared_ptr<const FleetSnapshot> snapshot();
+  std::shared_ptr<const FleetSnapshot> snapshot() HB_EXCLUDES(snap_mu_);
 
   /// Cache effectiveness counters for snapshot() (rebuilds vs hits).
-  SnapshotStats snapshot_stats() const;
+  SnapshotStats snapshot_stats() const HB_EXCLUDES(snap_mu_);
 
   /// True when this hub was built with HubOptions::self_beat.
   bool self_beat_enabled() const { return has_self_; }
@@ -164,6 +166,8 @@ class HeartbeatHub {
   /// as if the publish loop had stalled. Thread-safe; no-op when self_beat
   /// is off.
   void set_self_beat_paused(bool paused) {
+    // relaxed: independent on/off flag; no data is published through it,
+    // and a publish racing the flip harmlessly beats one extra time.
     self_beat_paused_.store(paused, std::memory_order_relaxed);
   }
 
@@ -171,7 +175,7 @@ class HeartbeatHub {
   std::size_t shard_count() const { return shards_.size(); }
   /// Registered apps, evicted ones included (eviction drops window state,
   /// not the registration). Thread-safe; takes the name-table lock.
-  std::size_t app_count() const;
+  std::size_t app_count() const HB_EXCLUDES(names_mu_);
   /// The normalized construction options (clock always non-null).
   const HubOptions& options() const { return opts_; }
   /// The hub's timestamp source — the epoch every staleness_ns and
@@ -185,7 +189,7 @@ class HeartbeatHub {
  private:
   /// Beat kSelfAppName unless self_beat is off or paused. Must be called
   /// with snap_mu_ NOT held (it funnels into shard ingest).
-  void maybe_self_beat();
+  void maybe_self_beat() HB_EXCLUDES(snap_mu_);
 
   HubOptions opts_;
   std::vector<std::unique_ptr<HubShard>> shards_;
@@ -196,15 +200,15 @@ class HeartbeatHub {
   bool has_self_ = false;
   std::atomic<bool> self_beat_paused_{false};
 
-  mutable std::mutex names_mu_;
-  std::unordered_map<std::string, AppId> names_;
+  mutable util::Mutex names_mu_;
+  std::unordered_map<std::string, AppId> names_ HB_GUARDED_BY(names_mu_);
 
   /// The fleet-level snapshot cache. Guards the composed pointer and the
   /// stats; composition itself is O(shard_count) so holding the lock
   /// through it costs readers less than racing duplicate compositions.
-  mutable std::mutex snap_mu_;
-  std::shared_ptr<const FleetSnapshot> fleet_snap_;
-  SnapshotStats snap_stats_;
+  mutable util::Mutex snap_mu_;
+  std::shared_ptr<const FleetSnapshot> fleet_snap_ HB_GUARDED_BY(snap_mu_);
+  SnapshotStats snap_stats_ HB_GUARDED_BY(snap_mu_);
 };
 
 /// Stable 64-bit FNV-1a (shard routing must not depend on the C++ runtime's

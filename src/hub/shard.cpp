@@ -54,7 +54,7 @@ HubShard::HubShard(std::uint32_t index, ShardConfig config)
 }
 
 std::uint32_t HubShard::add_app(std::string name, core::TargetRate target) {
-  std::lock_guard lock(state_mu_);
+  util::MutexLock lock(state_mu_);
   AppState app(config_);
   app.name = std::move(name);
   app.target = target;
@@ -90,7 +90,7 @@ void HubShard::enqueue(std::uint32_t slot,
   std::size_t handed_off = 0;
   bool overflowed = false;
   {
-    std::lock_guard lock(ingest_mu_);
+    util::MutexLock lock(ingest_mu_);
     for (const auto& rec : recs) {
       batch_.emplace_back(slot, rec);
       ++ingested_;
@@ -122,7 +122,7 @@ void HubShard::drain_overflow() {
   // finds nothing left to apply itself (a beat count that is an exact
   // multiple of batch_capacity drains entirely here): applied data must
   // always cut through the snapshot freshness tolerance.
-  std::lock_guard lock(state_mu_);
+  util::MutexLock lock(state_mu_);
   if (apply_pending_locked(/*include_partial=*/false)) state_dirty_ = true;
 }
 
@@ -136,7 +136,7 @@ bool HubShard::apply_pending_locked(bool include_partial) {
   // `pending_batches` pops below are exactly the batches seen at entry.
   std::size_t pending_batches;
   {
-    std::lock_guard lock(ingest_mu_);
+    util::MutexLock lock(ingest_mu_);
     pending_batches = overflow_.size();
   }
   bool any = false;
@@ -144,7 +144,7 @@ bool HubShard::apply_pending_locked(bool include_partial) {
     Batch batch;
     bool partial = false;
     {
-      std::lock_guard lock(ingest_mu_);
+      util::MutexLock lock(ingest_mu_);
       if (n < pending_batches) {
         batch = std::move(overflow_.front());
         overflow_.pop_front();
@@ -172,7 +172,7 @@ bool HubShard::apply_pending_locked(bool include_partial) {
 }
 
 void HubShard::set_target(std::uint32_t slot, core::TargetRate target) {
-  std::lock_guard lock(state_mu_);
+  util::MutexLock lock(state_mu_);
   AppState& app = apps_.at(slot);
   app.target = target;
   app.dirty = true;
@@ -180,7 +180,7 @@ void HubShard::set_target(std::uint32_t slot, core::TargetRate target) {
 }
 
 void HubShard::evict(std::uint32_t slot) {
-  std::lock_guard lock(state_mu_);
+  util::MutexLock lock(state_mu_);
   // Apply pending beats first: they were ingested before the eviction was
   // requested, so they still count toward total_beats — and whatever got
   // applied (any app's beats) must reach the next snapshot even when the
@@ -194,7 +194,7 @@ void HubShard::evict(std::uint32_t slot) {
 }
 
 std::shared_ptr<const ShardSnapshot> HubShard::publish(bool force_fresh) {
-  std::lock_guard lock(state_mu_);
+  util::MutexLock lock(state_mu_);
   const bool applied = apply_pending_locked(/*include_partial=*/true);
   const util::TimeNs now = config_.clock ? config_.clock->now() : 0;
 
@@ -209,7 +209,7 @@ std::shared_ptr<const ShardSnapshot> HubShard::publish(bool force_fresh) {
                   : std::max<util::TimeNs>(config_.snapshot_min_interval_ns, 1);
   bool stale = false;
   {
-    std::lock_guard snap_lock(snap_mu_);
+    util::MutexLock snap_lock(snap_mu_);
     if (!snap_) {
       stale = true;
     } else if (config_.clock && now > snap_->published_at_ns &&
@@ -227,7 +227,7 @@ std::shared_ptr<const ShardSnapshot> HubShard::publish(bool force_fresh) {
 }
 
 std::shared_ptr<const ShardSnapshot> HubShard::published() const {
-  std::lock_guard lock(snap_mu_);
+  util::MutexLock lock(snap_mu_);
   return snap_;
 }
 
@@ -299,7 +299,7 @@ void HubShard::rebuild_snapshot_locked(util::TimeNs now) {
   for (const auto& [_, t] : by_tag) next->tags.push_back(t);
   state_dirty_ = false;
 
-  std::lock_guard snap_lock(snap_mu_);
+  util::MutexLock snap_lock(snap_mu_);
   snap_ = std::move(next);
 }
 
@@ -307,13 +307,13 @@ ShardStats HubShard::stats() const {
   ShardStats s;
   s.shard = index_;
   {
-    std::lock_guard lock(state_mu_);
+    util::MutexLock lock(state_mu_);
     s.apps = apps_.size();
     s.flushes = flushes_;
     s.epoch = epoch_;
   }
   {
-    std::lock_guard lock(ingest_mu_);
+    util::MutexLock lock(ingest_mu_);
     s.ingested = ingested_;
     s.pending = batch_.size();
     for (const Batch& b : overflow_) s.pending += b.size();

@@ -29,7 +29,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -40,7 +39,9 @@
 #include "hub/summary.hpp"
 #include "util/clock.hpp"
 #include "util/histogram.hpp"
+#include "util/mutex.hpp"
 #include "util/ring_buffer.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hb::hub {
 
@@ -78,7 +79,8 @@ class HubShard {
   HubShard& operator=(const HubShard&) = delete;
 
   /// Add an app to this shard; returns its slot. Thread-safe.
-  std::uint32_t add_app(std::string name, core::TargetRate target);
+  std::uint32_t add_app(std::string name, core::TargetRate target)
+      HB_EXCLUDES(state_mu_);
 
   std::uint32_t index() const { return index_; }
   std::size_t app_count() const {
@@ -88,16 +90,19 @@ class HubShard {
   /// Append one raw beat to the batch. When the batch fills, the full
   /// batch moves to the apply FIFO and is drained into app state — off the
   /// ingest lock, so concurrent producers keep appending meanwhile.
-  void enqueue(std::uint32_t slot, const core::HeartbeatRecord& rec);
+  void enqueue(std::uint32_t slot, const core::HeartbeatRecord& rec)
+      HB_EXCLUDES(ingest_mu_, state_mu_);
 
   /// Append many raw beats for one app (amortizes the lock acquire).
-  void enqueue(std::uint32_t slot, std::span<const core::HeartbeatRecord> recs);
+  void enqueue(std::uint32_t slot, std::span<const core::HeartbeatRecord> recs)
+      HB_EXCLUDES(ingest_mu_, state_mu_);
 
-  void set_target(std::uint32_t slot, core::TargetRate target);
+  void set_target(std::uint32_t slot, core::TargetRate target)
+      HB_EXCLUDES(state_mu_);
 
   /// Drop an app's window state and exclude it from rollups until it beats
   /// again (total_beats survives). Idempotent.
-  void evict(std::uint32_t slot);
+  void evict(std::uint32_t slot) HB_EXCLUDES(state_mu_);
 
   /// Apply all pending beats, run time maintenance, and (re)publish the
   /// shard snapshot if anything changed. Returns the current snapshot —
@@ -105,17 +110,20 @@ class HubShard {
   /// snapshot_min_interval_ns tolerance: any clock movement republishes
   /// (an explicit flush must re-stamp staleness, age windows, and apply
   /// auto-eviction NOW, not within-the-tolerance-eventually).
-  std::shared_ptr<const ShardSnapshot> publish(bool force_fresh = false);
+  std::shared_ptr<const ShardSnapshot> publish(bool force_fresh = false)
+      HB_EXCLUDES(state_mu_, ingest_mu_, snap_mu_);
 
   /// The last published snapshot without forcing a publish (may be null
   /// before the first publish). Lock held only for the pointer grab.
-  std::shared_ptr<const ShardSnapshot> published() const;
+  std::shared_ptr<const ShardSnapshot> published() const HB_EXCLUDES(snap_mu_);
 
   /// Forced-fresh publish for callers that ignore the result
   /// (HeartbeatHub::flush): time maintenance always catches up.
-  void flush() { publish(/*force_fresh=*/true); }
+  void flush() HB_EXCLUDES(state_mu_, ingest_mu_, snap_mu_) {
+    publish(/*force_fresh=*/true);
+  }
 
-  ShardStats stats() const;
+  ShardStats stats() const HB_EXCLUDES(state_mu_, ingest_mu_);
 
  private:
   struct AppState {
@@ -154,52 +162,60 @@ class HubShard {
   /// into app state, FIFO order. Caller holds state_mu_; ingest_mu_ is
   /// taken only for each O(1) batch handoff. Returns true if any record
   /// was applied.
-  bool apply_pending_locked(bool include_partial);
+  bool apply_pending_locked(bool include_partial)
+      HB_REQUIRES(state_mu_) HB_EXCLUDES(ingest_mu_);
   /// The producer-side overflow drain: full batches only, no maintenance,
   /// no refresh, no snapshot — the cheapest correct apply.
-  void drain_overflow();
-  void apply_locked(std::uint32_t slot, const core::HeartbeatRecord& rec);
-  void refresh_locked(AppState& app);
+  void drain_overflow() HB_EXCLUDES(state_mu_, ingest_mu_);
+  void apply_locked(std::uint32_t slot, const core::HeartbeatRecord& rec)
+      HB_REQUIRES(state_mu_);
+  void refresh_locked(AppState& app) HB_REQUIRES(state_mu_);
   void check_slot(std::uint32_t slot) const;  ///< throws out_of_range
   /// Per-app time maintenance: age past window_ns, stamp staleness,
   /// auto-evict past evict_after_ns.
-  void maintain_locked(AppState& app, util::TimeNs now);
-  void age_window_locked(AppState& app, util::TimeNs cutoff_ns);
-  void retire_oldest_tag_locked(AppState& app);  ///< tag count bookkeeping
-  void drop_oldest_locked(AppState& app);  ///< one record + its interval
-  void evict_locked(AppState& app);
+  void maintain_locked(AppState& app, util::TimeNs now) HB_REQUIRES(state_mu_);
+  void age_window_locked(AppState& app, util::TimeNs cutoff_ns)
+      HB_REQUIRES(state_mu_);
+  /// Tag count bookkeeping.
+  void retire_oldest_tag_locked(AppState& app) HB_REQUIRES(state_mu_);
+  /// One record + its interval.
+  void drop_oldest_locked(AppState& app) HB_REQUIRES(state_mu_);
+  void evict_locked(AppState& app) HB_REQUIRES(state_mu_);
   /// Build the next ShardSnapshot from current app state (one walk:
   /// maintenance + refresh + copy + rollups) and swap it in. Caller holds
   /// state_mu_; the swap itself takes snap_mu_ only.
-  void rebuild_snapshot_locked(util::TimeNs now);
+  void rebuild_snapshot_locked(util::TimeNs now)
+      HB_REQUIRES(state_mu_) HB_EXCLUDES(snap_mu_);
 
   const std::uint32_t index_;
   const ShardConfig config_;
 
-  /// INGEST stage. Guards batch_, overflow_, ingested_. Producers touch
-  /// nothing else on the hot path.
-  mutable std::mutex ingest_mu_;
-  Batch batch_;
-  std::deque<Batch> overflow_;  ///< full batches awaiting apply, FIFO
-
   /// PUBLISH stage. Guards apps_, flushes_, epoch_, state_dirty_.
-  /// Lock order: state_mu_ before ingest_mu_ (never the reverse).
-  mutable std::mutex state_mu_;
-  std::vector<AppState> apps_;
-  std::uint64_t ingested_ = 0;  ///< guarded by ingest_mu_
-  std::uint64_t flushes_ = 0;
-  std::uint64_t epoch_ = 0;
+  /// Lock order: state_mu_ before ingest_mu_ and before snap_mu_ (never
+  /// the reverse) — declared below so -Wthread-safety-beta enforces it.
+  mutable util::Mutex state_mu_;
+  std::vector<AppState> apps_ HB_GUARDED_BY(state_mu_);
+  std::uint64_t flushes_ HB_GUARDED_BY(state_mu_) = 0;
+  std::uint64_t epoch_ HB_GUARDED_BY(state_mu_) = 0;
   /// Set by add_app/set_target/evict: state changed without any beat, so
   /// the next publish must rebuild even if no records arrive.
-  bool state_dirty_ = false;
+  bool state_dirty_ HB_GUARDED_BY(state_mu_) = false;
+
+  /// INGEST stage. Guards batch_, overflow_, ingested_. Producers touch
+  /// nothing else on the hot path.
+  mutable util::Mutex ingest_mu_ HB_ACQUIRED_AFTER(state_mu_);
+  Batch batch_ HB_GUARDED_BY(ingest_mu_);
+  /// Full batches awaiting apply, FIFO.
+  std::deque<Batch> overflow_ HB_GUARDED_BY(ingest_mu_);
+  std::uint64_t ingested_ HB_GUARDED_BY(ingest_mu_) = 0;
 
   /// Slot-validity bound for the lock-free enqueue check (slots are
   /// append-only, so a stale read only ever under-approximates).
   std::atomic<std::size_t> app_count_{0};
 
   /// Published-pointer swap/read only; never held across any copy.
-  mutable std::mutex snap_mu_;
-  std::shared_ptr<const ShardSnapshot> snap_;
+  mutable util::Mutex snap_mu_ HB_ACQUIRED_AFTER(state_mu_);
+  std::shared_ptr<const ShardSnapshot> snap_ HB_GUARDED_BY(snap_mu_);
 };
 
 }  // namespace hb::hub

@@ -18,6 +18,7 @@ struct EnvInit {
   EnvInit() {
     if (const char* e = std::getenv("HB_OBS");
         e && e[0] == '0' && e[1] == '\0') {
+      // relaxed: static-init time, before any instrumented thread exists.
       g_enabled.store(false, std::memory_order_relaxed);
     }
   }
@@ -26,6 +27,8 @@ struct EnvInit {
 }  // namespace detail
 
 void set_enabled(bool on) {
+  // relaxed: kill switch only gates future writes; stragglers that read
+  // the old value add one last harmless count, nothing is published.
   detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 #endif
@@ -51,7 +54,7 @@ MetricsRegistry& MetricsRegistry::global() {
 
 MetricsRegistry::Cell& MetricsRegistry::cell(std::string_view name,
                                              MetricValue::Kind kind) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = cells_.find(name);
   if (it == cells_.end()) {
     it = cells_.emplace(std::string(name), std::make_unique<Cell>(kind)).first;
@@ -77,7 +80,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   snap.taken_at_ns = util::MonotonicClock::instance()->now();
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   snap.epoch = ++snapshot_epoch_;
   snap.metrics.reserve(cells_.size());
   for (const auto& [name, cell] : cells_) {  // std::map: already sorted
@@ -109,7 +112,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return cells_.size();
 }
 

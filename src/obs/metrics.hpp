@@ -36,12 +36,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/histogram.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_id.hpp"
 #include "util/time.hpp"
 
@@ -66,6 +67,7 @@ extern std::atomic<bool> g_enabled;
 /// Runtime master switch: when false, every Counter/Gauge/Histogram write
 /// and every ObsSpan is skipped (one relaxed load on the hot path).
 inline bool enabled() {
+  // relaxed: hot-path gate; see set_enabled (a stale read is harmless).
   return detail::g_enabled.load(std::memory_order_relaxed);
 }
 void set_enabled(bool on);
@@ -86,6 +88,7 @@ class Counter {
   void add(std::uint64_t n = 1) {
 #if HB_OBS
     if (!enabled()) return;
+    // relaxed: per-slot monotone count; value() tolerates any interleaving.
     slots_[util::current_thread_index() & (kSlots - 1)].v.fetch_add(
         n, std::memory_order_relaxed);
 #else
@@ -96,6 +99,7 @@ class Counter {
   std::uint64_t value() const {
 #if HB_OBS
     std::uint64_t sum = 0;
+    // relaxed: statistical read; each slot is monotone, skew is bounded.
     for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
     return sum;
 #else
@@ -118,6 +122,7 @@ class Gauge {
   void set(std::int64_t v) {
 #if HB_OBS
     if (!enabled()) return;
+    // relaxed: last-writer-wins level; readers need no ordering with it.
     v_.store(v, std::memory_order_relaxed);
 #else
     (void)v;
@@ -127,6 +132,7 @@ class Gauge {
   void add(std::int64_t d) {
 #if HB_OBS
     if (!enabled()) return;
+    // relaxed: commutative delta on an isolated level; no data published.
     v_.fetch_add(d, std::memory_order_relaxed);
 #else
     (void)d;
@@ -135,6 +141,7 @@ class Gauge {
 
   std::int64_t value() const {
 #if HB_OBS
+    // relaxed: statistical read of an isolated level.
     return v_.load(std::memory_order_relaxed);
 #else
     return 0;
@@ -155,7 +162,7 @@ class Histogram {
   void record(std::uint64_t v) {
 #if HB_OBS
     if (!enabled()) return;
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     hist_.record(v);
 #else
     (void)v;
@@ -165,7 +172,7 @@ class Histogram {
   /// Coherent copy of the distribution (one lock, one struct copy).
   util::LatencyHistogram read() const {
 #if HB_OBS
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     return hist_;
 #else
     return {};
@@ -174,8 +181,8 @@ class Histogram {
 
 #if HB_OBS
  private:
-  mutable std::mutex mu_;
-  util::LatencyHistogram hist_;
+  mutable util::Mutex mu_;
+  util::LatencyHistogram hist_ HB_GUARDED_BY(mu_);
 #endif
 };
 
@@ -225,24 +232,25 @@ class MetricsRegistry {
 
   /// Get-or-create. Re-requesting a name returns the same cell; requesting
   /// an existing name as a different kind throws std::logic_error.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) HB_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) HB_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) HB_EXCLUDES(mu_);
 
   /// Compose every metric into one immutable snapshot (sorted by name).
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const HB_EXCLUDES(mu_);
 
   /// Registered metric count (tests).
-  std::size_t size() const;
+  std::size_t size() const HB_EXCLUDES(mu_);
 
  private:
   struct Cell;
-  Cell& cell(std::string_view name, MetricValue::Kind kind);
+  Cell& cell(std::string_view name, MetricValue::Kind kind) HB_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   /// std::map: stable addresses + already name-sorted for snapshot().
-  std::map<std::string, std::unique_ptr<Cell>, std::less<>> cells_;
-  mutable std::uint64_t snapshot_epoch_ = 0;
+  std::map<std::string, std::unique_ptr<Cell>, std::less<>> cells_
+      HB_GUARDED_BY(mu_);
+  mutable std::uint64_t snapshot_epoch_ HB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hb::obs

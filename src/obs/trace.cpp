@@ -5,6 +5,7 @@
 
 #include "util/clock.hpp"
 #include "util/thread_id.hpp"
+#include "util/tsan.hpp"
 
 namespace hb::obs {
 
@@ -29,7 +30,7 @@ void TraceRing::record(const SpanRecord& rec) {
   // discards anything we were mid-overwrite on.
   slot.commit.store(0, std::memory_order_release);
   std::atomic_thread_fence(std::memory_order_release);
-  slot.rec = rec;
+  util::tsan_relaxed_copy(slot.rec, rec);
   slot.commit.store(seq + 1, std::memory_order_release);
 }
 
@@ -43,8 +44,10 @@ std::vector<SpanRecord> TraceRing::snapshot() const {
     const Slot& slot = slots_[seq & (cap - 1)];
     const std::uint64_t c1 = slot.commit.load(std::memory_order_acquire);
     if (c1 != seq + 1) continue;  // in flight, or already lapped
-    SpanRecord rec = slot.rec;
+    SpanRecord rec;
+    util::tsan_relaxed_copy(rec, slot.rec);
     std::atomic_thread_fence(std::memory_order_acquire);
+    // relaxed: the fence above orders the copy before this re-check.
     if (slot.commit.load(std::memory_order_relaxed) != c1) continue;
     out.push_back(rec);
   }

@@ -1,6 +1,7 @@
 #include "policy/policy_engine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
@@ -9,6 +10,33 @@
 namespace hb::policy {
 
 namespace {
+
+/// Trips when two threads (or a reentrant sink) enter a serialized-only
+/// engine method at once. Cheaper and more honest than a mutex: the
+/// contract says callers serialize, so overlap is a bug to surface, not
+/// a race to absorb.
+class SerializedGuard {
+ public:
+  SerializedGuard(std::atomic<bool>& flag, const char* what) : flag_(flag) {
+    // relaxed: the guard detects overlap, it does not publish data; the
+    // engine's state is only touched by the single thread that wins entry.
+    if (flag_.exchange(true, std::memory_order_relaxed)) {
+      throw std::logic_error(std::string(what) +
+                             ": concurrent or reentrant call on a "
+                             "PolicyEngine (observe() must be externally "
+                             "serialized; see policy_engine.hpp)");
+    }
+  }
+  SerializedGuard(const SerializedGuard&) = delete;
+  SerializedGuard& operator=(const SerializedGuard&) = delete;
+  ~SerializedGuard() {
+    // relaxed: see constructor.
+    flag_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool>& flag_;
+};
 
 struct PolicyMetrics {
   obs::Counter* observes;
@@ -36,6 +64,7 @@ PolicyEngine::PolicyEngine(PolicyOptions opts) : opts_(opts) {
 }
 
 void PolicyEngine::add_sink(std::shared_ptr<ActionSink> sink) {
+  SerializedGuard guard(observing_, "PolicyEngine::add_sink");
   if (sink) sinks_.push_back(std::move(sink));
 }
 
@@ -83,6 +112,7 @@ bool PolicyEngine::record_edge(AppState& state, util::TimeNs now) {
 
 const std::vector<FleetEvent>& PolicyEngine::observe(
     const fault::FleetReport& report) {
+  SerializedGuard guard(observing_, "PolicyEngine::observe");
   const PolicyMetrics& metrics = PolicyMetrics::get();
   obs::ObsSpan span("policy.observe", report.apps.size(), metrics.observe_ns);
   metrics.observes->add(1);

@@ -28,6 +28,7 @@
 // observes and from sinks during dispatch.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -95,6 +96,10 @@ class PolicyEngine {
   /// first report only fires transitions for apps already past warm-up —
   /// a steady healthy fleet's first observe is silent apart from
   /// warming-up -> healthy edges.
+  ///
+  /// Must be externally serialized (one decide loop per engine). That
+  /// contract is now enforced: a concurrent or reentrant observe() throws
+  /// std::logic_error instead of silently corrupting engine state.
   const std::vector<FleetEvent>& observe(const fault::FleetReport& report);
 
   /// True while the app is flap-quarantined (acting sinks consult this
@@ -137,6 +142,10 @@ class PolicyEngine {
 
   PolicyOptions opts_;
   PolicyStats stats_;
+  /// Detects contract violations: set for the duration of observe() (and
+  /// of add_sink); a second thread or a reentrant sink entering observe()
+  /// trips it. Not a lock — the engine stays single-loop by design.
+  std::atomic<bool> observing_{false};
   std::vector<std::shared_ptr<ActionSink>> sinks_;
   std::vector<std::vector<AppState>> states_;  ///< [shard][slot]
   std::size_t quarantined_count_ = 0;  ///< gates the parole walk

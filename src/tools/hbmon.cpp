@@ -113,17 +113,17 @@ void print_metrics_table(const hb::obs::MetricsSnapshot& snap) {
   for (const auto& m : snap.metrics) {
     switch (m.kind) {
       case hb::obs::MetricValue::Kind::kCounter:
-        std::printf("%-26s %-9s %14llu\n", m.name.c_str(), "counter",
+        std::printf("%-26s %-9s %14llu\n", m.name.c_str(), kind_name(m.kind),
                     static_cast<unsigned long long>(m.count));
         break;
       case hb::obs::MetricValue::Kind::kGauge:
-        std::printf("%-26s %-9s %14lld\n", m.name.c_str(), "gauge",
+        std::printf("%-26s %-9s %14lld\n", m.name.c_str(), kind_name(m.kind),
                     static_cast<long long>(m.gauge));
         break;
       case hb::obs::MetricValue::Kind::kHistogram:
         std::printf("%-26s %-9s %14llu  p50=%llu p95=%llu p99=%llu "
                     "max=%llu mean=%.0f\n",
-                    m.name.c_str(), "histogram",
+                    m.name.c_str(), kind_name(m.kind),
                     static_cast<unsigned long long>(m.count),
                     static_cast<unsigned long long>(m.p50),
                     static_cast<unsigned long long>(m.p95),

@@ -60,7 +60,12 @@ std::shared_ptr<FileLogStore> FileLogStore::attach(
                              file.string());
   }
   store->name_ = p.name;
-  store->default_window_ = p.window;
+  {
+    // The store has no other owner yet; the lock exists for the analysis
+    // (default_window_ is guarded) and costs one uncontended acquire.
+    util::MutexLock lock(store->mu_);
+    store->default_window_ = p.window;
+  }
   return store;
 }
 
@@ -83,7 +88,7 @@ std::uint64_t FileLogStore::append(const core::HeartbeatRecord& rec) {
   if (out_ == nullptr) {
     throw std::logic_error("FileLogStore: appending on an attached store");
   }
-  std::lock_guard<std::mutex> lock(mu_);  // paper: mutex serializes writers
+  util::MutexLock lock(mu_);  // paper: mutex serializes writers
   core::HeartbeatRecord stamped = rec;
   stamped.seq = count_++;
   std::fprintf(out_, "%" PRIu64 " %" PRId64 " %" PRIu64 " %" PRIu32 "\n",
@@ -96,7 +101,7 @@ std::uint64_t FileLogStore::append(const core::HeartbeatRecord& rec) {
 
 std::uint64_t FileLogStore::count() const {
   if (out_ != nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return count_;
   }
   return parse(0).count;
@@ -112,7 +117,7 @@ std::size_t FileLogStore::capacity() const {
 
 std::vector<core::HeartbeatRecord> FileLogStore::history(std::size_t n) const {
   if (out_ != nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return mirror_.last_n(n);
   }
   return parse(n).records;
@@ -126,7 +131,7 @@ void FileLogStore::set_target(core::TargetRate t) {
         "FileLogStore: attached observers cannot change targets "
         "(use the shm transport for external goal-setting)");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   target_ = t;
   std::fputs(format_target_line(t).c_str(), out_);
   std::fflush(out_);
@@ -134,7 +139,7 @@ void FileLogStore::set_target(core::TargetRate t) {
 
 core::TargetRate FileLogStore::target() const {
   if (out_ != nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return target_;
   }
   return parse(0).target;
@@ -145,13 +150,13 @@ void FileLogStore::set_default_window(std::uint32_t w) {
     throw std::logic_error("FileLogStore: attached observers cannot change "
                            "the default window");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   default_window_ = w == 0 ? 1 : w;
 }
 
 std::uint32_t FileLogStore::default_window() const {
   if (out_ != nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return default_window_;
   }
   return parse(0).window;

@@ -29,12 +29,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "core/store.hpp"
+#include "util/mutex.hpp"
 #include "util/ring_buffer.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hb::transport {
 
@@ -84,11 +85,11 @@ class FileLogStore final : public core::BeatStore {
   std::string name_;
   std::FILE* out_;  ///< nullptr when attached (observer mode)
 
-  mutable std::mutex mu_;  // the paper's global-beat mutex
-  util::RingBuffer<core::HeartbeatRecord> mirror_;
-  std::uint64_t count_ = 0;
-  std::uint32_t default_window_;
-  core::TargetRate target_;
+  mutable util::Mutex mu_;  // the paper's global-beat mutex
+  util::RingBuffer<core::HeartbeatRecord> mirror_ HB_GUARDED_BY(mu_);
+  std::uint64_t count_ HB_GUARDED_BY(mu_) = 0;
+  std::uint32_t default_window_ HB_GUARDED_BY(mu_);
+  core::TargetRate target_ HB_GUARDED_BY(mu_);
 };
 
 }  // namespace hb::transport

@@ -17,6 +17,7 @@
 #include "core/memory_store.hpp"
 #include "obs/metrics.hpp"
 #include "transport/posix_util.hpp"
+#include "util/tsan.hpp"
 
 namespace hb::transport {
 
@@ -278,10 +279,12 @@ void ShmIngestQueue::publish(std::uint64_t seq, std::string_view app,
   // record. Mirrors the acquire fence on the reader side.
   slot.commit.store(0, std::memory_order_release);
   std::atomic_thread_fence(std::memory_order_release);
-  fit_name(app, slot.app);
-  slot.rec = rec;
-  slot.target_min_bits = std::bit_cast<std::uint64_t>(target.min_bps);
-  slot.target_max_bits = std::bit_cast<std::uint64_t>(target.max_bps);
+  ShmIngestSlot::Body body;
+  fit_name(app, body.app);
+  body.rec = rec;
+  body.target_min_bits = std::bit_cast<std::uint64_t>(target.min_bps);
+  body.target_max_bits = std::bit_cast<std::uint64_t>(target.max_bps);
+  util::tsan_relaxed_copy(slot.body, body);
   slot.commit.store(seq + 1, std::memory_order_release);
 }
 
@@ -332,16 +335,16 @@ std::size_t ShmIngestQueue::drain(Cursor& cur, const DrainFn& fn,
     const std::uint64_t c1 = slot.commit.load(std::memory_order_acquire);
     if (c1 == cur.next + 1) {
       // Copy out, then re-check the seqlock word.
-      char app[kIngestNameCap];
-      std::memcpy(app, slot.app, kIngestNameCap);
-      app[kIngestNameCap - 1] = '\0';
-      const core::HeartbeatRecord rec = slot.rec;
-      core::TargetRate target;
-      target.min_bps = std::bit_cast<double>(slot.target_min_bits);
-      target.max_bps = std::bit_cast<double>(slot.target_max_bits);
+      ShmIngestSlot::Body body;
+      util::tsan_relaxed_copy(body, slot.body);
       std::atomic_thread_fence(std::memory_order_acquire);
+      // relaxed: the fence above orders the copy before this re-check.
       if (slot.commit.load(std::memory_order_relaxed) == c1) {
-        fn(std::string_view(app), rec, target);
+        body.app[kIngestNameCap - 1] = '\0';
+        core::TargetRate target;
+        target.min_bps = std::bit_cast<double>(body.target_min_bits);
+        target.max_bps = std::bit_cast<double>(body.target_max_bits);
+        fn(std::string_view(body.app), body.rec, target);
         ++delivered;
         ++cur.consumed;
         ++cur.next;
@@ -418,7 +421,7 @@ std::uint64_t ShmHubSink::append(const core::HeartbeatRecord& rec) {
   const std::uint64_t seq = inner_->append(rec);
   core::HeartbeatRecord stamped = rec;
   stamped.seq = seq;
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   buf_.push_back(stamped);
   if (buf_.size() >= opts_.flush_every ||
       stamped.timestamp_ns - buf_.front().timestamp_ns >= opts_.max_hold_ns) {
@@ -433,7 +436,7 @@ void ShmHubSink::set_target(core::TargetRate t) {
 }
 
 void ShmHubSink::flush() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   flush_locked();
 }
 

@@ -38,7 +38,6 @@
 #include <filesystem>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -48,6 +47,8 @@
 #include "core/heartbeat.hpp"
 #include "core/record.hpp"
 #include "core/store.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/time.hpp"
 
 namespace hb::transport {
@@ -81,18 +82,30 @@ static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
               "cross-process atomics must be address-free");
 
 struct ShmIngestSlot {
+  /// Everything the seqlock word protects, as one trivially copyable
+  /// value: writers build a Body locally and move it in with a single
+  /// util::tsan_relaxed_copy; readers copy it out the same way before the
+  /// commit re-check. Keeping the payload a distinct struct (rather than
+  /// loose slot members) is what lets the TSan build swap the copy for
+  /// word-wise relaxed atomics without touching the protocol.
+  struct Body {
+    char app[kIngestNameCap] = {};  ///< NUL-terminated app name (truncated)
+    core::HeartbeatRecord rec{};    ///< producer-stamped beat (32 bytes)
+    /// Producer's registered target range, as IEEE-754 bit patterns (the
+    /// consumer registers/updates hub targets from these).
+    std::uint64_t target_min_bits = 0;
+    std::uint64_t target_max_bits = 0;
+  };
+
   /// Seqlock word: 0 = empty/being written, s+1 = record with ring seq s.
   std::atomic<std::uint64_t> commit{0};
-  char app[kIngestNameCap] = {};  ///< NUL-terminated app name (truncated)
-  core::HeartbeatRecord rec{};    ///< producer-stamped beat (32 bytes)
-  /// Producer's registered target range, as IEEE-754 bit patterns (the
-  /// consumer registers/updates hub targets from these).
-  std::uint64_t target_min_bits = 0;
-  std::uint64_t target_max_bits = 0;
+  Body body{};
   std::uint8_t pad[24] = {};
 };
 
 static_assert(std::is_standard_layout_v<ShmIngestSlot>);
+static_assert(std::is_trivially_copyable_v<ShmIngestSlot::Body>);
+static_assert(sizeof(ShmIngestSlot::Body) == 96, "payload layout is ABI");
 static_assert(sizeof(ShmIngestSlot) == 128, "two cache lines per slot");
 
 /// Total segment size for a given capacity.
@@ -245,7 +258,7 @@ class ShmHubSink final : public core::BeatStore {
   }
 
   /// Push any buffered beats into the ring now. Thread-safe.
-  void flush();
+  void flush() HB_EXCLUDES(mu_);
 
   const std::shared_ptr<core::BeatStore>& inner() const { return inner_; }
   const std::string& app() const { return app_; }
@@ -261,15 +274,15 @@ class ShmHubSink final : public core::BeatStore {
                                          ShmHubSinkOptions opts = {});
 
  private:
-  void flush_locked();
+  void flush_locked() HB_REQUIRES(mu_);
 
   std::shared_ptr<core::BeatStore> inner_;
   std::shared_ptr<ShmIngestQueue> queue_;
   std::string app_;
   ShmHubSinkOptions opts_;
 
-  std::mutex mu_;
-  std::vector<core::HeartbeatRecord> buf_;
+  util::Mutex mu_;
+  std::vector<core::HeartbeatRecord> buf_ HB_GUARDED_BY(mu_);
 };
 
 }  // namespace hb::transport

@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "transport/posix_util.hpp"
+#include "util/tsan.hpp"
 
 namespace hb::transport {
 
@@ -44,9 +45,13 @@ std::shared_ptr<ShmStore> ShmStore::create(const std::filesystem::path& file,
   hdr->slot_size = sizeof(ShmSlot);
   hdr->capacity = capacity;
   hdr->producer_pid = static_cast<std::uint32_t>(::getpid());
+  // relaxed: create()-time init, before the segment has any other opener
+  // — the file is still being constructed under O_TRUNC.
   hdr->default_window.store(default_window, std::memory_order_relaxed);
+  // relaxed: create()-time init, same as above.
   hdr->target_min_bits.store(std::bit_cast<std::uint64_t>(0.0),
                              std::memory_order_relaxed);
+  // relaxed: create()-time init, same as above.
   hdr->target_max_bits.store(
       std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity()),
       std::memory_order_relaxed);
@@ -113,7 +118,7 @@ std::uint64_t ShmStore::append(const core::HeartbeatRecord& rec) {
   std::atomic_thread_fence(std::memory_order_release);
   core::HeartbeatRecord stamped = rec;
   stamped.seq = seq;
-  slot.rec = stamped;
+  util::tsan_relaxed_copy(slot.rec, stamped);
   slot.commit.store(seq + 1, std::memory_order_release);
   return seq;
 }
@@ -141,8 +146,10 @@ std::vector<core::HeartbeatRecord> ShmStore::history(std::size_t n) const {
     for (int attempt = 0; attempt < 4; ++attempt) {
       const std::uint64_t c1 = slot.commit.load(std::memory_order_acquire);
       if (c1 != seq + 1) break;  // not (or no longer) the record we want
-      core::HeartbeatRecord copy = slot.rec;
+      core::HeartbeatRecord copy;
+      util::tsan_relaxed_copy(copy, slot.rec);
       std::atomic_thread_fence(std::memory_order_acquire);
+      // relaxed: the fence above orders the copy before this re-check.
       const std::uint64_t c2 = slot.commit.load(std::memory_order_relaxed);
       if (c2 == c1) {
         out.push_back(copy);

@@ -1,0 +1,88 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// The locking contracts in this tree (hub/shard.hpp's three-stage mutex
+// discipline, the registry and store mutexes) were documented in comments
+// long before they were machine-checked. These macros turn those comments
+// into compiler-enforced capabilities: building with Clang and
+// -Wthread-safety (-Werror in CI) rejects any access to a HB_GUARDED_BY
+// member without its mutex held, any call to a HB_REQUIRES function
+// without the named lock, and any acquisition order that contradicts a
+// declared HB_ACQUIRED_AFTER edge (the -beta analysis).
+//
+// Under GCC (which has no thread-safety analysis) every macro expands to
+// nothing, so the annotations are zero-cost documentation there. Naming
+// and semantics follow the Clang documentation's canonical mutex.h:
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__)
+#define HB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HB_THREAD_ANNOTATION(x)  // no-op: GCC has no -Wthread-safety
+#endif
+
+/// Marks a class as a lockable capability (hb::util::Mutex).
+#define HB_CAPABILITY(x) HB_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class that acquires on construction, releases on
+/// destruction (hb::util::MutexLock).
+#define HB_SCOPED_CAPABILITY HB_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given mutex held.
+#define HB_GUARDED_BY(x) HB_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define HB_PT_GUARDED_BY(x) HB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only with the listed mutexes held (the `_locked`
+/// naming convention, now enforced).
+#define HB_REQUIRES(...) \
+  HB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function callable only with the listed mutexes NOT held (it acquires
+/// them itself; calling with one held would self-deadlock).
+#define HB_EXCLUDES(...) HB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function callable only with the listed mutexes held in SHARED mode
+/// (reader side of a SharedMutex).
+#define HB_REQUIRES_SHARED(...) \
+  HB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the listed mutexes (or `this` when empty) and does
+/// not release them before returning.
+#define HB_ACQUIRE(...) HB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Shared (reader) acquisition of a SharedMutex.
+#define HB_ACQUIRE_SHARED(...) \
+  HB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the listed mutexes (or `this` when empty).
+#define HB_RELEASE(...) HB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Shared (reader) release of a SharedMutex.
+#define HB_RELEASE_SHARED(...) \
+  HB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Release matching either mode — the right dtor annotation for a scoped
+/// guard that may hold the capability shared OR exclusive.
+#define HB_RELEASE_GENERIC(...) \
+  HB_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; returns `b` on success.
+#define HB_TRY_ACQUIRE(...) \
+  HB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Declared lock-ordering edges (checked by -Wthread-safety-beta): this
+/// mutex is acquired strictly after / before the listed ones.
+#define HB_ACQUIRED_AFTER(...) HB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define HB_ACQUIRED_BEFORE(...) \
+  HB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define HB_RETURN_CAPABILITY(x) HB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's synchronization is correct for reasons the
+/// analysis cannot see (conditional locking, fork-based single ownership).
+/// Every use must carry a comment justifying why.
+#define HB_NO_THREAD_SAFETY_ANALYSIS \
+  HB_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -21,6 +21,7 @@ std::uint32_t current_thread_id() {
 
 std::uint32_t current_thread_index() {
   static std::atomic<std::uint32_t> next{0};
+  // relaxed: a unique-id ticket; no ordering with any other memory needed.
   thread_local const std::uint32_t idx =
       next.fetch_add(1, std::memory_order_relaxed);
   return idx;

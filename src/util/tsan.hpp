@@ -1,0 +1,73 @@
+// ThreadSanitizer support for the seqlock payload paths.
+//
+// The per-slot seqlock protocol (transport/shm_layout.hpp, the ingest ring,
+// obs/TraceRing) copies payload bytes with PLAIN loads and stores and
+// discards torn copies by re-checking the commit word. On real hardware the
+// release/acquire fences make the accepted copies correct, but in the C++
+// abstract machine the discarded copies are data races — and TSan reports
+// exactly that when a writer laps a reader mid-copy in the stress drills.
+//
+// A blanket suppression would also hide REAL races in the same functions,
+// so instead the payload copy itself becomes tear-proof under TSan: in an
+// HB_TSAN_BUILD, tsan_relaxed_copy moves the bytes as word-sized relaxed
+// atomic operations. Relaxed atomics are never data races, torn copies are
+// still possible word-by-word (the commit re-check still discards them, so
+// behavior is unchanged), and every OTHER plain access in those functions
+// remains fully race-checked. Outside TSan builds the copy compiles to a
+// plain memcpy — the hot path pays nothing.
+//
+// HB_TSAN_BUILD is detected from the compiler (`-fsanitize=thread` defines
+// __SANITIZE_THREAD__ on GCC; Clang exposes __has_feature). No macros to
+// pass by hand, no way for a TSan CI job to forget them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#if defined(__SANITIZE_THREAD__)
+#define HB_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HB_TSAN_BUILD 1
+#endif
+#endif
+#ifndef HB_TSAN_BUILD
+#define HB_TSAN_BUILD 0
+#endif
+
+namespace hb::util {
+
+/// True in builds compiled with -fsanitize=thread (tests may use this to
+/// scale contention drills down to sanitizer speed).
+inline constexpr bool kTsanBuild = HB_TSAN_BUILD != 0;
+
+/// Copy a trivially copyable seqlock payload. Plain memcpy normally; in a
+/// TSan build, word-wise relaxed atomic copies so a racing lap shows up as
+/// a discarded torn copy (the protocol's contract) instead of a report.
+/// Only for payloads protected by a seqlock commit word — everything else
+/// should stay plainly accessed and race-checked.
+template <typename T>
+inline void tsan_relaxed_copy(T& dst, const T& src) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "seqlock payloads must be memcpy-safe");
+#if HB_TSAN_BUILD
+  static_assert(sizeof(T) % sizeof(std::uint64_t) == 0,
+                "payload must be a whole number of words");
+  static_assert(alignof(T) >= alignof(std::uint64_t),
+                "payload must be word-aligned for the atomic copy");
+  // The word-punning is confined to TSan builds; the static_asserts above
+  // guarantee the accesses are aligned and in-bounds.
+  auto* d = reinterpret_cast<std::uint64_t*>(&dst);
+  const auto* s = reinterpret_cast<const std::uint64_t*>(&src);
+  for (std::size_t i = 0; i < sizeof(T) / sizeof(std::uint64_t); ++i) {
+    __atomic_store_n(&d[i], __atomic_load_n(&s[i], __ATOMIC_RELAXED),
+                     __ATOMIC_RELAXED);
+  }
+#else
+  std::memcpy(&dst, &src, sizeof(T));
+#endif
+}
+
+}  // namespace hb::util

@@ -221,6 +221,7 @@ TEST(SnapshotCoherence, ThreadedIngestNeverTearsASweep) {
   for (int t = 0; t < kProducers; ++t) {
     producers.emplace_back([&, t] {
       std::uint64_t k = 0;
+      // relaxed: stop flag only; join() is the synchronization point.
       while (!stop.load(std::memory_order_relaxed)) {
         hub.beat(ids[(static_cast<std::size_t>(t) + k * kProducers) % kApps],
                  k % 7);
@@ -262,6 +263,7 @@ TEST(SnapshotCoherence, ThreadedIngestNeverTearsASweep) {
               static_cast<std::uint64_t>(kApps));
   }
 
+  // relaxed: stop flag only; join() is the synchronization point.
   stop.store(true, std::memory_order_relaxed);
   for (auto& p : producers) p.join();
 

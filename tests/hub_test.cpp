@@ -711,12 +711,12 @@ TEST(HubConcurrency, RegistrationRacesWithIngestion) {
     for (int i = 0; i < 200; ++i) {
       hub.register_app("late" + std::to_string(i));
     }
-    stop.store(true);
+    stop.store(true, std::memory_order_release);
   });
   std::thread producer([&] {
     const AppId id = hub.register_app("steady");
     std::uint64_t n = 0;
-    while (!stop.load()) hub.beat(id, ++n);
+    while (!stop.load(std::memory_order_acquire)) hub.beat(id, ++n);
     for (int i = 0; i < 100; ++i) hub.beat(id, ++n);
   });
   registrar.join();

@@ -550,5 +550,42 @@ TEST(PolicySelfHealing, ThousandVmRackKillHealsAndFlapperIsQuarantined) {
   EXPECT_TRUE(engine->quarantined("rack0/vm-0"));
 }
 
+// observe() documents "externally serialized" — since the concurrency
+// contract PR that is enforced, not hoped for: a sink that re-enters
+// observe() mid-dispatch (the classic accidental violation) must get
+// std::logic_error, not silent state corruption.
+TEST(PolicySerializedContract, ReentrantObserveThrows) {
+  struct ReentrantSink : ActionSink {
+    fault::FleetReport report;
+    bool threw = false;
+    void on_event(const PolicyEngine& engine, const FleetEvent&) override {
+      try {
+        // Model the bug: a sink clawing back mutable access mid-dispatch.
+        const_cast<PolicyEngine&>(engine).observe(report);
+      } catch (const std::logic_error&) {
+        threw = true;
+      }
+    }
+  };
+
+  PolicyEngine engine;
+  auto sink = std::make_shared<ReentrantSink>();
+  engine.add_sink(sink);
+
+  FleetScript fleet;
+  fleet.add("a", Health::kHealthy);
+  sink->report = fleet.at(1 * kNsPerSec);
+  // First sweep emits warming-up -> healthy, dispatching into the sink,
+  // whose nested observe() must be rejected.
+  const auto& events = engine.observe(fleet.at(1 * kNsPerSec));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(sink->threw);
+
+  // The engine survives the rejected call and keeps serving.
+  EXPECT_EQ(engine.stats().sweeps, 1u);
+  engine.observe(fleet.at(2 * kNsPerSec));
+  EXPECT_EQ(engine.stats().sweeps, 2u);
+}
+
 }  // namespace
 }  // namespace hb::policy

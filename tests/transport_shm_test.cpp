@@ -184,6 +184,7 @@ TEST_F(ShmTest, ReaderUnderConcurrentWritesSeesConsistentRecords) {
   std::thread writer([&] {
     core::HeartbeatRecord r;
     std::uint64_t i = 0;
+    // relaxed: pure progress flag; the writer publishes nothing through it.
     while (!stop.load(std::memory_order_relaxed)) {
       r.timestamp_ns = static_cast<util::TimeNs>(i);
       r.tag = i;  // tag mirrors seq so readers can check integrity
@@ -199,7 +200,8 @@ TEST_F(ShmTest, ReaderUnderConcurrentWritesSeesConsistentRecords) {
       EXPECT_EQ(rec.tag, rec.seq);
     }
   }
-  stop.store(true);
+  // relaxed: stop-flag only; join() below is the synchronization point.
+  stop.store(true, std::memory_order_relaxed);
   writer.join();
 }
 
