@@ -1,0 +1,108 @@
+// The scenario perf machines: every named drill from sim/scenarios.cpp at
+// fleet scale (4000 apps each by default), timed end to end. The drills
+// are the same specs ctest runs at <= 100 apps — same fault scripts, same
+// verify hooks — so this bench gates on correctness (any invariant
+// violation is exit 1) and MEASURES the harness: wall time and virtual
+// steps/sec per scenario, one JSON record for the in-repo perf trajectory
+// (bench/trajectory/BENCH_scenarios.json, regenerated per PR).
+//
+//   ./bench_scenarios [--smoke] [--seed N] [--json PATH]
+//
+// --smoke shrinks every machine to 25x40 racks (1000 apps) for CI; the
+// committed trajectory record always comes from the full perf machines.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_json.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+constexpr int kSmokeRacks = 25;
+constexpr int kSmokeVmsPerRack = 40;
+
+struct Args {
+  bool smoke = false;
+  std::uint64_t seed = 42;
+  const char* json_path = nullptr;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_scenarios [--smoke] [--seed N] "
+                   "[--json PATH]\n");
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  hb::bench::JsonRecord record("scenarios");
+  record.config("smoke", args.smoke);
+  record.config("seed", args.seed);
+  record.config("racks", args.smoke ? kSmokeRacks : 100);
+  record.config("vms_per_rack", args.smoke ? kSmokeVmsPerRack : 40);
+
+  std::printf("scenario fleet drills, seed %llu%s\n",
+              static_cast<unsigned long long>(args.seed),
+              args.smoke ? " (smoke: 1000 apps/machine)" : "");
+  std::printf("%-16s %6s %8s %10s %12s  %s\n", "scenario", "apps", "wall_ms",
+              "steps/s", "log_hash", "verdict");
+
+  bool all_ok = true;
+  double total_ms = 0.0;
+  for (const auto& spec : hb::sim::scenarios()) {
+    hb::sim::ScenarioConfig cfg = spec.perf;
+    if (args.smoke) {
+      cfg.racks = kSmokeRacks;
+      cfg.vms_per_rack = kSmokeVmsPerRack;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    hb::sim::ScenarioRunner runner(spec, cfg, args.seed);
+    const hb::sim::ScenarioResult& res = runner.run();
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    total_ms += wall_ms;
+    const double steps_per_s =
+        wall_ms > 0.0 ? static_cast<double>(res.steps) / (wall_ms / 1000.0)
+                      : 0.0;
+
+    std::printf("%-16s %6d %8.0f %10.0f %016llx  %s\n", spec.name.c_str(),
+                cfg.apps(), wall_ms, steps_per_s,
+                static_cast<unsigned long long>(res.log_hash),
+                res.ok() ? "ok" : "FAIL");
+    for (const auto& v : res.violations) {
+      std::printf("  violation: %s\n", v.c_str());
+    }
+    all_ok = all_ok && res.ok();
+
+    record.metric((spec.name + "_wall_ms").c_str(), wall_ms);
+    record.metric((spec.name + "_steps_per_s").c_str(), steps_per_s);
+    record.metric((spec.name + "_ok").c_str(), res.ok());
+  }
+  record.metric("total_wall_ms", total_ms);
+
+  std::printf("total: %.0f ms, %s\n", total_ms,
+              all_ok ? "all scenarios ok" : "INVARIANT VIOLATIONS");
+  if (args.json_path && !record.write(args.json_path)) return 1;
+  return all_ok ? 0 : 1;
+}

@@ -1,23 +1,17 @@
 // self_healing_fleet: the observe-decide-act loop with nobody at the wheel.
 //
-// A CloudSim fleet (4 racks x 12 VMs + one chronically flaky VM) feeds a
-// HeartbeatHub; CloudSim::set_policy runs a FleetDetector sweep through a
-// PolicyEngine every half second of simulated time, and a CloudRestartSink
-// acts on the verdict edges. The script:
+// The main path runs the "rack_kill" drill from sim/scenarios.cpp through
+// ScenarioRunner — the same spec ctest and bench_scenarios drive. A whole
+// rack dies in one sweep (ONE correlated-failure event, one automatic
+// restart per member, fleet heals), a chronically flaky VM crash-loops
+// until the engine QUARANTINES it, and a scripted "operator" restart at
+// t=62s brings the flapper back; the fleet ends healed with the flapper
+// still serving its quarantine. Everything runs on the runner's virtual
+// clock, so the event stream below is byte-reproducible per seed — this is
+// also the CI smoke for the policy layer.
 //
-//   t=10s  a whole rack is killed in one sweep     -> ONE correlated-failure
-//          event (not 12 alerts), 12 automatic restarts, fleet heals;
-//   t=10s+ the flaky VM starts crash-looping: the engine counts its
-//          dead<->alive edges and QUARANTINES it — automatic restarts stop
-//          (the crash loop is reported, not fought);
-//   later  an "operator" (this driver) restarts the flaky VM once by hand;
-//          the fleet ends at 0 dead with the flapper still in quarantine.
-//
-// Everything runs on a ManualClock, so every event line below is
-// bit-reproducible — this is also the CI smoke for the policy layer.
-//
-//   ./example_self_healing_fleet            (the scenario above; exits 0 on
-//                                            the expected end state)
+//   ./example_self_healing_fleet [seed]     (the drill above; exits 0 when
+//                                            every scenario invariant holds)
 //   ./example_self_healing_fleet --refill    (the refilling-budget scenario:
 //                                            a storm exhausts a VM's restart
 //                                            budget, a quiet stretch refills
@@ -25,6 +19,7 @@
 //                                            next death instead of being
 //                                            permanently disarmed)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -35,6 +30,7 @@
 #include "policy/action_sink.hpp"
 #include "policy/cloud_restart_sink.hpp"
 #include "policy/policy_engine.hpp"
+#include "sim/scenario.hpp"
 #include "util/clock.hpp"
 #include "util/time.hpp"
 
@@ -156,140 +152,44 @@ int run_refill_scenario() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  using hb::util::kNsPerSec;
   if (argc > 1 && std::strcmp(argv[1], "--refill") == 0) {
     return run_refill_scenario();
   }
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
 
-  auto clock = std::make_shared<hb::util::ManualClock>();
-  hb::cloud::CloudSim sim(8, /*capacity=*/100.0, clock);
-  auto hub = std::make_shared<hb::hub::HeartbeatHub>([&] {
-    hb::hub::HubOptions opts;
-    opts.shard_count = 8;
-    opts.window_capacity = 64;
-    opts.clock = clock;
-    return opts;
-  }());
-  sim.attach_hub(hub);
-
-  // 4 racks x 12 VMs, steady 4 beats/s each, plus the flaky loner.
-  constexpr int kRacks = 4, kPerRack = 12;
-  int rack_vms[kRacks][kPerRack];
-  for (int r = 0; r < kRacks; ++r) {
-    for (int v = 0; v < kPerRack; ++v) {
-      hb::cloud::VmSpec spec;
-      spec.name = "rack" + std::to_string(r) + "/vm-" + std::to_string(v);
-      spec.phases = {{300.0, 4.0}};
-      spec.target_min_bps = 2.0;
-      rack_vms[r][v] = sim.add_vm(std::move(spec));
-    }
+  // The full drill — spinup, fault script, flap loop, the operator's one
+  // human moment at t=62s, invariant verification — is the registered
+  // "rack_kill" scenario; this driver just runs its correctness machine
+  // and prints the replayable stream.
+  const hb::sim::ScenarioSpec* spec = hb::sim::find_scenario("rack_kill");
+  if (spec == nullptr) {
+    std::fprintf(stderr, "rack_kill scenario missing from the registry\n");
+    return 1;
   }
-  hb::cloud::VmSpec flaky_spec;
-  flaky_spec.name = "flaky-vm";  // no '/': ungrouped, never folds
-  flaky_spec.phases = {{300.0, 4.0}};
-  flaky_spec.target_min_bps = 2.0;
-  const int flaky = sim.add_vm(std::move(flaky_spec));
+  hb::sim::ScenarioRunner runner(*spec, spec->correctness, seed);
+  const hb::sim::ScenarioResult& res = runner.run();
+  std::fputs(runner.log().canonical_text().c_str(), stdout);
 
-  // Decide: transitions + flap quarantine + correlated grouping. Act:
-  // budgeted automatic restarts; report: every event to stdout.
-  auto engine = std::make_shared<hb::policy::PolicyEngine>(
-      hb::policy::PolicyOptions{.flap_window_ns = 60 * kNsPerSec,
-                                .flap_threshold = 4,
-                                .quarantine_cooldown_ns = 60 * kNsPerSec,
-                                .correlated_min_apps = 3});
-  auto restarter = std::make_shared<hb::policy::CloudRestartSink>(
-      sim, hb::policy::CloudRestartSinkOptions{.restart_budget = 3});
-  engine->add_sink(std::make_shared<hb::policy::LogSink>(stdout));
-  engine->add_sink(restarter);
-  sim.set_policy(engine, {.absolute_staleness_ns = 5 * kNsPerSec},
-                 /*period_s=*/0.5);
-
-  std::printf("self_healing_fleet: %zu VMs, policy sweep every 0.5s\n\n",
-              sim.vm_count());
-
-  // The driver only injects faults and plays the one human moment; every
-  // remediation below comes from the policy loop inside sim.step().
-  enum class FlakyPhase { kHealthy, kFlapping, kQuarantined, kRecovered };
-  FlakyPhase phase = FlakyPhase::kHealthy;
-  double last_kill_s = 0.0, quarantined_at_s = 0.0;
-  bool rack_killed = false;
-
-  for (int tick = 0; tick < 450; ++tick) {  // 45 s at dt = 0.1
-    sim.step(0.1);
-    const double now = sim.now_seconds();
-
-    if (!rack_killed && now >= 10.0) {
-      rack_killed = true;
-      std::printf("-- injecting: killing all %d VMs of rack2 + first "
-                  "flaky-vm crash at t=%.1fs\n", kPerRack, now);
-      for (int v = 0; v < kPerRack; ++v) sim.kill_vm(rack_vms[2][v]);
-      sim.kill_vm(flaky);
-      last_kill_s = now;
-      phase = FlakyPhase::kFlapping;
-    }
-    switch (phase) {
-      case FlakyPhase::kFlapping:
-        // Crash again a few seconds after each automatic resurrection.
-        if (!sim.vm_killed(flaky) && now - last_kill_s > 3.0) {
-          sim.kill_vm(flaky);
-          last_kill_s = now;
-        }
-        if (engine->quarantined("flaky-vm")) {
-          phase = FlakyPhase::kQuarantined;
-          quarantined_at_s = now;
-          // One more crash while quarantined: nobody may auto-restart it.
-          if (!sim.vm_killed(flaky)) sim.kill_vm(flaky);
-          std::printf("-- flaky-vm quarantined at t=%.1fs; it stays down "
-                      "until a human looks at it\n", now);
-        }
-        break;
-      case FlakyPhase::kQuarantined:
-        if (now - quarantined_at_s > 8.0) {
-          std::printf("-- operator intervention: restarting flaky-vm by "
-                      "hand at t=%.1fs\n", now);
-          sim.restart_vm(flaky);
-          phase = FlakyPhase::kRecovered;
-        }
-        break;
-      case FlakyPhase::kHealthy:
-      case FlakyPhase::kRecovered:
-        break;
-    }
-  }
-
-  // The end state, through the same detector the policy used.
-  const hb::fault::FleetReport report =
-      sim.fleet_health(hb::fault::FleetDetector(
-          {.absolute_staleness_ns = 5 * kNsPerSec}));
-  std::printf("\n");
-  hb::fault::print_fleet_report(stdout, report);
-
-  const auto& pstats = engine->stats();
-  const auto& rstats = restarter->stats();
+  const auto& pstats = res.policy;
+  const auto& rstats = res.restarts;
   std::printf("\npolicy: %llu sweeps, %llu transitions, %llu correlated "
               "failures, %llu quarantines\n",
               static_cast<unsigned long long>(pstats.sweeps),
               static_cast<unsigned long long>(pstats.transitions),
               static_cast<unsigned long long>(pstats.correlated_failures),
               static_cast<unsigned long long>(pstats.quarantines));
-  std::printf("restarts: %llu automatic (flaky-vm used %u of 3), "
+  std::printf("restarts: %llu automatic (flapper %s used %u of 3), "
               "%llu suppressed by quarantine, %llu by budget\n",
               static_cast<unsigned long long>(rstats.restarts),
-              restarter->restarts_of("flaky-vm"),
+              res.facts.at("flapper").c_str(),
+              runner.restarter()->restarts_of(res.facts.at("flapper")),
               static_cast<unsigned long long>(rstats.suppressed_quarantined),
               static_cast<unsigned long long>(rstats.suppressed_budget));
 
-  // The acceptance shape: the rack healed itself (one folded event, one
-  // restart per member), the flapper was contained (quarantined, budget
-  // not exhausted, at least one suppressed restart), and the fleet ends
-  // with zero dead apps.
-  const bool ok = report.fleet.dead == 0 &&
-                  pstats.correlated_failures == 1 &&
-                  pstats.quarantines == 1 &&
-                  engine->quarantined("flaky-vm") &&
-                  rstats.restarts >= kPerRack &&
-                  restarter->restarts_of("flaky-vm") < 3 &&
-                  rstats.suppressed_quarantined >= 1;
-  std::printf("\n%s\n", ok ? "self-healed: ok" : "UNEXPECTED END STATE");
-  return ok ? 0 : 1;
+  // The acceptance shape — rack healed by ONE folded event + one restart
+  // per member, flapper quarantined within budget, fleet ends clean — is
+  // the spec's verify hook; ok() is the whole gate.
+  std::printf("\n%s\n", res.ok() ? "self-healed: ok" : "UNEXPECTED END STATE");
+  return res.ok() ? 0 : 1;
 }

@@ -33,13 +33,26 @@ int CloudSim::add_vm(VmSpec spec) {
   vm.spec = std::move(spec);
   vms_.push_back(std::move(vm));
   if (hub_) hub_ids_.push_back(register_with_hub(vms_.back()));
-  // First-fit by demand headroom.
   const int id = static_cast<int>(vms_.size()) - 1;
   vm_by_name_.emplace(vms_.back().spec.name, id);  // first name wins
-  machine_of_.push_back(0);
+  // First-fit by demand headroom: one O(V) load pass then an O(M) machine
+  // scan. (A per-machine machine_demand() rescan made fleet spinup
+  // quadratic; scenario perf machines place tens of thousands of VMs.)
+  // Per-machine sums accumulate in VM index order, exactly as
+  // machine_demand() does, so placement decisions are bit-identical.
+  std::vector<double> load(static_cast<std::size_t>(num_machines_), 0.0);
+  for (std::size_t v = 0; v + 1 < vms_.size(); ++v) {
+    if (vms_[v].killed) continue;
+    load[static_cast<std::size_t>(machine_of_[v])] +=
+        vm_demand(static_cast<int>(v));
+  }
+  const double want = vm_demand(id);
+  machine_of_.push_back(num_machines_ - 1);  // where it lands if nothing fits
   for (int m = 0; m < num_machines_; ++m) {
-    machine_of_.back() = m;
-    if (machine_demand(m) <= capacity_) break;
+    if (load[static_cast<std::size_t>(m)] + want <= capacity_) {
+      machine_of_.back() = m;
+      break;
+    }
   }
   return id;
 }
@@ -143,32 +156,45 @@ double CloudSim::machine_demand(int machine) const {
 
 void CloudSim::step(double dt_seconds) {
   clock_->advance(util::from_seconds(dt_seconds));
-  for (int m = 0; m < num_machines_; ++m) {
-    const double demand = machine_demand(m);
+  // One O(V) demand pass instead of a machine-major O(M x V) rescan — at
+  // fleet scale (scenario perf machines, 4k-100k VMs) the rescan dominated
+  // the step. Per-machine demand sums accumulate in VM index order, the
+  // same order machine_demand() uses, so capacity scales are bit-identical;
+  // beats now issue in VM index order rather than machine-major order,
+  // which only permutes same-tick hub ingest BETWEEN apps (every per-app
+  // beat stream and timestamp is unchanged).
+  std::vector<double> demand_of(vms_.size(), 0.0);
+  std::vector<double> machine_load(static_cast<std::size_t>(num_machines_),
+                                   0.0);
+  for (std::size_t v = 0; v < vms_.size(); ++v) {
+    if (vms_[v].killed) continue;  // dead VMs consume nothing
+    const double d = vm_demand(static_cast<int>(v));
+    demand_of[v] = d;
+    machine_load[static_cast<std::size_t>(machine_of_[v])] += d;
+  }
+  for (std::size_t v = 0; v < vms_.size(); ++v) {
+    Vm& vm = vms_[v];
+    if (vm.killed) continue;  // no work, no beats — only silence
+    const double d = demand_of[v];
+    if (d <= 0.0) continue;
     // Demand-proportional capacity split; under-subscribed machines serve
     // everyone fully.
+    const double demand = machine_load[static_cast<std::size_t>(machine_of_[v])];
     const double scale = demand <= capacity_ || demand <= 0.0
                              ? 1.0
                              : capacity_ / demand;
-    for (std::size_t v = 0; v < vms_.size(); ++v) {
-      if (machine_of_[v] != m) continue;
-      Vm& vm = vms_[v];
-      if (vm.killed) continue;  // no work, no beats — only silence
-      const double d = vm_demand(static_cast<int>(v));
-      if (d <= 0.0) continue;
-      vm.pending_work += d * scale * dt_seconds;
-      while (vm.pending_work >= vm.spec.work_per_beat) {
-        vm.pending_work -= vm.spec.work_per_beat;
-        vm.channel->beat();
-        if (hub_) {
-          // Mirror a record stamped from the SIM clock (not hub.beat(),
-          // which would stamp the hub's own clock): hub rates then agree
-          // with per-VM reader rates even if the hub keeps a different
-          // clock. Staleness queries still need a shared clock.
-          core::HeartbeatRecord rec;
-          rec.timestamp_ns = clock_->now();
-          hub_->ingest(hub_ids_[v], rec);
-        }
+    vm.pending_work += d * scale * dt_seconds;
+    while (vm.pending_work >= vm.spec.work_per_beat) {
+      vm.pending_work -= vm.spec.work_per_beat;
+      vm.channel->beat();
+      if (hub_) {
+        // Mirror a record stamped from the SIM clock (not hub.beat(),
+        // which would stamp the hub's own clock): hub rates then agree
+        // with per-VM reader rates even if the hub keeps a different
+        // clock. Staleness queries still need a shared clock.
+        core::HeartbeatRecord rec;
+        rec.timestamp_ns = clock_->now();
+        hub_->ingest(hub_ids_[v], rec);
       }
     }
   }

@@ -10,7 +10,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
+
+#include "util/time.hpp"
 
 namespace hb::fault {
 
@@ -53,6 +56,75 @@ class FaultPlan {
  private:
   std::vector<FaultEvent> events_;
   std::size_t next_ = 0;
+};
+
+// ------------------------------------------------- fleet-level fault plans
+//
+// The scenario harness (sim/scenario.hpp) scripts whole-fleet drills — rack
+// kills, rolling restarts, partition heals — against CloudSim VMs on the
+// sim's virtual clock. A FleetFaultPlan is the same idea as FaultPlan one
+// level up: a sorted script of VM-granularity faults fired by sim time
+// instead of beat count, decoupled from what firing means (the runner maps
+// kKillVms/kRestartVms onto CloudSim::kill_vm/restart_vm and logs each).
+
+enum class FleetFaultKind {
+  kKillVms,     ///< CloudSim::kill_vm each target (silence begins)
+  kRestartVms,  ///< CloudSim::restart_vm each still-dead target
+};
+
+struct FleetFaultEvent {
+  util::TimeNs at_ns = 0;  ///< fire when sim time reaches this
+  FleetFaultKind kind = FleetFaultKind::kKillVms;
+  std::vector<int> vms;  ///< CloudSim VM indices
+  std::string note;      ///< human-readable cause, quoted in the ScenarioLog
+};
+
+class FleetFaultPlan {
+ public:
+  FleetFaultPlan() = default;
+
+  /// Add an event; events may arrive in any order. Scheduling after poll()
+  /// has started firing is allowed as long as the new event is not already
+  /// due (the plan re-sorts lazily and never re-fires past entries).
+  void schedule(FleetFaultEvent event) {
+    events_.push_back(std::move(event));
+    sorted_ = false;
+  }
+
+  /// Fire every event due at `now` in schedule order (ties keep insertion
+  /// order). Returns the number fired.
+  int poll(util::TimeNs now,
+           const std::function<void(const FleetFaultEvent&)>& fire) {
+    if (!sorted_) {
+      // stable: same-instant events fire in the order they were scheduled.
+      std::stable_sort(events_.begin() + static_cast<std::ptrdiff_t>(next_),
+                       events_.end(),
+                       [](const FleetFaultEvent& a, const FleetFaultEvent& b) {
+                         return a.at_ns < b.at_ns;
+                       });
+      sorted_ = true;
+    }
+    int fired = 0;
+    while (next_ < events_.size() && events_[next_].at_ns <= now) {
+      fire(events_[next_]);
+      ++next_;
+      ++fired;
+    }
+    return fired;
+  }
+
+  bool exhausted() const { return next_ >= events_.size(); }
+  std::size_t remaining() const { return events_.size() - next_; }
+  std::size_t size() const { return events_.size(); }
+  void reset() {
+    next_ = 0;
+    sorted_ = false;
+  }
+
+ private:
+  std::vector<FleetFaultEvent> events_;
+  std::size_t next_ = 0;
+  bool sorted_ = false;
 };
 
 }  // namespace hb::fault

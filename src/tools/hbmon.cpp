@@ -23,6 +23,12 @@
 //   hbmon trace [-o trace.json] [-d run_ms] [-i poll_ms]
 //                                      # same, exporting the stage-span ring
 //                                      # as Chrome trace-event JSON
+//   hbmon scenario --list              # named deterministic fleet drills
+//   hbmon scenario <name> [--seed N] [--perf] [--json]
+//                                      # run one drill on the virtual clock;
+//                                      # stdout is the replayable event
+//                                      # stream (byte-stable per seed).
+//                                      # exit 0 ok / 4 invariant violation
 //
 // Fleet modes accept --metrics to append the registry table after the
 // verdict table. The ring-fed modes (--live, --watch, metrics, trace) run
@@ -53,6 +59,7 @@
 #include "obs/trace.hpp"
 #include "policy/action_sink.hpp"
 #include "policy/policy_engine.hpp"
+#include "sim/scenario.hpp"
 #include "transport/registry.hpp"
 #include "transport/shm_ingest.hpp"
 
@@ -73,7 +80,10 @@ int usage() {
                "[-s dead_ms] [-p sweep_ms] [--metrics]\n"
                "       hbmon metrics [--json] [-d run_ms] [-i poll_ms]\n"
                "       hbmon trace [-o trace.json] [-d run_ms] "
-               "[-i poll_ms]\n");
+               "[-i poll_ms]\n"
+               "       hbmon scenario --list\n"
+               "       hbmon scenario <name> [--seed N] [--perf] "
+               "[--json]\n");
   return 2;
 }
 
@@ -566,6 +576,71 @@ int cmd_trace(const hb::transport::Registry& registry, int run_ms,
   return 0;
 }
 
+// ---------------------------------------------------------- scenario mode
+
+int cmd_scenario_list() {
+  std::printf("%-16s %-11s %-11s %s\n", "scenario", "correctness", "perf",
+              "summary");
+  for (const auto& spec : hb::sim::scenarios()) {
+    char correctness[32], perf[32];
+    std::snprintf(correctness, sizeof(correctness), "%dx%d",
+                  spec.correctness.racks, spec.correctness.vms_per_rack);
+    std::snprintf(perf, sizeof(perf), "%dx%d", spec.perf.racks,
+                  spec.perf.vms_per_rack);
+    std::printf("%-16s %-11s %-11s %s\n", spec.name.c_str(), correctness,
+                perf, spec.summary.c_str());
+  }
+  return 0;
+}
+
+int cmd_scenario(const std::string& name, std::uint64_t seed, bool perf,
+                 bool json) {
+  const hb::sim::ScenarioSpec* spec = hb::sim::find_scenario(name);
+  if (!spec) {
+    std::fprintf(stderr,
+                 "hbmon: unknown scenario '%s' (hbmon scenario --list)\n",
+                 name.c_str());
+    return 2;
+  }
+  hb::sim::ScenarioRunner runner(*spec, perf ? spec->perf : spec->correctness,
+                                 seed);
+  const hb::sim::ScenarioResult& res = runner.run();
+  if (json) {
+    std::printf("{\n  \"scenario\": \"%s\",\n  \"seed\": %llu,\n"
+                "  \"apps\": %d,\n  \"steps\": %llu,\n"
+                "  \"log_hash\": \"%016llx\",\n  \"ok\": %s,\n",
+                res.name.c_str(), static_cast<unsigned long long>(res.seed),
+                res.config.apps(),
+                static_cast<unsigned long long>(res.steps),
+                static_cast<unsigned long long>(res.log_hash),
+                res.ok() ? "true" : "false");
+    std::printf("  \"fleet\": {\"healthy\": %llu, \"warming_up\": %llu, "
+                "\"slow\": %llu, \"erratic\": %llu, \"dead\": %llu, "
+                "\"evicted\": %llu},\n",
+                static_cast<unsigned long long>(res.final_fleet.healthy),
+                static_cast<unsigned long long>(res.final_fleet.warming_up),
+                static_cast<unsigned long long>(res.final_fleet.slow),
+                static_cast<unsigned long long>(res.final_fleet.erratic),
+                static_cast<unsigned long long>(res.final_fleet.dead),
+                static_cast<unsigned long long>(res.final_fleet.evicted));
+    std::printf("  \"facts\": {");
+    bool first = true;
+    for (const auto& [key, value] : res.facts) {  // std::map: sorted, stable
+      std::printf("%s\"%s\": \"%s\"", first ? "" : ", ", key.c_str(),
+                  value.c_str());
+      first = false;
+    }
+    std::printf("},\n  \"violations\": [");
+    for (std::size_t i = 0; i < res.violations.size(); ++i) {
+      std::printf("%s\"%s\"", i ? ", " : "", res.violations[i].c_str());
+    }
+    std::printf("]\n}\n");
+  } else {
+    std::fputs(runner.log().canonical_text().c_str(), stdout);
+  }
+  return res.ok() ? 0 : 4;  // 4: drill ran but an invariant was violated
+}
+
 const char* parse_sflag(int argc, char** argv, const char* flag,
                         const char* fallback) {
   for (int i = 0; i + 1 < argc; ++i) {
@@ -621,6 +696,14 @@ int main(int argc, char** argv) {
       }
       return cmd_fleet(registry, parse_flag(argc, argv, "-s", 5000),
                        parse_flag(argc, argv, "-n", 64), metrics);
+    }
+    if (cmd == "scenario") {
+      if (has_flag(argc, argv, "--list")) return cmd_scenario_list();
+      if (argc < 3 || argv[2][0] == '-') return usage();
+      return cmd_scenario(
+          argv[2],
+          std::strtoull(parse_sflag(argc, argv, "--seed", "42"), nullptr, 10),
+          has_flag(argc, argv, "--perf"), has_flag(argc, argv, "--json"));
     }
     if (argc < 3) return usage();
     const std::string app = argv[2];

@@ -16,6 +16,7 @@
 #include "hub/view.hpp"
 #include "policy/policy_engine.hpp"
 #include "sched/global_scheduler.hpp"
+#include "test_support.hpp"
 #include "util/clock.hpp"
 #include "util/time.hpp"
 
@@ -158,12 +159,7 @@ TEST(FleetClassify, EmptyWindowAfterAgingIsWarmingUpNotSlow) {
 
 TEST(FleetSweep, MixedHubFleetRollsUp) {
   auto clock = std::make_shared<util::ManualClock>();
-  hub::HubOptions opts;
-  opts.shard_count = 4;
-  opts.batch_capacity = 8;
-  opts.window_capacity = 64;
-  opts.clock = clock;
-  hub::HeartbeatHub hub(opts);
+  hub::HeartbeatHub hub(test::manual_hub_opts(clock));
 
   const auto inf = std::numeric_limits<double>::infinity();
   const hub::AppId healthy = hub.register_app("healthy", {1.0, inf});
@@ -227,10 +223,7 @@ TEST(FleetSweep, WorstOffendersAreCappedAndExcludeWarmUps) {
         {100.0, std::numeric_limits<double>::infinity()}));
     hub.register_app("silent-" + std::to_string(i));
   }
-  for (int i = 0; i < 10; ++i) {
-    clock->advance(100 * kNsPerMs);
-    for (const hub::AppId id : slow) hub.beat(id);
-  }
+  test::beat_apps(hub, *clock, slow, /*rounds=*/10, 100 * kNsPerMs);
   FleetDetector det({.max_worst = 3});
   const FleetReport report = det.sweep(hub::HubView(hub));
   EXPECT_EQ(report.fleet.slow, 10u);
@@ -254,15 +247,9 @@ TEST(FleetSweep, AutoEvictedDeathsStayInTheReport) {
   hub::HeartbeatHub hub(opts);
   const hub::AppId live = hub.register_app("live");
   const hub::AppId doomed = hub.register_app("doomed");
-  for (int i = 0; i < 20; ++i) {
-    clock->advance(100 * kNsPerMs);
-    hub.beat(live);
-    hub.beat(doomed);
-  }
-  for (int i = 0; i < 40; ++i) {  // 4s of silence for doomed
-    clock->advance(100 * kNsPerMs);
-    hub.beat(live);
-  }
+  test::beat_apps(hub, *clock, {live, doomed}, /*rounds=*/20, 100 * kNsPerMs);
+  // 4s of silence for doomed.
+  test::beat_apps(hub, *clock, {live}, /*rounds=*/40, 100 * kNsPerMs);
   ASSERT_TRUE(hub::HubView(hub).app("doomed")->evicted);
 
   const FleetReport report = FleetDetector().sweep(hub::HubView(hub));
@@ -296,11 +283,8 @@ TEST(FleetSweep, EvictionRevivalChurnStaysConsistent) {
   constexpr int kCycles = 3;
   for (int cycle = 0; cycle < kCycles; ++cycle) {
     // Active: both beat at 10 b/s for 2 s.
-    for (int i = 0; i < 20; ++i) {
-      clock->advance(100 * kNsPerMs);
-      hub.beat(churn);
-      hub.beat(steady);
-    }
+    test::beat_apps(hub, *clock, {churn, steady}, /*rounds=*/20,
+                    100 * kNsPerMs);
     FleetReport up = det.sweep(view);
     engine.observe(up);
     EXPECT_EQ(up.fleet.apps, 2u) << "cycle " << cycle;
@@ -315,10 +299,7 @@ TEST(FleetSweep, EvictionRevivalChurnStaysConsistent) {
 
     // Silent: churn stops for 4 s — past the relative death bound AND the
     // eviction bound; steady keeps beating.
-    for (int i = 0; i < 40; ++i) {
-      clock->advance(100 * kNsPerMs);
-      hub.beat(steady);
-    }
+    test::beat_apps(hub, *clock, {steady}, /*rounds=*/40, 100 * kNsPerMs);
     FleetReport down = det.sweep(view);
     engine.observe(down);
     EXPECT_EQ(down.fleet.apps, 2u) << "cycle " << cycle;
@@ -339,11 +320,8 @@ TEST(FleetSweep, EvictionRevivalChurnStaysConsistent) {
   EXPECT_EQ(engine.stats().quarantines, 0u);  // threshold far away
 
   // Come back one last time: the fleet ends clean.
-  for (int i = 0; i < 20; ++i) {
-    clock->advance(100 * kNsPerMs);
-    hub.beat(churn);
-    hub.beat(steady);
-  }
+  test::beat_apps(hub, *clock, {churn, steady}, /*rounds=*/20,
+                  100 * kNsPerMs);
   const FleetReport healed = det.sweep(view);
   engine.observe(healed);
   EXPECT_EQ(healed.fleet.dead, 0u);
@@ -361,10 +339,7 @@ TEST(FleetSweep, AgedOutDeadProducerIsReportedDeadWithoutAbsoluteBound) {
   opts.clock = clock;
   hub::HeartbeatHub hub(opts);
   const hub::AppId id = hub.register_app("quiet");
-  for (int i = 0; i < 20; ++i) {
-    clock->advance(100 * kNsPerMs);
-    hub.beat(id);
-  }
+  test::beat_apps(hub, *clock, {id}, /*rounds=*/20, 100 * kNsPerMs);
   clock->advance(10 * kNsPerSec);  // window fully drained
   ASSERT_EQ(hub::HubView(hub).app("quiet")->window_beats, 0u);
   const FleetReport report = FleetDetector().sweep(hub::HubView(hub));
@@ -395,14 +370,8 @@ TEST(FleetSweepCloud, ThousandVmFleetWithInjectedFaults) {
   // beat patterns stay exactly as injected (contention would add jitter on
   // innocent VMs and muddy the class assertions).
   cloud::CloudSim sim(25, /*capacity=*/200.0, clock);
-  auto hub = std::make_shared<hub::HeartbeatHub>([&] {
-    hub::HubOptions opts;
-    opts.shard_count = 16;
-    opts.batch_capacity = 64;
-    opts.window_capacity = 64;
-    opts.clock = clock;
-    return opts;
-  }());
+  auto hub = std::make_shared<hub::HeartbeatHub>(
+      test::manual_hub_opts(clock, /*shards=*/16, /*batch=*/64));
   sim.attach_hub(hub);
 
   constexpr int kVms = 1000;
@@ -434,9 +403,9 @@ TEST(FleetSweepCloud, ThousandVmFleetWithInjectedFaults) {
     if (i % 13 == 5) killed.push_back(v);
   }
 
-  for (int i = 0; i < 150; ++i) sim.step(0.1);  // t = 15s: everyone warm
+  test::step_sim(sim, 150);  // t = 15s: everyone warm
   for (const int v : killed) sim.kill_vm(v);
-  for (int i = 0; i < 150; ++i) sim.step(0.1);  // t = 30s: kills are stale
+  test::step_sim(sim, 150);  // t = 30s: kills are stale
 
   const FleetDetector det({.absolute_staleness_ns = 5 * kNsPerSec});
   const FleetReport report = sim.fleet_health(det);
@@ -470,11 +439,12 @@ TEST(FleetSweepCloud, ThousandVmFleetWithInjectedFaults) {
     EXPECT_EQ(s.pending, 0u);
   }
 
-  // Restart heals: after enough fresh beats wash out the gap, a new sweep
-  // sees the fleet alive again.
+  // Restart heals: after enough fresh beats wash out the gap, the rollup
+  // settles with the fleet alive again (dead drops to zero at the first
+  // post-restart sweep; stability means the revival washed through).
   for (const int v : killed) sim.restart_vm(v);
-  for (int i = 0; i < 300; ++i) sim.step(0.1);
-  const FleetReport healed = sim.fleet_health(det);
+  const FleetReport healed =
+      test::sweep_until_stable(sim, det, /*max_steps=*/600);
   EXPECT_EQ(healed.fleet.dead, 0u);
 }
 

@@ -12,6 +12,7 @@
 #include "fault/fleet_detector.hpp"
 #include "hub/hub.hpp"
 #include "hub/view.hpp"
+#include "test_support.hpp"
 #include "util/clock.hpp"
 #include "util/time.hpp"
 
@@ -21,22 +22,15 @@ namespace {
 using util::kNsPerMs;
 using util::kNsPerSec;
 
-HubOptions manual_opts(std::shared_ptr<util::ManualClock> clock,
-                       std::size_t shards = 4, std::size_t batch = 8,
-                       std::size_t window = 64) {
-  HubOptions opts;
-  opts.shard_count = shards;
-  opts.batch_capacity = batch;
-  opts.window_capacity = window;
-  opts.clock = std::move(clock);
-  return opts;
-}
+// Shared across the hub suites: ManualClock HubOptions with test-sized
+// shards/batch/window.
+using test::manual_hub_opts;
 
 // ------------------------------------------------------------- epoch rules
 
 TEST(SnapshotEpochs, RepeatedQueriesBetweenFlushesReuseTheSnapshot) {
   auto clock = std::make_shared<util::ManualClock>();
-  HeartbeatHub hub(manual_opts(clock));
+  HeartbeatHub hub(manual_hub_opts(clock));
   const AppId a = hub.register_app("a");
   const AppId b = hub.register_app("b");
   HubView view(hub);
@@ -78,7 +72,7 @@ TEST(SnapshotEpochs, RepeatedQueriesBetweenFlushesReuseTheSnapshot) {
 
 TEST(SnapshotEpochs, DirtyStateRepublishesWithoutBeats) {
   auto clock = std::make_shared<util::ManualClock>();
-  HeartbeatHub hub(manual_opts(clock, /*shards=*/1));
+  HeartbeatHub hub(manual_hub_opts(clock, /*shards=*/1));
   const AppId id = hub.register_app("a");
   HubView view(hub);
   clock->advance(kNsPerMs);
@@ -100,7 +94,7 @@ TEST(SnapshotEpochs, DirtyStateRepublishesWithoutBeats) {
 
 TEST(SnapshotEpochs, FreshnessToleranceSkipsSubToleranceRepublishes) {
   auto clock = std::make_shared<util::ManualClock>();
-  HubOptions opts = manual_opts(clock, 2);
+  HubOptions opts = manual_hub_opts(clock, 2);
   opts.snapshot_min_interval_ns = 100 * kNsPerMs;
   HeartbeatHub hub(opts);
   const AppId id = hub.register_app("a");
@@ -139,7 +133,7 @@ TEST(SnapshotEpochs, OverflowDrainedBeatsAlwaysReachTheNextSnapshot) {
   // applied data cuts through the freshness tolerance, frozen clock or
   // not — or those beats stay invisible until the clock moves.
   auto clock = std::make_shared<util::ManualClock>();
-  HubOptions opts = manual_opts(clock, /*shards=*/1, /*batch=*/4);
+  HubOptions opts = manual_hub_opts(clock, /*shards=*/1, /*batch=*/4);
   opts.snapshot_min_interval_ns = kNsPerSec;  // tolerance must not hide data
   HeartbeatHub hub(opts);
   const AppId id = hub.register_app("a");
@@ -164,7 +158,7 @@ TEST(SnapshotEpochs, OverflowDrainedBeatsAlwaysReachTheNextSnapshot) {
 
 TEST(SnapshotSortOnce, AppsAreSortedOncePerEpochAndReused) {
   auto clock = std::make_shared<util::ManualClock>();
-  HeartbeatHub hub(manual_opts(clock));
+  HeartbeatHub hub(manual_hub_opts(clock));
   // Registration order deliberately unsorted.
   hub.register_app("charlie");
   hub.register_app("alpha");
@@ -205,7 +199,7 @@ TEST(SnapshotSortOnce, AppsAreSortedOncePerEpochAndReused) {
 // must be ASan/UBSan clean (CI runs this suite under both).
 TEST(SnapshotCoherence, ThreadedIngestNeverTearsASweep) {
   auto clock = std::make_shared<util::ManualClock>();
-  HubOptions opts = manual_opts(clock, /*shards=*/8, /*batch=*/16);
+  HubOptions opts = manual_hub_opts(clock, /*shards=*/8, /*batch=*/16);
   HeartbeatHub hub(opts);
   HubView view(hub);
 
@@ -282,7 +276,7 @@ TEST(SnapshotCoherence, ThreadedIngestNeverTearsASweep) {
 // deterministic single-threaded run.
 TEST(SnapshotCoherence, ReportEpochMatchesTheSnapshotItWasDerivedFrom) {
   auto clock = std::make_shared<util::ManualClock>();
-  HeartbeatHub hub(manual_opts(clock, 2));
+  HeartbeatHub hub(manual_hub_opts(clock, 2));
   const AppId id = hub.register_app("a");
   HubView view(hub);
   clock->advance(kNsPerMs);

@@ -15,6 +15,8 @@
 #include "policy/action_sink.hpp"
 #include "policy/cloud_restart_sink.hpp"
 #include "policy/policy_engine.hpp"
+#include "sim/scenario.hpp"
+#include "test_support.hpp"
 #include "util/clock.hpp"
 #include "util/time.hpp"
 
@@ -440,114 +442,77 @@ TEST_F(RestartFixture, SetPolicyRequiresAttachedHub) {
 
 // --------------------------------------- the 1000-VM self-healing drill
 
-// The acceptance scenario (ISSUE 4): a 1000-VM fleet in 25 racks feeding
-// one hub, with the policy tick wired into CloudSim::step. An injected
+// The acceptance scenario (ISSUE 4), now driven through the "rack_kill"
+// drill of sim::ScenarioRunner at a 1000-VM machine: an injected
 // whole-rack kill must fold into one correlated event and heal back to 0
 // dead purely through CloudRestartSink — while a deliberately flapping VM
-// is quarantined instead of restart-looped.
+// is quarantined instead of restart-looped. The runner owns spinup, fault
+// scripting, and the virtual clock; the assertions are unchanged from the
+// hand-rolled drill it replaced.
 TEST(PolicySelfHealing, ThousandVmRackKillHealsAndFlapperIsQuarantined) {
-  auto clock = std::make_shared<util::ManualClock>();
-  cloud::CloudSim sim(25, /*capacity=*/400.0, clock);
-  auto hub = std::make_shared<hub::HeartbeatHub>([&] {
-    hub::HubOptions opts;
-    opts.shard_count = 16;
-    opts.batch_capacity = 64;
-    opts.window_capacity = 64;
-    opts.clock = clock;
-    return opts;
-  }());
-  sim.attach_hub(hub);
+  const sim::ScenarioSpec* spec = sim::find_scenario("rack_kill");
+  ASSERT_NE(spec, nullptr);
+  sim::ScenarioConfig cfg = spec->correctness;
+  cfg.racks = 25;
+  cfg.vms_per_rack = 40;  // 1000 VMs
+  cfg.duration_s = 60.0;  // stop before the scripted operator restart
+  sim::ScenarioRunner runner(*spec, cfg, /*seed=*/42);
+  const sim::ScenarioResult& res = runner.run();
+  for (const auto& v : res.violations) ADD_FAILURE() << v;
+  ASSERT_TRUE(res.ok());
 
-  constexpr int kRacks = 25, kPerRack = 40;  // 1000 VMs
-  constexpr int kKilledRack = 7;
-  std::vector<int> rack7;
-  int flapper = -1;
-  for (int r = 0; r < kRacks; ++r) {
-    for (int v = 0; v < kPerRack; ++v) {
-      cloud::VmSpec spec;
-      spec.name = "rack" + std::to_string(r) + "/vm-" + std::to_string(v);
-      spec.phases = {{600.0, 4.0}};  // steady 4 b/s
-      spec.target_min_bps = 2.0;
-      const int id = sim.add_vm(std::move(spec));
-      if (r == kKilledRack) rack7.push_back(id);
-      if (r == 0 && v == 0) flapper = id;  // rack0/vm-0 doubles as flapper
-    }
-  }
-
-  auto engine = std::make_shared<PolicyEngine>(
-      PolicyOptions{.flap_window_ns = 60 * kNsPerSec,
-                    .flap_threshold = 4,
-                    .quarantine_cooldown_ns = 120 * kNsPerSec,
-                    .correlated_min_apps = 3});
-  auto restarter =
-      std::make_shared<CloudRestartSink>(sim, CloudRestartSinkOptions{
-                                                  .restart_budget = 3});
-  auto sink = std::make_shared<TestSink>();
-  engine->add_sink(sink);
-  engine->add_sink(restarter);
-  sim.set_policy(engine, {.absolute_staleness_ns = 5 * kNsPerSec},
-                 /*period_s=*/0.5);
-
-  for (int i = 0; i < 150; ++i) sim.step(0.1);  // t=15s: warm, healthy
-
-  // Inject: the whole rack dies between sweeps; the flapper starts its
-  // crash loop (killed again a few seconds after every resurrection).
-  for (const int v : rack7) sim.kill_vm(v);
-  sim.kill_vm(flapper);
-  double last_flap_kill = sim.now_seconds();
-  int flap_kills = 1;
-  for (int i = 0; i < 450; ++i) {  // t=15..60s
-    sim.step(0.1);
-    if (!engine->quarantined("rack0/vm-0") && !sim.vm_killed(flapper) &&
-        sim.now_seconds() - last_flap_kill > 3.0) {
-      sim.kill_vm(flapper);
-      last_flap_kill = sim.now_seconds();
-      ++flap_kills;
-    }
-  }
+  // The runner's seed picked the victims; the facts map names them.
+  const std::string victim = res.facts.at("victim_rack");
+  const std::string flapper = res.facts.at("flapper");
+  const int flap_kills = std::stoi(res.facts.at("flap_kills"));
+  cloud::CloudSim& cloud = runner.sim();
+  const TestSink& sink = runner.events();
+  PolicyEngine& engine = runner.engine();
+  const CloudRestartSink* restarter = runner.restarter();
+  ASSERT_NE(restarter, nullptr);
 
   // ONE correlated event for the rack, naming all 40 members — not 40
   // separate death alerts.
-  ASSERT_EQ(sink->count(EventKind::kCorrelatedFailure), 1u);
-  for (const auto& ev : sink->events()) {
+  ASSERT_EQ(sink.count(EventKind::kCorrelatedFailure), 1u);
+  for (const auto& ev : sink.events()) {
     if (ev.kind != EventKind::kCorrelatedFailure) continue;
-    EXPECT_EQ(ev.group, "rack" + std::to_string(kKilledRack));
-    EXPECT_EQ(ev.apps.size(), static_cast<std::size_t>(kPerRack));
+    EXPECT_EQ(ev.group, victim);
+    EXPECT_EQ(ev.apps.size(), static_cast<std::size_t>(cfg.vms_per_rack));
   }
 
   // The flapper was contained: quarantined after repeated cycles, its
   // automatic restarts stopped short of the crash-loop length AND of the
   // budget — it sits dead awaiting a human, not in a restart loop.
-  EXPECT_TRUE(engine->quarantined("rack0/vm-0"));
+  EXPECT_TRUE(engine.quarantined(flapper));
   EXPECT_GE(flap_kills, 2);
-  EXPECT_LE(restarter->restarts_of("rack0/vm-0"), 3u);
-  EXPECT_LT(restarter->restarts_of("rack0/vm-0"),
+  EXPECT_LE(restarter->restarts_of(flapper), 3u);
+  EXPECT_LT(restarter->restarts_of(flapper),
             static_cast<std::uint32_t>(flap_kills));
   EXPECT_GE(restarter->stats().suppressed_quarantined, 1u);
-  EXPECT_TRUE(sim.vm_killed(flapper));
+  EXPECT_TRUE(cloud.vm_killed(cloud.find_vm(flapper)));
 
   // The rack healed without human input: every member restarted exactly
   // once, and the fleet (flapper aside) swept back to zero dead.
-  for (const int v : rack7) EXPECT_FALSE(sim.vm_killed(v));
   std::uint64_t rack_restarts = 0;
-  for (int v = 0; v < kPerRack; ++v) {
-    rack_restarts += restarter->restarts_of(
-        "rack" + std::to_string(kKilledRack) + "/vm-" + std::to_string(v));
+  for (int v = 0; v < cfg.vms_per_rack; ++v) {
+    const std::string name = victim + "/vm-" + std::to_string(v);
+    EXPECT_FALSE(cloud.vm_killed(cloud.find_vm(name))) << name;
+    rack_restarts += restarter->restarts_of(name);
   }
-  EXPECT_EQ(rack_restarts, static_cast<std::uint64_t>(kPerRack));
+  EXPECT_EQ(rack_restarts, static_cast<std::uint64_t>(cfg.vms_per_rack));
 
   // Operator fixes the flapper; with it stable again, the whole fleet —
   // 1000 VMs — must sweep clean: 0 dead, everything healthy.
-  sim.restart_vm(flapper);
-  for (int i = 0; i < 200; ++i) sim.step(0.1);
-  const fault::FleetReport report = sim.fleet_health(
+  cloud.restart_vm(cloud.find_vm(flapper));
+  test::step_sim(cloud, 200);
+  const fault::FleetReport report = cloud.fleet_health(
       fault::FleetDetector({.absolute_staleness_ns = 5 * kNsPerSec}));
   EXPECT_EQ(report.fleet.apps, 1000u);
   EXPECT_EQ(report.fleet.dead, 0u);
   EXPECT_EQ(report.fleet.healthy, 1000u);
   // Still quarantined (cooldown not yet served) — trust is rebuilt on the
   // policy's clock, not the operator's.
-  EXPECT_TRUE(engine->quarantined("rack0/vm-0"));
+  EXPECT_TRUE(engine.quarantined(flapper));
 }
 
 // observe() documents "externally serialized" — since the concurrency
