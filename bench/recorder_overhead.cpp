@@ -1,0 +1,250 @@
+// Flight-recorder overhead: the full observe-decide pipeline with the
+// history plane recording vs runtime-disabled.
+//
+// The FlightRecorder rides the pipeline's existing cadences — one
+// note_publish per hub snapshot rebuild, one record_report per detector
+// sweep, one record_event per policy edge — and its charter is the same
+// as the rest of the telemetry plane: invisible. This bench holds it to
+// that at fleet scale (4k apps, 4 producer threads, a sweep per simulated
+// second) by running the SAME workload with obs::set_enabled(true) and
+// (false), interleaved best-of so host drift hits both sides alike.
+//
+// What the two sides measure:
+//   * enabled:  ingest + publish + sweep + record_report + observe, with
+//               frames cut on every sweep (ManualClock advances one fine
+//               interval per sweep — the recorder's worst case).
+//   * disabled: the identical pipeline; every recorder entry point reduces
+//               to one relaxed enabled() load. In an HB_OBS=0 build both
+//               sides collapse to identical code and the delta reads ~0.
+//
+// A correctness coda verifies the kill-switch claim directly: while
+// disabled the recorder's frame/report/publish counters must FREEZE (the
+// pipeline keeps sweeping, history stands still), and on re-enable frames
+// must resume cutting — disabled means "not recorded", never "recorded
+// late".
+//
+//   ./bench_recorder_overhead [apps] [beats_per_producer_per_sweep]
+//                                       (default 4000 x 20000)
+//   ./bench_recorder_overhead --smoke   (small run; overhead informational)
+//   ./bench_recorder_overhead --json PATH  (write a BENCH json record)
+//
+// CSV on stdout; `# recorder_overhead_pct=` is the headline (acceptance
+// shape: < 5% on the pipeline at 4k apps). Exit: 0 ok, 2 on a correctness
+// failure, 3 on a blown overhead gate (full mode only — smoke runs on
+// shared CI cores report the number without gating on it).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "fault/fleet_detector.hpp"
+#include "hub/hub.hpp"
+#include "hub/view.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "policy/policy_engine.hpp"
+#include "util/clock.hpp"
+
+namespace {
+
+constexpr int kProducers = 4;
+
+double timed(const auto& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Pipeline {
+  std::shared_ptr<hb::util::ManualClock> clock;
+  std::shared_ptr<hb::hub::HeartbeatHub> hub;
+  std::vector<hb::hub::AppId> ids;
+  hb::fault::FleetDetector detector;
+  std::shared_ptr<hb::obs::FlightRecorder> recorder;
+  hb::policy::PolicyEngine engine;
+};
+
+// One timed pass: `sweeps` rounds of multi-producer ingest followed by the
+// full decide tick — clock advance, flush, publish (note_publish fires on
+// the snapshot rebuild), sweep, record_report, observe. This is the
+// recorder's worst case: the clock advances one fine interval per sweep,
+// so EVERY sweep cuts a frame when recording is enabled.
+double pipeline_pass(Pipeline& p, int sweeps, std::uint64_t per_thread) {
+  return timed([&] {
+    for (int s = 0; s < sweeps; ++s) {
+      std::vector<std::thread> threads;
+      threads.reserve(kProducers);
+      for (int t = 0; t < kProducers; ++t) {
+        threads.emplace_back([&, t] {
+          const std::size_t offset =
+              static_cast<std::size_t>(t) * p.ids.size() / kProducers;
+          for (std::uint64_t k = 0; k < per_thread; ++k) {
+            p.hub->beat(p.ids[(offset + k) % p.ids.size()]);
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+      p.clock->advance(hb::util::kNsPerSec);
+      p.hub->flush();
+      p.hub->snapshot();  // rebuild -> note_publish on the recorder
+      auto report = std::make_shared<const hb::fault::FleetReport>(
+          p.detector.sweep(hb::hub::HubView(*p.hub)));
+      p.recorder->record_report(report);
+      p.engine.observe(*report);
+    }
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  int apps = 4000;
+  std::uint64_t per_thread = 20000;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  int sweeps = 8;
+  if (smoke) {
+    per_thread = 4000;
+    sweeps = 4;
+  } else {
+    if (positional.size() > 0) apps = std::atoi(positional[0]);
+    if (positional.size() > 1) {
+      per_thread = std::strtoull(positional[1], nullptr, 10);
+    }
+  }
+  if (apps < 16 || per_thread < 1000) {
+    std::fprintf(
+        stderr,
+        "usage: %s [apps>=16] [beats_per_producer_per_sweep>=1000] | "
+        "--smoke\n",
+        argv[0]);
+    return 1;
+  }
+
+  Pipeline p;
+  p.clock = std::make_shared<hb::util::ManualClock>(1);
+  hb::hub::HubOptions opts;
+  opts.shard_count = 16;
+  opts.batch_capacity = 64;
+  opts.window_capacity = 64;
+  opts.clock = p.clock;
+  p.hub = std::make_shared<hb::hub::HeartbeatHub>(opts);
+  p.ids.reserve(static_cast<std::size_t>(apps));
+  for (int i = 0; i < apps; ++i) {
+    p.ids.push_back(
+        p.hub->register_app("app-" + std::to_string(i), {4.0, 1e6}));
+  }
+  p.recorder = std::make_shared<hb::obs::FlightRecorder>();
+  p.hub->set_flight_recorder(p.recorder);
+  p.engine.add_sink(p.recorder->event_sink());
+
+  pipeline_pass(p, 4, 2000);  // warm-up: windows filled, fleet healthy
+
+  // Interleaved best-of, rep order flipped each time (on-off, off-on, ...):
+  // neither a slow host ramp nor a neighbor waking mid-rep can masquerade
+  // as recorder overhead — each side samples both ends of every rep.
+  const int reps = smoke ? 4 : 6;
+  double enabled_s = 1e18, disabled_s = 1e18;
+  std::printf("mode,rep,apps,sweeps,beats,seconds,beats_per_sec\n");
+  const double total =
+      static_cast<double>(per_thread) * kProducers * sweeps;
+  for (int rep = 0; rep < reps; ++rep) {
+    const bool on_first = (rep % 2) == 0;
+    hb::obs::set_enabled(on_first);
+    const double first = pipeline_pass(p, sweeps, per_thread);
+    hb::obs::set_enabled(!on_first);
+    const double second = pipeline_pass(p, sweeps, per_thread);
+    hb::obs::set_enabled(true);
+    const double on = on_first ? first : second;
+    const double off = on_first ? second : first;
+    enabled_s = std::min(enabled_s, on);
+    disabled_s = std::min(disabled_s, off);
+    std::printf("recorder_on,%d,%d,%d,%.0f,%.4f,%.0f\n", rep, apps, sweeps,
+                total, on, on > 0 ? total / on : 0.0);
+    std::printf("recorder_off,%d,%d,%d,%.0f,%.4f,%.0f\n", rep, apps, sweeps,
+                total, off, off > 0 ? total / off : 0.0);
+    std::fflush(stdout);
+  }
+  const double overhead_pct =
+      disabled_s > 0.0 ? (enabled_s - disabled_s) / disabled_s * 100.0 : 0.0;
+
+  // ---- correctness coda: disabled means frozen, not deferred ------------
+  bool ok = true;
+  std::uint64_t frozen_delta = 0;
+  if (hb::obs::kCompiledIn) {
+    const hb::obs::FlightRecorderStats before = p.recorder->stats();
+    hb::obs::set_enabled(false);
+    pipeline_pass(p, 2, 2000);
+    const hb::obs::FlightRecorderStats frozen = p.recorder->stats();
+    hb::obs::set_enabled(true);
+    pipeline_pass(p, 2, 2000);
+    const hb::obs::FlightRecorderStats resumed = p.recorder->stats();
+    frozen_delta = (frozen.frames_cut - before.frames_cut) +
+                   (frozen.reports_recorded - before.reports_recorded) +
+                   (frozen.publishes_noted - before.publishes_noted);
+    ok = frozen_delta == 0 &&
+         resumed.frames_cut >= frozen.frames_cut + 2 &&
+         resumed.reports_recorded >= frozen.reports_recorded + 2;
+    if (p.recorder->timeline().empty()) ok = false;  // history exists
+  } else {
+    // Compiled out: the recorder must hold NOTHING.
+    if (!p.recorder->timeline().empty() ||
+        p.recorder->stats().frames_cut != 0) {
+      ok = false;
+    }
+  }
+
+  std::printf("\n# hb_obs_compiled_in=%s\n",
+              hb::obs::kCompiledIn ? "yes" : "no");
+  std::printf(
+      "# recorder_overhead_pct=%.2f (enabled %.4fs vs disabled %.4fs)\n",
+      overhead_pct, enabled_s, disabled_s);
+  std::printf("# disabled_recorder_delta=%llu (must be 0)\n",
+              static_cast<unsigned long long>(frozen_delta));
+  std::printf("# correctness=%s\n", ok ? "ok" : "FAILED");
+
+  if (json_path) {
+    hb::bench::JsonRecord rec("recorder_overhead");
+    rec.config("apps", apps);
+    rec.config("beats_per_producer_per_sweep", per_thread);
+    rec.config("producers", kProducers);
+    rec.config("sweeps", sweeps);
+    rec.config("reps", reps);
+    rec.config("smoke", smoke);
+    rec.config("hb_obs_compiled_in", hb::obs::kCompiledIn);
+    rec.metric("enabled_best_s", enabled_s);
+    rec.metric("disabled_best_s", disabled_s);
+    rec.metric("recorder_overhead_pct", overhead_pct);
+    rec.metric("disabled_recorder_delta", frozen_delta);
+    rec.metric("correctness", ok);
+    rec.write(json_path);
+  }
+
+  if (!ok) return 2;
+  if (!smoke && overhead_pct >= 5.0) {
+    std::printf("# overhead_ok=no\n");
+    return 3;
+  }
+  std::printf("# overhead_ok=%s\n",
+              overhead_pct < 5.0 ? "yes" : "n/a(smoke)");
+  return 0;
+}

@@ -1,0 +1,353 @@
+#!/usr/bin/env python3
+"""Postmortem-bundle schema check: every bundle must be hb.postmortem.v1.
+
+Usage: check_postmortem_json.py FILE.json [FILE.json ...]
+       check_postmortem_json.py --self-test
+
+The PostmortemSink (src/obs/postmortem.cpp) freezes fleet history into
+self-contained JSON bundles. CI validates every bundle it is about to
+upload (and the committed golden) with this checker, so a renderer that
+drifts from the schema — renamed key, missing section, a float leaking
+into what must be an integer-only document — fails the push instead of
+shipping bundles operators cannot machine-read.
+
+Schema (all sections required, fixed names):
+
+    {
+      "schema": "hb.postmortem.v1",
+      "id":     "pm-NNN-<kind>-<subject>",
+      "seq":    int >= 1,
+      "source": str,
+      "captured_at_ns":   int,
+      "captured_wall_ns": int,       # optional (live-fleet captures only)
+      "trigger":  {kind, at_ns, app, group, quarantined, apps[], line},
+      "report":   null | {snapshot_epoch, swept_at_ns, fleet{}, implicated[]},
+      "timeline": [frame, ...],      # seq strictly increasing
+      "pending_events": [str, ...],
+      "spans":    {captured, count, skipped, entries[]},
+      "metrics":  null | {epoch, taken_at_ns, taken_at_wall_ns, counters{}},
+      "recorder": {frames_cut, ..., publishes_noted}
+    }
+
+Determinism contract: the document contains NO floating-point numbers —
+every numeric field is an integer (fractional values live pre-rendered
+inside event-line strings). Stdlib only, so it runs identically in CI
+and locally:
+
+    python3 scripts/check_postmortem_json.py pm-*.json
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA = "hb.postmortem.v1"
+ID_RE = re.compile(r"^pm-\d{3}-[a-z-]+-.+$")
+TRIGGER_KINDS = {
+    "transition",
+    "correlated-failure",
+    "quarantine",
+    "quarantine-lifted",
+}
+FLEET_KEYS = ("apps", "healthy", "warming_up", "slow", "erratic", "dead",
+              "evicted")
+RECORDER_KEYS = ("frames_cut", "frames_dropped", "fine_frames",
+                 "coarse_frames", "reports_recorded", "events_recorded",
+                 "publishes_noted")
+
+
+def _is_int(value) -> bool:
+    # bool is an int subclass; a bool where an integer belongs is drift.
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _reject_float(value: str):
+    # json.loads calls parse_float only for tokens with a '.' or exponent:
+    # any such token violates the integers-only contract.
+    raise ValueError(f"floating-point literal in bundle: {value}")
+
+
+def _reject_nonfinite(value: str):
+    raise ValueError(f"non-finite literal in bundle: {value}")
+
+
+def _check_fleet(fleet, where: str, errors: list):
+    if not isinstance(fleet, dict):
+        errors.append(f"{where}: fleet must be an object")
+        return
+    for key in FLEET_KEYS:
+        if not _is_int(fleet.get(key)) or fleet[key] < 0:
+            errors.append(f"{where}: fleet[{key!r}] must be a "
+                          "non-negative integer")
+    if all(_is_int(fleet.get(k)) for k in FLEET_KEYS):
+        verdicts = sum(fleet[k]
+                       for k in ("healthy", "warming_up", "slow", "erratic",
+                                 "dead"))
+        if verdicts != fleet["apps"]:
+            errors.append(f"{where}: health verdicts sum to {verdicts}, "
+                          f"fleet says {fleet['apps']} apps")
+
+
+def _check_str_list(value, where: str, errors: list):
+    if not isinstance(value, list) or any(
+            not isinstance(s, str) for s in value):
+        errors.append(f"{where} must be a list of strings")
+
+
+def bundle_errors_from_record(record, path) -> list:
+    errors = []
+    if not isinstance(record, dict):
+        return [f"{path}: top level must be an object"]
+
+    if record.get("schema") != SCHEMA:
+        errors.append(f"{path}: schema must be {SCHEMA!r}, "
+                      f"got {record.get('schema')!r}")
+    if not isinstance(record.get("id"), str) or not ID_RE.match(
+            record.get("id", "")):
+        errors.append(f"{path}: id must match {ID_RE.pattern}")
+    if not _is_int(record.get("seq")) or record.get("seq", 0) < 1:
+        errors.append(f"{path}: seq must be an integer >= 1")
+    if not isinstance(record.get("source"), str) or not record.get("source"):
+        errors.append(f"{path}: source must be a non-empty string")
+    if not _is_int(record.get("captured_at_ns")):
+        errors.append(f"{path}: captured_at_ns must be an integer")
+    if "captured_wall_ns" in record and not _is_int(
+            record["captured_wall_ns"]):
+        errors.append(f"{path}: captured_wall_ns must be an integer")
+
+    trigger = record.get("trigger")
+    if not isinstance(trigger, dict):
+        errors.append(f"{path}: trigger must be an object")
+    else:
+        if trigger.get("kind") not in TRIGGER_KINDS:
+            errors.append(f"{path}: trigger.kind {trigger.get('kind')!r} "
+                          f"not in {sorted(TRIGGER_KINDS)}")
+        if not _is_int(trigger.get("at_ns")):
+            errors.append(f"{path}: trigger.at_ns must be an integer")
+        for key in ("app", "group", "line"):
+            if not isinstance(trigger.get(key), str):
+                errors.append(f"{path}: trigger.{key} must be a string")
+        if not isinstance(trigger.get("quarantined"), bool):
+            errors.append(f"{path}: trigger.quarantined must be a bool")
+        _check_str_list(trigger.get("apps"), f"{path}: trigger.apps", errors)
+
+    report = record.get("report", "missing")
+    if report == "missing":
+        errors.append(f"{path}: report section missing")
+    elif report is not None:
+        if not isinstance(report, dict):
+            errors.append(f"{path}: report must be null or an object")
+        else:
+            for key in ("snapshot_epoch", "swept_at_ns"):
+                if not _is_int(report.get(key)):
+                    errors.append(f"{path}: report.{key} must be an integer")
+            _check_fleet(report.get("fleet"), f"{path}: report", errors)
+            implicated = report.get("implicated")
+            if not isinstance(implicated, list):
+                errors.append(f"{path}: report.implicated must be a list")
+            else:
+                for i, app in enumerate(implicated):
+                    where = f"{path}: report.implicated[{i}]"
+                    if not isinstance(app, dict) or not isinstance(
+                            app.get("app"), str) or not isinstance(
+                            app.get("health"), str):
+                        errors.append(f"{where} needs app + health strings")
+
+    timeline = record.get("timeline")
+    if not isinstance(timeline, list):
+        errors.append(f"{path}: timeline must be a list of frames")
+    else:
+        prev_seq = -1
+        for i, frame in enumerate(timeline):
+            where = f"{path}: timeline[{i}]"
+            if not isinstance(frame, dict):
+                errors.append(f"{where} must be an object")
+                continue
+            for key in ("seq", "at_ns", "snapshot_epoch", "publishes"):
+                if not _is_int(frame.get(key)):
+                    errors.append(f"{where}.{key} must be an integer")
+            _check_fleet(frame.get("fleet"), where, errors)
+            _check_str_list(frame.get("events"), f"{where}.events", errors)
+            if _is_int(frame.get("seq")):
+                if frame["seq"] <= prev_seq:
+                    errors.append(f"{where}.seq {frame['seq']} not "
+                                  f"increasing (prev {prev_seq})")
+                prev_seq = frame["seq"]
+
+    _check_str_list(record.get("pending_events"),
+                    f"{path}: pending_events", errors)
+
+    spans = record.get("spans")
+    if not isinstance(spans, dict):
+        errors.append(f"{path}: spans must be an object")
+    else:
+        if not isinstance(spans.get("captured"), bool):
+            errors.append(f"{path}: spans.captured must be a bool")
+        for key in ("count", "skipped"):
+            if not _is_int(spans.get(key)) or spans.get(key, 0) < 0:
+                errors.append(f"{path}: spans.{key} must be a "
+                              "non-negative integer")
+        entries = spans.get("entries")
+        if not isinstance(entries, list):
+            errors.append(f"{path}: spans.entries must be a list")
+        else:
+            if _is_int(spans.get("count")) and len(entries) != spans["count"]:
+                errors.append(f"{path}: spans.count {spans['count']} != "
+                              f"{len(entries)} entries")
+            for i, span in enumerate(entries):
+                where = f"{path}: spans.entries[{i}]"
+                if not isinstance(span, dict) or not isinstance(
+                        span.get("name"), str) or not all(
+                        _is_int(span.get(k))
+                        for k in ("start_ns", "end_ns", "tid", "arg")):
+                    errors.append(f"{where} needs name + four integer fields")
+
+    metrics = record.get("metrics", "missing")
+    if metrics == "missing":
+        errors.append(f"{path}: metrics section missing")
+    elif metrics is not None:
+        if not isinstance(metrics, dict):
+            errors.append(f"{path}: metrics must be null or an object")
+        else:
+            for key in ("epoch", "taken_at_ns", "taken_at_wall_ns"):
+                if not _is_int(metrics.get(key)):
+                    errors.append(f"{path}: metrics.{key} must be an integer")
+            counters = metrics.get("counters")
+            if not isinstance(counters, dict) or any(
+                    not _is_int(v) for v in counters.values()):
+                errors.append(f"{path}: metrics.counters must map "
+                              "names to integers")
+
+    recorder = record.get("recorder")
+    if not isinstance(recorder, dict):
+        errors.append(f"{path}: recorder must be an object")
+    else:
+        for key in RECORDER_KEYS:
+            if not _is_int(recorder.get(key)):
+                errors.append(f"{path}: recorder.{key} must be an integer")
+
+    return errors
+
+
+def bundle_errors(path: Path) -> list:
+    try:
+        record = json.loads(
+            path.read_text(encoding="utf-8"),
+            parse_float=_reject_float,
+            parse_constant=_reject_nonfinite,
+        )
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable bundle: {exc}"]
+    return bundle_errors_from_record(record, path)
+
+
+def _self_test() -> int:
+    """Checker checks itself: a known-good bundle passes, and every class
+    of corruption the checker exists to catch actually fails."""
+    good = {
+        "schema": SCHEMA,
+        "id": "pm-001-correlated-failure-rack4",
+        "seq": 1,
+        "source": "self-test",
+        "captured_at_ns": 18800000000,
+        "trigger": {
+            "kind": "correlated-failure",
+            "at_ns": 18800000000,
+            "app": "",
+            "group": "rack4",
+            "quarantined": False,
+            "apps": ["rack4/vm-0"],
+            "line": "[18.800s] correlated-failure rack4: 1 apps dead",
+        },
+        "report": {
+            "snapshot_epoch": 608,
+            "swept_at_ns": 18800000000,
+            "fleet": {"apps": 2, "healthy": 1, "warming_up": 0, "slow": 0,
+                      "erratic": 0, "dead": 1, "evicted": 0},
+            "implicated": [{"app": "rack4/vm-0", "health": "dead",
+                            "staleness_ms": 2300, "total_beats": 66}],
+        },
+        "timeline": [
+            {"seq": 0, "at_ns": 100000000, "snapshot_epoch": 16,
+             "publishes": 1,
+             "fleet": {"apps": 2, "healthy": 0, "warming_up": 2, "slow": 0,
+                       "erratic": 0, "dead": 0, "evicted": 0},
+             "events": []},
+            {"seq": 1, "at_ns": 1100000000, "snapshot_epoch": 48,
+             "publishes": 3,
+             "fleet": {"apps": 2, "healthy": 2, "warming_up": 0, "slow": 0,
+                       "erratic": 0, "dead": 0, "evicted": 0},
+             "events": ["[1.100s] transition rack4/vm-0: warming-up -> "
+                        "healthy"]},
+        ],
+        "pending_events": ["[18.800s] correlated-failure rack4: 1 apps dead"],
+        "spans": {"captured": False, "count": 0, "skipped": 0, "entries": []},
+        "metrics": None,
+        "recorder": {"frames_cut": 2, "frames_dropped": 0, "fine_frames": 2,
+                     "coarse_frames": 0, "reports_recorded": 38,
+                     "events_recorded": 1, "publishes_noted": 38},
+    }
+    failures = []
+    if bundle_errors_from_record(good, "good"):
+        failures.append("known-good bundle rejected: "
+                        + "; ".join(bundle_errors_from_record(good, "good")))
+
+    def corrupt(label, mutate):
+        bad = json.loads(json.dumps(good))
+        mutate(bad)
+        if not bundle_errors_from_record(bad, label):
+            failures.append(f"corruption not caught: {label}")
+
+    corrupt("wrong schema", lambda b: b.update(schema="hb.postmortem.v2"))
+    corrupt("bad id", lambda b: b.update(id="bundle-1"))
+    corrupt("zero seq", lambda b: b.update(seq=0))
+    corrupt("string captured_at",
+            lambda b: b.update(captured_at_ns="18800000000"))
+    corrupt("unknown trigger kind",
+            lambda b: b["trigger"].update(kind="explosion"))
+    corrupt("fleet sum mismatch",
+            lambda b: b["report"]["fleet"].update(dead=0))
+    corrupt("timeline seq regression",
+            lambda b: b["timeline"][1].update(seq=0))
+    corrupt("non-string event",
+            lambda b: b["timeline"][1].update(events=[42]))
+    corrupt("span count mismatch",
+            lambda b: b["spans"].update(count=3))
+    corrupt("recorder key missing",
+            lambda b: b["recorder"].pop("frames_cut"))
+    corrupt("missing section", lambda b: b.pop("pending_events"))
+
+    # The integers-only contract is enforced at parse time.
+    floaty = json.dumps(good).replace('"seq": 1', '"seq": 1.5')
+    try:
+        json.loads(floaty, parse_float=_reject_float)
+        failures.append("float literal not rejected")
+    except ValueError:
+        pass
+
+    for failure in failures:
+        print(f"self-test: {failure}", file=sys.stderr)
+    print("check_postmortem_json: self-test "
+          + ("FAILED" if failures else "ok"))
+    return 1 if failures else 0
+
+
+def main(argv: list) -> int:
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return _self_test()
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv[1:]:
+        errors.extend(bundle_errors(Path(name)))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"check_postmortem_json: {len(argv) - 1} bundle(s) ok")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,6 +9,7 @@
 #include "fault/failure_detector.hpp"
 #include "hub/hub.hpp"
 #include "hub/view.hpp"
+#include "obs/flight_recorder.hpp"
 #include "policy/policy_engine.hpp"
 #include "util/time.hpp"
 
@@ -202,10 +203,16 @@ void CloudSim::step(double dt_seconds) {
     if (!vm.killed) vm.elapsed_s += dt_seconds;  // killed VMs are frozen
   }
   // The decide/act tick: sweep + policy at most once per policy period,
-  // after physics, so sink actions (restarts) shape the NEXT step.
+  // after physics, so sink actions (restarts) shape the NEXT step. The
+  // flight recorder (when attached) sees the report BEFORE the engine
+  // dispatches it: a postmortem capture fired by a sink then reads the
+  // exact report that emitted the trigger as recorder->last_report().
   if (policy_ && now_seconds() - last_policy_s_ >= policy_period_s_) {
     last_policy_s_ = now_seconds();
-    policy_->observe(fleet_health(policy_detector_));
+    auto report = std::make_shared<const fault::FleetReport>(
+        fleet_health(policy_detector_));
+    if (recorder_) recorder_->record_report(report);
+    policy_->observe(*report);
   }
 }
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/channel.hpp"
@@ -34,6 +35,10 @@ class HeartbeatHub;
 
 namespace hb::policy {
 class PolicyEngine;
+}
+
+namespace hb::obs {
+class FlightRecorder;
 }
 
 namespace hb::cloud {
@@ -132,6 +137,19 @@ class CloudSim {
     return policy_;
   }
 
+  /// Attach the fleet-history plane: each policy tick records its
+  /// FleetReport into the recorder BEFORE the engine observes it, so a
+  /// postmortem capture triggered mid-dispatch reads the very report that
+  /// emitted the trigger. Independent of set_policy order; pass nullptr
+  /// to detach. The recorder's events come from its own ActionSink
+  /// (FlightRecorder::event_sink), not from here.
+  void set_flight_recorder(std::shared_ptr<obs::FlightRecorder> recorder) {
+    recorder_ = std::move(recorder);
+  }
+  const std::shared_ptr<obs::FlightRecorder>& flight_recorder() const {
+    return recorder_;
+  }
+
  private:
   struct Vm {
     VmSpec spec;
@@ -153,6 +171,7 @@ class CloudSim {
   std::vector<hub::AppId> hub_ids_;  ///< parallel to vms_ when hub_ is set
 
   std::shared_ptr<policy::PolicyEngine> policy_;
+  std::shared_ptr<obs::FlightRecorder> recorder_;
   fault::FleetDetector policy_detector_;
   double policy_period_s_ = 1.0;
   double last_policy_s_ = -1e18;

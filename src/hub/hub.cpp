@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_id.hpp"
@@ -153,6 +154,7 @@ std::shared_ptr<const FleetSnapshot> HeartbeatHub::snapshot() {
   // monotone non-decreasing) or discarding a concurrent caller's newer
   // composition.
   std::shared_ptr<const FleetSnapshot> result;
+  std::shared_ptr<obs::FlightRecorder> recorder;
   bool rebuilt = false;
   {
     util::MutexLock lock(snap_mu_);
@@ -177,15 +179,26 @@ std::shared_ptr<const FleetSnapshot> HeartbeatHub::snapshot() {
       fleet_snap_ = snap;
     }
     result = std::move(snap);
+    recorder = recorder_;
     rebuilt = true;
   }
   // Self-heartbeat AFTER releasing snap_mu_: the beat funnels into shard
   // ingest, and snapshot readers must never hold the fleet lock across a
   // shard operation. One beat per rebuild (not per cache hit) means the
   // self rate tracks real publish work, and a wedged compose path stops
-  // the beat — which is the point.
-  if (rebuilt) maybe_self_beat();
+  // the beat — which is the point. The flight-recorder tick rides the
+  // same rebuild edge (wait-free; outside the lock for the same reason).
+  if (rebuilt) {
+    if (recorder) recorder->note_publish(result->epoch(), result->composed_at_ns());
+    maybe_self_beat();
+  }
   return result;
+}
+
+void HeartbeatHub::set_flight_recorder(
+    std::shared_ptr<obs::FlightRecorder> recorder) {
+  util::MutexLock lock(snap_mu_);
+  recorder_ = std::move(recorder);
 }
 
 SnapshotStats HeartbeatHub::snapshot_stats() const {

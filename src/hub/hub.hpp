@@ -40,6 +40,10 @@
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
+namespace hb::obs {
+class FlightRecorder;
+}
+
 namespace hb::hub {
 
 /// Reserved app name the hub registers for itself when
@@ -155,6 +159,13 @@ class HeartbeatHub {
   /// Cache effectiveness counters for snapshot() (rebuilds vs hits).
   SnapshotStats snapshot_stats() const HB_EXCLUDES(snap_mu_);
 
+  /// Attach the fleet-history plane: every fleet-snapshot REBUILD (not
+  /// cache hit) calls recorder->note_publish(epoch, composed_at_ns) — a
+  /// wait-free tick, safe on the publish path. Pass nullptr to detach.
+  /// Thread-safe.
+  void set_flight_recorder(std::shared_ptr<obs::FlightRecorder> recorder)
+      HB_EXCLUDES(snap_mu_);
+
   /// True when this hub was built with HubOptions::self_beat.
   bool self_beat_enabled() const { return has_self_; }
   /// The hub's own app id (kSelfAppName). Throws std::logic_error unless
@@ -209,6 +220,7 @@ class HeartbeatHub {
   mutable util::Mutex snap_mu_;
   std::shared_ptr<const FleetSnapshot> fleet_snap_ HB_GUARDED_BY(snap_mu_);
   SnapshotStats snap_stats_ HB_GUARDED_BY(snap_mu_);
+  std::shared_ptr<obs::FlightRecorder> recorder_ HB_GUARDED_BY(snap_mu_);
 };
 
 /// Stable 64-bit FNV-1a (shard routing must not depend on the C++ runtime's

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -80,6 +81,10 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   snap.taken_at_ns = util::MonotonicClock::instance()->now();
+  snap.taken_at_wall_ns = static_cast<util::TimeNs>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
   util::MutexLock lock(mu_);
   snap.epoch = ++snapshot_epoch_;
   snap.metrics.reserve(cells_.size());

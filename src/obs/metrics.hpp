@@ -208,6 +208,11 @@ struct MetricsSnapshot {
   /// Composition sequence number of the owning registry (monotone).
   std::uint64_t epoch = 0;
   util::TimeNs taken_at_ns = 0;  ///< monotonic-clock stamp of the compose
+  /// Wall-clock stamp of the compose (Unix epoch, ns). The monotonic
+  /// stamp orders snapshots within one process run; this one makes
+  /// exported records orderable OFFLINE, across processes and restarts
+  /// (hbmon metrics --json / --metrics footers print it).
+  util::TimeNs taken_at_wall_ns = 0;
   std::vector<MetricValue> metrics;  ///< ascending by name
 
   /// The metric named `name`, or nullptr. O(log n).

@@ -58,8 +58,12 @@ class TraceRing {
   void record(const SpanRecord& rec);
 
   /// Copy out every committed span, oldest first. Safe concurrent with
-  /// writers: slots overwritten mid-copy are skipped, never torn.
-  std::vector<SpanRecord> snapshot() const;
+  /// writers: slots overwritten mid-copy are skipped, never torn. When
+  /// `skipped` is non-null it receives the number of in-window slots the
+  /// copy had to skip (in-flight writes or re-check mismatches) — the
+  /// honesty counter export footers surface so a lossy window is visible
+  /// instead of silently smaller.
+  std::vector<SpanRecord> snapshot(std::uint64_t* skipped = nullptr) const;
 
   /// Spans ever recorded (monotone; may exceed capacity).
   std::uint64_t recorded() const {
@@ -68,8 +72,11 @@ class TraceRing {
 
   std::size_t capacity() const { return slots_.size(); }
 
-  /// Chrome trace-event JSON ("X" complete events, one pid, tids kept):
-  /// a single JSON array, loadable by chrome://tracing and Perfetto.
+  /// Chrome trace-event JSON ("X" complete events, one pid, tids kept) in
+  /// the object form both chrome://tracing and Perfetto load:
+  ///   {"traceEvents":[...],"otherData":{recorded,exported,skipped}}
+  /// `otherData.skipped` counts slots a concurrent writer tore out from
+  /// under the export — those spans are omitted, never emitted corrupt.
   void export_chrome_json(std::FILE* out) const;
 
   static constexpr std::size_t kDefaultCapacity = 8192;
@@ -130,11 +137,17 @@ class TraceRing {
     return ring;
   }
   void record(const SpanRecord&) {}
-  std::vector<SpanRecord> snapshot() const { return {}; }
+  std::vector<SpanRecord> snapshot(std::uint64_t* skipped = nullptr) const {
+    if (skipped) *skipped = 0;
+    return {};
+  }
   std::uint64_t recorded() const { return 0; }
   std::size_t capacity() const { return 0; }
   void export_chrome_json(std::FILE* out) const {
-    std::fputs("[]\n", out);
+    std::fputs(
+        "{\"traceEvents\":[],"
+        "\"otherData\":{\"recorded\":0,\"exported\":0,\"skipped\":0}}\n",
+        out);
   }
   static constexpr std::size_t kDefaultCapacity = 0;
 };

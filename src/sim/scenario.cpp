@@ -137,6 +137,25 @@ void ScenarioRunner::build_world() {
   events_ = std::make_shared<policy::TestSink>();
   engine_->add_sink(events_);
   engine_->add_sink(std::make_shared<ScenarioLogSink>(&log_));
+
+  // The history plane rides every drill: frames cut on the policy cadence
+  // from the ManualClock, so the timeline is as replayable as the event
+  // stream. The recorder's sink registers BEFORE any capturing sink —
+  // postmortems read back what the recorder has seen, in dispatch order.
+  recorder_ = std::make_shared<obs::FlightRecorder>();
+  hub_->set_flight_recorder(recorder_);
+  sim_->set_flight_recorder(recorder_);
+  engine_->add_sink(recorder_->event_sink());
+  if (!capture_dir_.empty()) {
+    obs::PostmortemOptions pm;
+    pm.dir = capture_dir_;
+    // Deterministic capture: no spans, no metrics, no wall stamps — every
+    // byte in the bundle flows from (spec, config, seed).
+    pm.source = "scenario " + spec_.name + " seed=" + std::to_string(seed_);
+    postmortem_ = std::make_shared<obs::PostmortemSink>(recorder_, pm);
+    engine_->add_sink(postmortem_);
+  }
+
   if (config_.restart_budget > 0) {
     restarter_ = std::make_shared<policy::CloudRestartSink>(
         *sim_, policy::CloudRestartSinkOptions{
@@ -174,6 +193,12 @@ void ScenarioRunner::build_world() {
   sim_->set_policy(engine_,
                    {.absolute_staleness_ns = 5 * util::kNsPerSec},
                    config_.policy_period_s);
+}
+
+void ScenarioRunner::enable_capture(std::string dir) {
+  if (ran_)
+    throw std::logic_error("ScenarioRunner: enable_capture after run()");
+  capture_dir_ = std::move(dir);
 }
 
 const ScenarioResult& ScenarioRunner::run() {

@@ -50,6 +50,8 @@
 #include "cloud/cloud_sim.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/fleet_detector.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/postmortem.hpp"
 #include "policy/action_sink.hpp"
 #include "policy/cloud_restart_sink.hpp"
 #include "policy/policy_engine.hpp"
@@ -178,6 +180,14 @@ class ScenarioRunner {
   /// result without re-running.
   const ScenarioResult& run();
 
+  /// Arm postmortem capture BEFORE run(): incident events (deaths,
+  /// quarantines, correlated failures) freeze the recorder's history into
+  /// JSON bundles under `dir`. All bundle content flows from the
+  /// ManualClock and the seeded world, so a captured drill is
+  /// byte-reproducible (tests/golden/postmortem_rack_kill.json pins
+  /// rack_kill seed 42). Throws std::logic_error after run().
+  void enable_capture(std::string dir);
+
   const ScenarioResult& result() const { return result_; }
   const ScenarioLog& log() const { return log_; }
 
@@ -191,6 +201,15 @@ class ScenarioRunner {
     return restarter_.get();
   }
   ScenarioWorld& world() { return world_; }
+
+  /// The drill's flight recorder (always attached; frames are cut on the
+  /// policy cadence from the ManualClock, so the timeline is part of the
+  /// deterministic surface — see obs::render_timeline_text).
+  const std::shared_ptr<obs::FlightRecorder>& recorder() const {
+    return recorder_;
+  }
+  /// The capture sink, or null unless enable_capture() was called.
+  const obs::PostmortemSink* postmortem() const { return postmortem_.get(); }
 
  private:
   void build_world();
@@ -207,6 +226,9 @@ class ScenarioRunner {
   std::shared_ptr<policy::PolicyEngine> engine_;
   std::shared_ptr<policy::TestSink> events_;
   std::shared_ptr<policy::CloudRestartSink> restarter_;
+  std::shared_ptr<obs::FlightRecorder> recorder_;
+  std::shared_ptr<obs::PostmortemSink> postmortem_;
+  std::string capture_dir_;
   fault::FleetFaultPlan plan_;
   ScenarioLog log_;
   ScenarioResult result_;

@@ -23,11 +23,22 @@
 //   hbmon trace [-o trace.json] [-d run_ms] [-i poll_ms]
 //                                      # same, exporting the stage-span ring
 //                                      # as Chrome trace-event JSON
+//   hbmon timeline [-d run_ms] [-i poll_ms] [-p sweep_ms]
+//                  [--since ms] [--app NAME] [--json]
+//                                      # run the live pipeline with a
+//                                      # FlightRecorder attached and render
+//                                      # the fleet-history timeline
+//   hbmon postmortem [--list | <id>] [--dir DIR]
+//                                      # list / print captured incident
+//                                      # bundles ($HB_DIR/postmortems);
+//                                      # exit 5 on malformed, 1 on absent
 //   hbmon scenario --list              # named deterministic fleet drills
-//   hbmon scenario <name> [--seed N] [--perf] [--json]
+//   hbmon scenario <name> [--seed N] [--perf] [--json] [--capture DIR]
 //                                      # run one drill on the virtual clock;
 //                                      # stdout is the replayable event
 //                                      # stream (byte-stable per seed).
+//                                      # --capture arms the PostmortemSink
+//                                      # (bundle bytes are seed-stable too).
 //                                      # exit 0 ok / 4 invariant violation
 //
 // Fleet modes accept --metrics to append the registry table after the
@@ -39,13 +50,18 @@
 //
 // Registry directory: $HB_DIR or <tmp>/heartbeats.
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -55,7 +71,9 @@
 #include "hub/hub.hpp"
 #include "hub/shm_pump.hpp"
 #include "hub/view.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/trace.hpp"
 #include "policy/action_sink.hpp"
 #include "policy/policy_engine.hpp"
@@ -81,9 +99,12 @@ int usage() {
                "       hbmon metrics [--json] [-d run_ms] [-i poll_ms]\n"
                "       hbmon trace [-o trace.json] [-d run_ms] "
                "[-i poll_ms]\n"
+               "       hbmon timeline [-d run_ms] [-i poll_ms] [-p sweep_ms] "
+               "[--since ms] [--app NAME] [--json]\n"
+               "       hbmon postmortem [--list | <id>] [--dir DIR]\n"
                "       hbmon scenario --list\n"
                "       hbmon scenario <name> [--seed N] [--perf] "
-               "[--json]\n");
+               "[--json] [--capture DIR]\n");
   return 2;
 }
 
@@ -142,16 +163,22 @@ void print_metrics_table(const hb::obs::MetricsSnapshot& snap) {
         break;
     }
   }
-  std::printf("metrics: %zu registered, registry epoch %llu\n",
+  std::printf("metrics: %zu registered, registry epoch %llu, "
+              "wall time %llu ns\n",
               snap.metrics.size(),
-              static_cast<unsigned long long>(snap.epoch));
+              static_cast<unsigned long long>(snap.epoch),
+              static_cast<unsigned long long>(snap.taken_at_wall_ns));
 }
 
 void print_metrics_json(std::FILE* out, const hb::obs::MetricsSnapshot& snap) {
+  // taken_at_wall_ns (Unix epoch) is what makes scraped records orderable
+  // OFFLINE — taken_at_ns is monotonic, an epoch private to this process.
   std::fprintf(out, "{\n  \"epoch\": %llu,\n  \"taken_at_ns\": %llu,\n"
+               "  \"taken_at_wall_ns\": %llu,\n"
                "  \"compiled_in\": %s,\n  \"metrics\": {",
                static_cast<unsigned long long>(snap.epoch),
                static_cast<unsigned long long>(snap.taken_at_ns),
+               static_cast<unsigned long long>(snap.taken_at_wall_ns),
                hb::obs::kCompiledIn ? "true" : "false");
   bool first = true;
   for (const auto& m : snap.metrics) {
@@ -456,6 +483,22 @@ int cmd_fleet_watch(const hb::transport::Registry& registry, int run_ms,
   // anchor the printed lines to the start of this watch.
   engine.add_sink(std::make_shared<hb::policy::LogSink>(
       stdout, p.hub->clock()->now()));
+  // The history plane: hub publish ticks, sweep reports, and policy edges
+  // all flow into one FlightRecorder; incident edges freeze bundles under
+  // the registry dir. The recorder's sink registers before the capture
+  // sink so a bundle sees the edges of its own sweep (dispatch order).
+  auto recorder = std::make_shared<hb::obs::FlightRecorder>();
+  p.hub->set_flight_recorder(recorder);
+  engine.add_sink(recorder->event_sink());
+  hb::obs::PostmortemOptions pm_opts;
+  pm_opts.dir = (registry.dir() / "postmortems").string();
+  pm_opts.source = "hbmon fleet --watch";
+  pm_opts.capture_spans = true;
+  pm_opts.capture_metrics = true;
+  pm_opts.stamp_wall_time = true;
+  auto postmortem =
+      std::make_shared<hb::obs::PostmortemSink>(recorder, pm_opts);
+  engine.add_sink(postmortem);
 
   std::signal(SIGINT, handle_stop);
   std::signal(SIGTERM, handle_stop);
@@ -472,6 +515,7 @@ int cmd_fleet_watch(const hb::transport::Registry& registry, int run_ms,
     p.pump->poll();
     if (Clock::now() >= next_sweep) {
       report = p.detector.sweep(hb::hub::HubView(*p.hub));
+      recorder->record_report(report);
       engine.observe(report);
       next_sweep += std::chrono::milliseconds(sweep_ms);
       // A stalled process (SIGSTOP, laptop sleep) can fall many intervals
@@ -493,6 +537,7 @@ int cmd_fleet_watch(const hb::transport::Registry& registry, int run_ms,
 
   p.pump->poll();  // final drain: the exit table reflects everything
   report = p.detector.sweep(hb::hub::HubView(*p.hub));
+  recorder->record_report(report);
   engine.observe(report);
   std::printf("\n");
   const int code = hb::fault::print_fleet_report(stdout, report);
@@ -505,6 +550,20 @@ int cmd_fleet_watch(const hb::transport::Registry& registry, int run_ms,
               static_cast<unsigned long long>(pstats.correlated_failures),
               static_cast<unsigned long long>(pstats.quarantines),
               engine.quarantined_apps().size());
+  const auto rstats = recorder->stats();
+  const auto& pmstats = postmortem->stats();
+  std::printf("history: %llu frames cut (%llu fine + %llu coarse retained), "
+              "%llu postmortems from %llu triggers -> %s\n",
+              static_cast<unsigned long long>(rstats.frames_cut),
+              static_cast<unsigned long long>(rstats.fine_frames),
+              static_cast<unsigned long long>(rstats.coarse_frames),
+              static_cast<unsigned long long>(pmstats.captured),
+              static_cast<unsigned long long>(pmstats.triggers),
+              pm_opts.dir.c_str());
+  if (pmstats.write_failures > 0) {
+    std::fprintf(stderr, "hbmon: %llu postmortem bundle writes FAILED\n",
+                 static_cast<unsigned long long>(pmstats.write_failures));
+  }
   print_snapshot_footer(*p.hub, report.snapshot_epoch);
   maybe_print_metrics_footer(metrics);
   return code;
@@ -564,16 +623,260 @@ int cmd_trace(const hb::transport::Registry& registry, int run_ms,
   }
   ring.export_chrome_json(out);
   if (out != stdout) std::fclose(out);
+  std::uint64_t skipped = 0;
+  const std::size_t in_window = ring.snapshot(&skipped).size();
   std::fprintf(stderr,
                "trace: %llu spans recorded (ring keeps the last %zu), "
+               "%zu in window, %llu skipped mid-write, "
                "Chrome trace JSON -> %s\n",
                static_cast<unsigned long long>(ring.recorded()),
-               ring.capacity(), out_path);
+               ring.capacity(), in_window,
+               static_cast<unsigned long long>(skipped), out_path);
   if (!hb::obs::kCompiledIn) {
     std::fprintf(stderr, "trace: telemetry compiled out (HB_OBS=0); the "
-                 "export is an empty array\n");
+                 "export is an empty object\n");
   }
   return 0;
+}
+
+// ----------------------------------------------------------- history plane
+
+// Run the live pipeline with a FlightRecorder attached and render the
+// timeline it accumulates: hub snapshot rebuilds feed the publish
+// counters, every detector sweep records its FleetReport (frames cut on
+// the recorder's fine interval), and the PolicyEngine's edges land in
+// frames through the recorder's own ActionSink. --since trims to the
+// trailing window of the run; --app keeps only the frames whose events
+// mention that app (with only the matching event lines).
+int cmd_timeline(const hb::transport::Registry& registry, int run_ms,
+                 int poll_ms, int sweep_ms, int since_ms,
+                 const char* app_filter, bool json) {
+  if (run_ms <= 0) run_ms = 2000;
+  if (poll_ms <= 0) poll_ms = 50;
+  if (sweep_ms <= 0) sweep_ms = 500;
+  LivePipeline p = make_live_pipeline(registry, poll_ms, 5000);
+
+  auto recorder = std::make_shared<hb::obs::FlightRecorder>();
+  p.hub->set_flight_recorder(recorder);
+  hb::policy::PolicyEngine engine;
+  engine.add_sink(recorder->event_sink());
+
+  // Anchor rendered stamps to the start of the run (event times live on
+  // the hub's monotonic clock — machine uptime — which nobody wants raw).
+  const hb::util::TimeNs base_ns = p.hub->clock()->now();
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(run_ms);
+  auto next_sweep = Clock::now() + std::chrono::milliseconds(sweep_ms);
+  while (Clock::now() < deadline) {
+    p.pump->poll();
+    if (Clock::now() >= next_sweep) {
+      const hb::fault::FleetReport report =
+          p.detector.sweep(hb::hub::HubView(*p.hub));
+      recorder->record_report(report);
+      engine.observe(report);
+      next_sweep += std::chrono::milliseconds(sweep_ms);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(p.pump->suggested_sleep_ns()));
+  }
+  p.pump->poll();
+  const hb::fault::FleetReport last =
+      p.detector.sweep(hb::hub::HubView(*p.hub));
+  recorder->record_report(last);
+  engine.observe(last);
+
+  hb::util::TimeNs since_ns = 0;
+  if (since_ms > 0) {
+    const hb::util::TimeNs now_ns = p.hub->clock()->now();
+    const hb::util::TimeNs span =
+        static_cast<hb::util::TimeNs>(since_ms) * hb::util::kNsPerMs;
+    since_ns = now_ns > span ? now_ns - span : 0;
+  }
+  auto frames = recorder->timeline(since_ns);
+  if (app_filter && *app_filter) {
+    std::vector<std::shared_ptr<const hb::obs::TimelineFrame>> kept;
+    for (const auto& frame : frames) {
+      auto filtered = std::make_shared<hb::obs::TimelineFrame>(*frame);
+      filtered->events.clear();
+      for (const auto& ev : frame->events) {
+        const bool hit =
+            ev.app == app_filter || ev.group == app_filter ||
+            std::find(ev.apps.begin(), ev.apps.end(), app_filter) !=
+                ev.apps.end();
+        if (hit) filtered->events.push_back(ev);
+      }
+      if (!filtered->events.empty()) kept.push_back(std::move(filtered));
+    }
+    frames = std::move(kept);
+  }
+
+  if (json) {
+    std::fputs(hb::obs::render_timeline_json(frames, base_ns).c_str(),
+               stdout);
+  } else {
+    if (frames.empty()) {
+      std::printf("no timeline frames%s\n",
+                  hb::obs::enabled() ? "" : " (telemetry disabled: HB_OBS=0)");
+    } else {
+      std::fputs(hb::obs::render_timeline_text(frames, base_ns).c_str(),
+                 stdout);
+    }
+  }
+  const auto stats = recorder->stats();
+  std::fprintf(stderr,
+               "timeline: %llu frames cut over %d ms (%llu fine + %llu "
+               "coarse retained), %llu sweeps recorded, %llu publishes\n",
+               static_cast<unsigned long long>(stats.frames_cut), run_ms,
+               static_cast<unsigned long long>(stats.fine_frames),
+               static_cast<unsigned long long>(stats.coarse_frames),
+               static_cast<unsigned long long>(stats.reports_recorded),
+               static_cast<unsigned long long>(stats.publishes_noted));
+  return 0;
+}
+
+// Minimal field extraction from a bundle's flat JSON: find `"key":` and
+// return the value token after it (quoted string unescaped, or the bare
+// integer/bool). Good enough for the fixed keys our own renderer emits;
+// real parsing belongs to jq / scripts/check_postmortem_json.py.
+std::string bundle_field(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t i = at + needle.size();
+  if (i >= text.size()) return "";
+  if (text[i] == '"') {
+    std::string out;
+    for (++i; i < text.size() && text[i] != '"'; ++i) {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      out += text[i];
+    }
+    return out;
+  }
+  std::string out;
+  while (i < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[i])) ||
+          text[i] == '-' || text[i] == '.')) {
+    out += text[i++];
+  }
+  return out;
+}
+
+// Structural sanity for one bundle: readable, one brace-balanced JSON
+// object, and carries our schema marker. Returns false with a reason.
+bool validate_bundle(const std::filesystem::path& path, std::string* text,
+                     std::string* why) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    *why = "cannot open";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  *text = buf.str();
+  std::string_view body(*text);
+  while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+    body.remove_suffix(1);
+  }
+  if (body.empty() || body.front() != '{' || body.back() != '}') {
+    *why = "not a JSON object";
+    return false;
+  }
+  // Brace balance outside strings: catches a truncated bundle (which the
+  // atomic rename should make impossible — this is the check that notices
+  // when it was not).
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+    } else if (c == '"') {
+      in_str = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) break;
+    }
+  }
+  if (depth != 0 || in_str) {
+    *why = "unbalanced braces (truncated bundle?)";
+    return false;
+  }
+  if (bundle_field(*text, "schema") != "hb.postmortem.v1") {
+    *why = "missing or unknown schema (want hb.postmortem.v1)";
+    return false;
+  }
+  return true;
+}
+
+// List / print captured incident bundles. Exit contract (CI leans on it):
+// 0 ok, 1 absent (no such directory, no such bundle), 5 malformed.
+int cmd_postmortem(const std::string& dir, const std::string& id) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    std::fprintf(stderr, "hbmon: no postmortem directory at %s\n",
+                 dir.c_str());
+    return 1;
+  }
+
+  if (!id.empty()) {
+    // `hbmon postmortem <id>` accepts the bare id or the file name.
+    fs::path path = fs::path(dir) / id;
+    if (path.extension() != ".json") path += ".json";
+    if (!fs::is_regular_file(path)) {
+      std::fprintf(stderr, "hbmon: no bundle %s in %s\n", id.c_str(),
+                   dir.c_str());
+      return 1;
+    }
+    std::string text, why;
+    if (!validate_bundle(path, &text, &why)) {
+      std::fprintf(stderr, "hbmon: malformed bundle %s: %s\n",
+                   path.c_str(), why.c_str());
+      return 5;
+    }
+    std::fputs(text.c_str(), stdout);
+    if (!text.empty() && text.back() != '\n') std::printf("\n");
+    return 0;
+  }
+
+  std::vector<fs::path> bundles;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      bundles.push_back(entry.path());
+    }
+  }
+  std::sort(bundles.begin(), bundles.end());  // pm-<seq> names sort by seq
+  if (bundles.empty()) {
+    std::printf("no postmortem bundles in %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("%-36s %-20s %-14s %s\n", "id", "trigger", "captured_at",
+              "source");
+  int malformed = 0;
+  for (const auto& path : bundles) {
+    std::string text, why;
+    if (!validate_bundle(path, &text, &why)) {
+      std::printf("%-36s MALFORMED: %s\n", path.stem().c_str(), why.c_str());
+      ++malformed;
+      continue;
+    }
+    const std::string at = bundle_field(text, "captured_at_ns");
+    char stamp[32] = "?";
+    if (!at.empty()) {
+      std::snprintf(stamp, sizeof(stamp), "%.3fs",
+                    static_cast<double>(std::strtoll(at.c_str(), nullptr,
+                                                     10)) /
+                        1e9);
+    }
+    std::printf("%-36s %-20s %-14s %s\n", bundle_field(text, "id").c_str(),
+                bundle_field(text, "kind").c_str(), stamp,
+                bundle_field(text, "source").c_str());
+  }
+  std::printf("%zu bundle%s in %s%s\n", bundles.size(),
+              bundles.size() == 1 ? "" : "s", dir.c_str(),
+              malformed ? " (MALFORMED bundles present)" : "");
+  return malformed ? 5 : 0;
 }
 
 // ---------------------------------------------------------- scenario mode
@@ -594,7 +897,7 @@ int cmd_scenario_list() {
 }
 
 int cmd_scenario(const std::string& name, std::uint64_t seed, bool perf,
-                 bool json) {
+                 bool json, const char* capture_dir) {
   const hb::sim::ScenarioSpec* spec = hb::sim::find_scenario(name);
   if (!spec) {
     std::fprintf(stderr,
@@ -604,7 +907,30 @@ int cmd_scenario(const std::string& name, std::uint64_t seed, bool perf,
   }
   hb::sim::ScenarioRunner runner(*spec, perf ? spec->perf : spec->correctness,
                                  seed);
+  if (capture_dir && *capture_dir) runner.enable_capture(capture_dir);
   const hb::sim::ScenarioResult& res = runner.run();
+  if (const hb::obs::PostmortemSink* pm = runner.postmortem()) {
+    // Capture provenance on stderr: stdout stays the byte-stable event
+    // stream the goldens pin.
+    const auto& stats = pm->stats();
+    std::fprintf(stderr,
+                 "capture: %llu bundles from %llu triggers "
+                 "(%llu cooldown-suppressed, %llu over budget) -> %s\n",
+                 static_cast<unsigned long long>(stats.captured),
+                 static_cast<unsigned long long>(stats.triggers),
+                 static_cast<unsigned long long>(stats.suppressed_cooldown),
+                 static_cast<unsigned long long>(stats.suppressed_budget),
+                 capture_dir);
+    if (!pm->last_bundle_path().empty()) {
+      std::fprintf(stderr, "capture: last bundle %s\n",
+                   pm->last_bundle_path().c_str());
+    }
+    if (stats.write_failures > 0) {
+      std::fprintf(stderr, "hbmon: %llu bundle writes FAILED\n",
+                   static_cast<unsigned long long>(stats.write_failures));
+      return 1;
+    }
+  }
   if (json) {
     std::printf("{\n  \"scenario\": \"%s\",\n  \"seed\": %llu,\n"
                 "  \"apps\": %d,\n  \"steps\": %llu,\n"
@@ -681,6 +1007,22 @@ int main(int argc, char** argv) {
                        parse_flag(argc, argv, "-i", 50),
                        parse_sflag(argc, argv, "-o", "trace.json"));
     }
+    if (cmd == "timeline") {
+      return cmd_timeline(registry, parse_flag(argc, argv, "-d", 2000),
+                          parse_flag(argc, argv, "-i", 50),
+                          parse_flag(argc, argv, "-p", 500),
+                          parse_flag(argc, argv, "--since", 0),
+                          parse_sflag(argc, argv, "--app", ""),
+                          has_flag(argc, argv, "--json"));
+    }
+    if (cmd == "postmortem") {
+      const std::string id =
+          argc >= 3 && argv[2][0] != '-' ? argv[2] : "";
+      const std::string default_dir =
+          (registry.dir() / "postmortems").string();
+      return cmd_postmortem(
+          parse_sflag(argc, argv, "--dir", default_dir.c_str()), id);
+    }
     if (cmd == "fleet" || cmd == "--fleet") {
       const bool metrics = has_flag(argc, argv, "--metrics");
       if (has_flag(argc, argv, "--watch")) {
@@ -703,7 +1045,8 @@ int main(int argc, char** argv) {
       return cmd_scenario(
           argv[2],
           std::strtoull(parse_sflag(argc, argv, "--seed", "42"), nullptr, 10),
-          has_flag(argc, argv, "--perf"), has_flag(argc, argv, "--json"));
+          has_flag(argc, argv, "--perf"), has_flag(argc, argv, "--json"),
+          parse_sflag(argc, argv, "--capture", ""));
     }
     if (argc < 3) return usage();
     const std::string app = argv[2];

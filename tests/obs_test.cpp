@@ -116,6 +116,91 @@ TEST(MetricsRegistry, ConcurrentCountersAreExact) {
   EXPECT_EQ(reg.counter("t.conc").value(), kThreads * kAddsPerThread);
 }
 
+TEST(MetricsRegistry, ShardMergeConservesCountsAcrossCells) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  // The composition walk (snapshot) sums each counter's thread-sharded
+  // slots. Conservation check: writers split a known total across two
+  // counters from many threads; every merged snapshot taken AFTER the
+  // writers quiesce reports the exact split — nothing lost to a slot the
+  // walk missed, nothing double-counted by reading a slot twice.
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 50000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&reg, t] {
+      obs::Counter& even = reg.counter("t.merge.even");
+      obs::Counter& odd = reg.counter("t.merge.odd");
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) {
+        ((i + static_cast<std::uint64_t>(t)) % 2 == 0 ? even : odd).add();
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  const obs::MetricsSnapshot s1 = reg.snapshot();
+  const obs::MetricsSnapshot s2 = reg.snapshot();  // idempotent re-merge
+  for (const obs::MetricsSnapshot* s : {&s1, &s2}) {
+    const obs::MetricValue* even = s->find("t.merge.even");
+    const obs::MetricValue* odd = s->find("t.merge.odd");
+    ASSERT_NE(even, nullptr);
+    ASSERT_NE(odd, nullptr);
+    EXPECT_EQ(even->count, kThreads * kAddsPerThread / 2);
+    EXPECT_EQ(odd->count, kThreads * kAddsPerThread / 2);
+    EXPECT_EQ(even->count + odd->count, kThreads * kAddsPerThread);
+  }
+}
+
+TEST(MetricsRegistry, HistogramMergesWithoutDoubleCounting) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kRecordsPerThread = 25000;
+
+  std::atomic<bool> stop{false};
+  // Snapshots composed mid-write must never OVERSHOOT the true total — a
+  // merge that read a sample into two buckets would.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const obs::MetricsSnapshot snap = reg.snapshot();
+      if (const obs::MetricValue* v = snap.find("t.merge.hist")) {
+        EXPECT_LE(v->count, kThreads * kRecordsPerThread);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&reg] {
+      obs::Histogram& h = reg.histogram("t.merge.hist");
+      for (std::uint64_t i = 1; i <= kRecordsPerThread; ++i) h.record(i);
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const obs::MetricsSnapshot s1 = reg.snapshot();
+  const obs::MetricsSnapshot s2 = reg.snapshot();
+  for (const obs::MetricsSnapshot* s : {&s1, &s2}) {
+    const obs::MetricValue* h = s->find("t.merge.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, kThreads * kRecordsPerThread);  // exact, both reads
+    EXPECT_EQ(h->min, 1u);
+    EXPECT_EQ(h->max, kRecordsPerThread);
+  }
+}
+
+TEST(MetricsSnapshot, CarriesWallClockStamp) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  obs::MetricsRegistry reg;
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  // Unix-epoch nanoseconds: anything after 2020-01-01 is sane; zero would
+  // mean the stamp was never taken.
+  EXPECT_GT(snap.taken_at_wall_ns, 1577836800LL * 1000000000LL);
+}
+
 TEST(MetricsRegistry, RuntimeDisableFreezesCells) {
   if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
   obs::MetricsRegistry reg;
@@ -216,6 +301,40 @@ TEST(TraceRing, ConcurrentWritersNeverTearAReader) {
   stop.store(true, std::memory_order_release);
   reader.join();
   EXPECT_EQ(ring.recorded(), 4u * 50000u);
+  // Post-join accounting: with writers quiescent nothing is in flight, so
+  // the skip counter must read zero and the full window must survive.
+  std::uint64_t skipped = 99;
+  EXPECT_EQ(ring.snapshot(&skipped).size(), ring.capacity());
+  EXPECT_EQ(skipped, 0u);
+}
+
+TEST(TraceRing, SnapshotAccountsForEverySlotUnderWriters) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  obs::TraceRing ring(64);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      obs::SpanRecord rec;
+      rec.name = "acct";
+      rec.start_ns = i;
+      rec.end_ns = i + 1;
+      ring.record(rec);
+      ++i;
+    }
+  });
+  // Every slot the snapshot walks either yields an untorn span or counts
+  // as skipped — slots never silently vanish and never emit torn halves.
+  for (int round = 0; round < 2000; ++round) {
+    std::uint64_t skipped = 0;
+    const std::vector<obs::SpanRecord> spans = ring.snapshot(&skipped);
+    ASSERT_LE(spans.size() + skipped, ring.capacity());
+    for (const obs::SpanRecord& s : spans) {
+      ASSERT_EQ(s.end_ns, s.start_ns + 1);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
 }
 
 TEST(TraceRing, ExportsChromeTraceJson) {
@@ -239,11 +358,32 @@ TEST(TraceRing, ExportsChromeTraceJson) {
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
   std::fclose(f);
 
-  EXPECT_EQ(out.front(), '[');
+  // Object form: the event array under "traceEvents" (what Chrome and
+  // Perfetto load) plus the export accounting footer under "otherData".
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
   EXPECT_NE(out.find("\"name\":\"json.span\""), std::string::npos);
   EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(out.find("\"tid\":42"), std::string::npos);
   EXPECT_NE(out.find("\"dur\":2.500"), std::string::npos);  // 2500 ns = 2.5 us
+  EXPECT_NE(out.find("\"otherData\":{\"recorded\":1,\"exported\":1,"
+                     "\"skipped\":0}"),
+            std::string::npos);
+}
+
+TEST(TraceRing, QuietRingSnapshotsWithNothingSkipped) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  obs::TraceRing ring(32);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    obs::SpanRecord rec;
+    rec.name = "quiet";
+    rec.start_ns = i;
+    rec.end_ns = i + 1;
+    ring.record(rec);
+  }
+  std::uint64_t skipped = 99;
+  EXPECT_EQ(ring.snapshot(&skipped).size(), 8u);
+  EXPECT_EQ(skipped, 0u);  // no writer in flight: every slot reads clean
 }
 
 TEST(ObsSpan, RecordsIntoGlobalRingAndHistogram) {
