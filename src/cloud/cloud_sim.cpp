@@ -41,16 +41,17 @@ int CloudSim::add_vm(VmSpec spec) {
   // quadratic; scenario perf machines place tens of thousands of VMs.)
   // Per-machine sums accumulate in VM index order, exactly as
   // machine_demand() does, so placement decisions are bit-identical.
-  std::vector<double> load(static_cast<std::size_t>(num_machines_), 0.0);
+  std::vector<double> machine_load(static_cast<std::size_t>(num_machines_),
+                                   0.0);
   for (std::size_t v = 0; v + 1 < vms_.size(); ++v) {
     if (vms_[v].killed) continue;
-    load[static_cast<std::size_t>(machine_of_[v])] +=
+    machine_load[static_cast<std::size_t>(machine_of_[v])] +=
         vm_demand(static_cast<int>(v));
   }
   const double want = vm_demand(id);
   machine_of_.push_back(num_machines_ - 1);  // where it lands if nothing fits
   for (int m = 0; m < num_machines_; ++m) {
-    if (load[static_cast<std::size_t>(m)] + want <= capacity_) {
+    if (machine_load[static_cast<std::size_t>(m)] + want <= capacity_) {
       machine_of_.back() = m;
       break;
     }

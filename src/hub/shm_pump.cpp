@@ -1,6 +1,9 @@
 #include "hub/shm_pump.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
+#include <thread>
 
 #include "hub/hub.hpp"
 #include "obs/metrics.hpp"
@@ -17,6 +20,10 @@ struct PumpMetrics {
   obs::Counter* polls;
   obs::Counter* empty_polls;
   obs::Counter* records;
+  obs::Counter* parks;
+  obs::Counter* wakes;
+  obs::Counter* spurious_wakes;
+  obs::Counter* wait_timeouts;
   obs::Gauge* apps;
 
   static const PumpMetrics& get() {
@@ -25,6 +32,10 @@ struct PumpMetrics {
       return PumpMetrics{&r.counter("hb.pump.polls"),
                          &r.counter("hb.pump.empty_polls"),
                          &r.counter("hb.pump.records"),
+                         &r.counter("hb.pump.parks"),
+                         &r.counter("hb.pump.wakes"),
+                         &r.counter("hb.pump.spurious_wakes"),
+                         &r.counter("hb.pump.wait_timeouts"),
                          &r.gauge("hb.pump.apps")};
     }();
     return m;
@@ -36,7 +47,7 @@ struct PumpMetrics {
 ShmIngestPump::ShmIngestPump(std::shared_ptr<transport::ShmIngestQueue> queue,
                              HeartbeatHub& hub, ShmIngestPumpOptions opts)
     : queue_(std::move(queue)), hub_(&hub), opts_(opts) {
-  if (!opts_.from_start) cursor_.next = queue_->produced();
+  if (!opts_.from_start) cursor_ = queue_->tail_cursor();
 }
 
 ShmIngestPump::ShmIngestPump(std::shared_ptr<transport::ShmIngestQueue> queue,
@@ -46,7 +57,7 @@ ShmIngestPump::ShmIngestPump(std::shared_ptr<transport::ShmIngestQueue> queue,
       hub_(hub.get()),
       owner_(std::move(hub)),
       opts_(opts) {
-  if (!opts_.from_start) cursor_.next = queue_->produced();
+  if (!opts_.from_start) cursor_ = queue_->tail_cursor();
 }
 
 void ShmIngestPump::route(std::string_view app,
@@ -57,7 +68,7 @@ void ShmIngestPump::route(std::string_view app,
     AppEntry entry;
     entry.id = hub_->register_app(std::string(app), target);
     // register_app keeps the existing target when the name was already
-    // registered (registry replay, an earlier pump); the ring slot
+    // registered (registry replay, an earlier pump); the ring frame
     // carries the producer's CURRENT target, so apply it regardless.
     hub_->set_target(entry.id, target);
     entry.target_min_bits = std::bit_cast<std::uint64_t>(target.min_bps);
@@ -98,14 +109,14 @@ std::size_t ShmIngestPump::poll() {
     entry->pending.clear();
   }
   touched_.clear();
-  // Only a genuinely idle poll (cursor caught up to the producers' head)
-  // feeds the backoff. A drain that returned nothing while records are
+  // Only a genuinely idle poll (cursor caught up to every stream head)
+  // feeds the backoff. A drain that returned nothing while frames are
   // pending is BLOCKED — head-of-line slot claimed but unpublished (a
   // producer crashed mid-batch) — and that is exactly when the loop must
   // keep polling at the floor: the stall budget should be spent at floor
-  // pace so the committed records queued behind the torn run reach the
+  // pace so the committed frames queued behind the torn run reach the
   // hub promptly.
-  if (drained == 0 && cursor_.next >= queue_->produced()) {
+  if (drained == 0 && !queue_->has_frames(cursor_)) {
     if (empty_polls_ < 31) ++empty_polls_;  // cap the shift, not the count
     metrics.empty_polls->add(1);
   } else {
@@ -115,6 +126,49 @@ std::size_t ShmIngestPump::poll() {
   metrics.apps->set(static_cast<std::int64_t>(apps_.size()));
   span.set_arg(drained);
   return drained;
+}
+
+bool ShmIngestPump::wait(util::TimeNs budget_ns) {
+  if (budget_ns <= 0) return false;
+  using transport::ShmIngestQueue;
+  if (opts_.use_doorbell) {
+    const PumpMetrics& metrics = PumpMetrics::get();
+    const util::TimeNs timeout =
+        std::min(budget_ns, std::max<util::TimeNs>(opts_.doorbell_timeout_ns, 1));
+    switch (queue_->wait_for_frames(cursor_, timeout)) {
+      case ShmIngestQueue::WaitResult::kReady:
+        // Frames were already pending — no park happened; poll now.
+        return true;
+      case ShmIngestQueue::WaitResult::kWoken:
+        ++parks_;
+        ++doorbell_wakes_;
+        metrics.parks->add(1);
+        metrics.wakes->add(1);
+        // The wake says producers just published: restart the backoff at
+        // the floor (the satellite fix — wakes, not empty polls, are the
+        // "ring went busy" signal for anyone still consulting
+        // suggested_sleep_ns()).
+        empty_polls_ = 0;
+        if (!queue_->has_frames(cursor_)) {
+          // Signal/EINTR or a ring for frames another consumer's cursor
+          // covers — rare; count it so an unhealthy rate is visible.
+          ++spurious_wakes_;
+          metrics.spurious_wakes->add(1);
+        }
+        return true;
+      case ShmIngestQueue::WaitResult::kTimeout:
+        ++parks_;
+        ++wait_timeouts_;
+        metrics.parks->add(1);
+        metrics.wait_timeouts->add(1);
+        return false;
+      case ShmIngestQueue::WaitResult::kUnsupported:
+        break;  // fall through to the portable backoff nap
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(
+      std::min(budget_ns, suggested_sleep_ns())));
+  return false;
 }
 
 util::TimeNs ShmIngestPump::suggested_sleep_ns() const {
@@ -135,6 +189,11 @@ ShmIngestPumpStats ShmIngestPump::stats() const {
   s.dropped = cursor_.dropped;
   s.torn = cursor_.torn;
   s.apps = apps_.size();
+  s.lane_records = cursor_.lane_records;
+  s.parks = parks_;
+  s.doorbell_wakes = doorbell_wakes_;
+  s.spurious_wakes = spurious_wakes_;
+  s.wait_timeouts = wait_timeouts_;
   return s;
 }
 

@@ -1,18 +1,26 @@
 // ShmIngestPump: drain a cross-process ingest ring into a HeartbeatHub.
 //
 // The consumer half of the transport/ShmIngestQueue pipeline. One pump owns
-// one ring cursor and one hub: each poll() drains every committed slot,
-// groups the records per application, and hands each group to
-// HeartbeatHub::ingest_batch in one shard-lock acquire. Applications are
-// registered on first sight (with the target carried in their slots) and
-// re-targeted whenever a drained slot shows a changed target — so a fleet
-// of external producer processes reaches FleetDetector sweeps, hbmon, and
-// every other hub consumer without any of them linking the producers.
+// one ring cursor and one hub: each poll() drains every committed frame
+// (shared ring + fast lanes), groups the records per application, and hands
+// each group to HeartbeatHub::ingest_batch in one shard-lock acquire.
+// Applications are registered on first sight (with the target carried in
+// their frames) and re-targeted whenever a drained frame shows a changed
+// target — so a fleet of external producer processes reaches FleetDetector
+// sweeps, hbmon, and every other hub consumer without any of them linking
+// the producers.
+//
+// Idle behavior: wait() blocks on the ring's futex doorbell (near-zero CPU
+// while the fleet is quiet, sub-millisecond wake at the first beat), with a
+// bounded timeout and a portable fallback to the suggested_sleep_ns
+// exponential backoff when futex is unavailable. The canonical loop is
+//
+//   for (;;) { pump.poll(); pump.wait(budget_to_next_deadline); }
 //
 // Threading: a pump is single-consumer by construction (it owns its
-// cursor). Call poll() from one thread — typically a poll loop alongside
-// the sweep/query thread, which is safe because the hub itself is
-// thread-safe. Multiple *pumps* on the same ring are fine: slots are read
+// cursor). Call poll()/wait() from one thread — typically a poll loop
+// alongside the sweep/query thread, which is safe because the hub itself is
+// thread-safe. Multiple *pumps* on the same ring are fine: frames are read
 // non-destructively, so each pump sees the full stream.
 #pragma once
 
@@ -38,13 +46,13 @@ struct ShmIngestPumpOptions {
   /// for producers on a foreign epoch (replayed logs, ManualClock tests) —
   /// rates then measure arrival cadence, not production cadence.
   bool restamp_arrival = false;
-  /// Drains a claimed-but-unpublished slot may block on before the pump
+  /// Drains a claimed-but-unpublished frame may block on before the pump
   /// skips it as torn (crashed producer). Forwarded to
   /// transport::ShmIngestQueue::drain.
   std::uint32_t max_stall_polls = 3;
-  /// Consume the ring's full retained backlog (up to capacity records)
-  /// instead of starting at the current head. Off by default: a live
-  /// monitor wants beats produced while it watches, not a replay of
+  /// Consume the ring's full retained backlog (up to capacity frames per
+  /// stream) instead of starting at the current heads. Off by default: a
+  /// live monitor wants beats produced while it watches, not a replay of
   /// whatever a previous session left in the ring.
   bool from_start = false;
   /// Idle-backoff floor for suggested_sleep_ns(): the sleep after a poll
@@ -54,15 +62,29 @@ struct ShmIngestPumpOptions {
   /// the floor up to this bound (a quiet ring costs ~1 wakeup per cap
   /// interval instead of a busy-spin). Clamped to >= idle_sleep_min_ns.
   util::TimeNs idle_sleep_max_ns = 64 * util::kNsPerMs;
+  /// Block on the ring's futex doorbell in wait() instead of sleeping the
+  /// backoff schedule. Ignored (with automatic fallback) on platforms
+  /// without futex.
+  bool use_doorbell = true;
+  /// Longest single doorbell block. This bounds the missed-wake window the
+  /// producers' relaxed parked-check admits AND doubles as a liveness
+  /// heartbeat for the poll loop; it is NOT a staleness bound (a beat rings
+  /// the doorbell and wakes the pump immediately).
+  util::TimeNs doorbell_timeout_ns = 100 * util::kNsPerMs;
 };
 
 /// Cumulative pump counters (all monotonic since construction).
 struct ShmIngestPumpStats {
   std::uint64_t polls = 0;     ///< poll() calls
   std::uint64_t consumed = 0;  ///< records ingested into the hub
-  std::uint64_t dropped = 0;   ///< ring records lapped before this pump read them
-  std::uint64_t torn = 0;      ///< slots skipped (producer died mid-batch)
+  std::uint64_t dropped = 0;   ///< ring frames lapped before this pump read them
+  std::uint64_t torn = 0;      ///< frames skipped (producer died mid-batch)
   std::uint64_t apps = 0;      ///< distinct producer names seen
+  std::uint64_t lane_records = 0;    ///< records that arrived via fast lanes
+  std::uint64_t parks = 0;           ///< wait() calls that blocked on the futex
+  std::uint64_t doorbell_wakes = 0;  ///< parks ended by a producer's ring
+  std::uint64_t spurious_wakes = 0;  ///< wakes that found no pending frames
+  std::uint64_t wait_timeouts = 0;   ///< parks ended by the bounded timeout
 };
 
 class ShmIngestPump {
@@ -83,13 +105,22 @@ class ShmIngestPump {
   /// ingested. Returns the number of records ingested by this call.
   std::size_t poll();
 
+  /// Sleep until there is (likely) work, for at most `budget_ns`: the
+  /// doorbell block when available (clamped to doorbell_timeout_ns), else
+  /// a suggested_sleep_ns backoff nap. Returns true when frames are (or
+  /// are likely) pending — callers poll() immediately; false means the
+  /// budget or timeout lapsed quietly. A doorbell wake resets the idle
+  /// backoff, so fallback pollers resume at the floor after real work.
+  bool wait(util::TimeNs budget_ns);
+
   /// How long the poll loop should sleep before the next poll(): the
   /// idle-backoff schedule. idle_sleep_min_ns right after a poll that
-  /// drained records, doubling per consecutive empty poll up to
-  /// idle_sleep_max_ns — so a busy ring is drained promptly and a quiet
-  /// one stops being busy-spun. Purely advisory; the pump never sleeps
-  /// itself (callers own their loop and may cap this further, e.g. to a
-  /// sweep deadline).
+  /// drained records (or a doorbell wake), doubling per consecutive empty
+  /// poll up to idle_sleep_max_ns — so a busy ring is drained promptly and
+  /// a quiet one stops being busy-spun. Purely advisory; the pump never
+  /// sleeps in poll() (callers own their loop and may cap this further,
+  /// e.g. to a sweep deadline). Loops should prefer wait(), which blocks
+  /// on the doorbell and only falls back to this schedule.
   util::TimeNs suggested_sleep_ns() const;
 
   ShmIngestPumpStats stats() const;
@@ -118,6 +149,10 @@ class ShmIngestPump {
   transport::ShmIngestQueue::Cursor cursor_;
   std::uint64_t polls_ = 0;
   std::uint32_t empty_polls_ = 0;  ///< consecutive polls that drained nothing
+  std::uint64_t parks_ = 0;
+  std::uint64_t doorbell_wakes_ = 0;
+  std::uint64_t spurious_wakes_ = 0;
+  std::uint64_t wait_timeouts_ = 0;
 
   // Transparent lookup so routing a drained record never allocates a key.
   struct NameHash {

@@ -39,7 +39,9 @@ void FlightRecorder::note_publish(std::uint64_t epoch, util::TimeNs at_ns) {
   // values are current at cut time, and cross-field skew of one tick is
   // harmless (the frame's authoritative stamp is the sweep's).
   publishes_.fetch_add(1, std::memory_order_relaxed);
+  // relaxed: same justification — telemetry, skew harmless.
   last_publish_epoch_.store(epoch, std::memory_order_relaxed);
+  // relaxed: same justification — telemetry, skew harmless.
   last_publish_at_ns_.store(at_ns, std::memory_order_relaxed);
 }
 

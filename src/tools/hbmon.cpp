@@ -123,6 +123,13 @@ void print_transport_footer(const hb::hub::ShmIngestPumpStats& stats) {
               static_cast<unsigned long long>(stats.dropped),
               static_cast<unsigned long long>(stats.torn),
               stats.dropped || stats.torn ? "  <-- ring loss" : "");
+  std::printf("doorbell: %llu parks, %llu wakes (%llu spurious), "
+              "%llu timeouts, %llu fast-lane beats\n",
+              static_cast<unsigned long long>(stats.parks),
+              static_cast<unsigned long long>(stats.doorbell_wakes),
+              static_cast<unsigned long long>(stats.spurious_wakes),
+              static_cast<unsigned long long>(stats.wait_timeouts),
+              static_cast<unsigned long long>(stats.lane_records));
 }
 
 const char* kind_name(hb::obs::MetricValue::Kind kind) {
@@ -431,8 +438,12 @@ int cmd_fleet_live(const hb::transport::Registry& registry, int run_ms,
       p.hub->snapshot();
       next_pulse += std::chrono::milliseconds(250);
     }
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(p.pump->suggested_sleep_ns()));
+    // Park on the ring's doorbell until the next pulse or the deadline,
+    // whichever is sooner: a quiet fleet costs ~0 CPU, a beat wakes the
+    // pump immediately.
+    const auto budget = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::min(next_pulse, deadline) - Clock::now());
+    p.pump->wait(budget.count());
   }
   p.pump->poll();  // final drain so the sweep sees everything
 
@@ -525,14 +536,12 @@ int cmd_fleet_watch(const hb::transport::Registry& registry, int run_ms,
         next_sweep = Clock::now() + std::chrono::milliseconds(sweep_ms);
       }
     }
-    // Sleep the pump's adaptive suggestion, but never past the next sweep.
-    const auto sleep_ns =
-        std::chrono::nanoseconds(p.pump->suggested_sleep_ns());
+    // Park on the doorbell, but never past the next sweep: the futex wake
+    // bounds ingest latency while the sweep deadline bounds the park.
     const auto until_sweep =
         std::chrono::duration_cast<std::chrono::nanoseconds>(next_sweep -
                                                              Clock::now());
-    std::this_thread::sleep_for(
-        std::clamp(until_sweep, std::chrono::nanoseconds(0), sleep_ns));
+    p.pump->wait(until_sweep.count());
   }
 
   p.pump->poll();  // final drain: the exit table reflects everything
@@ -586,8 +595,9 @@ void run_pipeline_briefly(const hb::transport::Registry& registry, int run_ms,
       p.hub->snapshot();
       next_pulse += std::chrono::milliseconds(100);
     }
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(p.pump->suggested_sleep_ns()));
+    const auto budget = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::min(next_pulse, deadline) - Clock::now());
+    p.pump->wait(budget.count());
   }
   p.pump->poll();
   engine.observe(p.detector.sweep(hb::hub::HubView(*p.hub)));
@@ -676,8 +686,9 @@ int cmd_timeline(const hb::transport::Registry& registry, int run_ms,
       engine.observe(report);
       next_sweep += std::chrono::milliseconds(sweep_ms);
     }
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(p.pump->suggested_sleep_ns()));
+    const auto budget = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::min(next_sweep, deadline) - Clock::now());
+    p.pump->wait(budget.count());
   }
   p.pump->poll();
   const hb::fault::FleetReport last =

@@ -1,16 +1,25 @@
 #include "transport/shm_ingest.hpp"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <sys/file.h>
 
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#endif
+
 #include <bit>
+#include <cerrno>
 #include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 
@@ -26,20 +35,29 @@ using detail::throw_errno;
 
 namespace {
 
-/// Registry cells for the shm ring, resolved once per process. Claims are
-/// producer-side (every process mapping the ring has its own registry);
-/// drained/dropped/torn are consumer-side deltas mirrored off the Cursor.
+/// Registry cells for the shm ring, resolved once per process. Claims,
+/// records, and rings are producer-side (every process mapping the ring
+/// has its own registry); drained/dropped/torn/lane_drained are
+/// consumer-side deltas mirrored off the Cursor.
 struct ShmMetrics {
-  obs::Counter* claimed;
-  obs::Counter* drained;
-  obs::Counter* dropped;
-  obs::Counter* torn;
+  obs::Counter* claimed;      ///< shared-ring frames claimed
+  obs::Counter* lane_frames;  ///< fast-lane frames published
+  obs::Counter* records;      ///< records appended (both paths)
+  obs::Counter* rings;        ///< doorbell rings performed
+  obs::Counter* drained;      ///< records delivered to consumers
+  obs::Counter* lane_drained; ///< subset of drained from fast lanes
+  obs::Counter* dropped;      ///< frames lapped before a consumer read them
+  obs::Counter* torn;         ///< frames skipped (crashed producer)
 
   static const ShmMetrics& get() {
     static const ShmMetrics m = [] {
       auto& r = obs::MetricsRegistry::global();
       return ShmMetrics{&r.counter("hb.shm.claimed"),
+                        &r.counter("hb.shm.lane_frames"),
+                        &r.counter("hb.shm.records"),
+                        &r.counter("hb.shm.rings"),
                         &r.counter("hb.shm.drained"),
+                        &r.counter("hb.shm.lane_drained"),
                         &r.counter("hb.shm.dropped"),
                         &r.counter("hb.shm.torn")};
     }();
@@ -50,8 +68,8 @@ struct ShmMetrics {
 void* map_existing(const std::filesystem::path& file, std::size_t& bytes_out,
                    bool& retryable);
 
-// Fit an app name into a slot's 48-byte field. Names that fit are copied
-// verbatim; longer ones keep their first 38 bytes plus '~' and 8 hex
+// Fit an app name into a frame's 40-byte field. Names that fit are copied
+// verbatim; longer ones keep their first 30 bytes plus '~' and 8 hex
 // digits of an FNV-1a hash of the FULL name, so two producers whose names
 // share a long prefix are still distinct apps hub-side (silent merging
 // would make one of them vanish from every fleet report).
@@ -66,24 +84,93 @@ std::size_t fit_name(std::string_view app, char out[kIngestNameCap]) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ULL;
   }
-  constexpr std::size_t kPrefix = kIngestNameCap - 10;  // 38 + '~' + 8 hex
+  constexpr std::size_t kPrefix = kIngestNameCap - 10;  // 30 + '~' + 8 hex
   std::memcpy(out, app.data(), kPrefix);
   std::snprintf(out + kPrefix, kIngestNameCap - kPrefix, "~%08x",
                 static_cast<std::uint32_t>(h));
   return kIngestNameCap - 1;
 }
 
+// ------------------------------------------------------------ futex shims
+//
+// The doorbell word lives in shared memory, so the futex must NOT be
+// FUTEX_PRIVATE — producers and the consumer are different processes.
+// std::atomic<u32> is address-free (static_assert in the header), so its
+// storage can be handed to the kernel directly.
+
+#if defined(__linux__)
+
+constexpr bool kFutexAvailable = true;
+
+long futex_call(std::atomic<std::uint32_t>* word, int op, std::uint32_t val,
+                const timespec* ts) {
+  return ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), op, val,
+                   ts, nullptr, 0);
+}
+
+/// Returns true when woken (or the generation already moved / a signal
+/// arrived — callers re-check for work either way), false on timeout.
+bool futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expected,
+                util::TimeNs timeout_ns) {
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(timeout_ns / util::kNsPerSec);
+  ts.tv_nsec = static_cast<long>(timeout_ns % util::kNsPerSec);
+  const long rc = futex_call(word, FUTEX_WAIT, expected, &ts);
+  if (rc == 0) return true;
+  // EAGAIN: a producer bumped the generation between our sample and the
+  // syscall — that IS the wake. EINTR: signal; surface as a (possibly
+  // spurious) wake so the caller re-checks instead of oversleeping.
+  return errno == EAGAIN || errno == EINTR;
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>* word) {
+  futex_call(word, FUTEX_WAKE, INT_MAX, nullptr);
+}
+
+#else  // !__linux__
+
+constexpr bool kFutexAvailable = false;
+
+bool futex_wait(std::atomic<std::uint32_t>*, std::uint32_t, util::TimeNs) {
+  return false;
+}
+void futex_wake_all(std::atomic<std::uint32_t>*) {}
+
+#endif
+
+/// True when the pid half of a lane owner token names a process that no
+/// longer exists (ESRCH). EPERM means "alive but not ours" — NOT dead.
+bool owner_pid_dead(std::uint64_t token) {
+  const pid_t pid = static_cast<pid_t>(token & 0xffffffffULL);
+  if (pid <= 0) return true;  // malformed token: reclaimable
+  if (pid == ::getpid()) return false;
+  return ::kill(pid, 0) != 0 && errno == ESRCH;
+}
+
+/// Fresh (nonce << 32) | pid owner token; the process-local nonce keeps
+/// two claims by the same process distinct under CAS.
+std::uint64_t next_owner_token() {
+  static std::atomic<std::uint32_t> nonce{0};
+  // relaxed: the nonce only needs to be unique within this process; no
+  // ordering with any other memory is implied.
+  const std::uint32_t n = nonce.fetch_add(1, std::memory_order_relaxed) + 1;
+  return (static_cast<std::uint64_t>(n) << 32) |
+         static_cast<std::uint32_t>(::getpid());
+}
+
 }  // namespace
 
 std::shared_ptr<ShmIngestQueue> ShmIngestQueue::create(
-    const std::filesystem::path& file, std::uint32_t capacity) {
+    const std::filesystem::path& file, std::uint32_t capacity,
+    std::uint32_t lane_capacity) {
   if (capacity < 2) capacity = 2;
+  if (lane_capacity < 2) lane_capacity = 2;
 
   if (file.has_parent_path()) std::filesystem::create_directories(file.parent_path());
   Fd fd;
   fd.fd = ::open(file.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
   if (fd.fd < 0) throw_errno("ShmIngestQueue::create open " + file.string());
-  const std::size_t bytes = shm_ingest_segment_size(capacity);
+  const std::size_t bytes = shm_ingest_segment_size(capacity, lane_capacity);
   if (::ftruncate(fd.fd, static_cast<off_t>(bytes)) != 0) {
     throw_errno("ShmIngestQueue::create ftruncate " + file.string());
   }
@@ -93,13 +180,16 @@ std::shared_ptr<ShmIngestQueue> ShmIngestQueue::create(
     throw_errno("ShmIngestQueue::create mmap " + file.string());
   }
 
-  // The mapping is zero-filled; all-zero slots are already valid (commit
-  // == 0 means empty). Fill the header, then publish the magic LAST so a
-  // concurrent attach() never observes a half-built header.
+  // The mapping is zero-filled; all-zero slots and lane headers are
+  // already valid (commit == 0 means empty, owner == 0 means free). Fill
+  // the header, then publish the magic LAST so a concurrent attach()
+  // never observes a half-built header.
   auto* hdr = new (base) ShmIngestHeader();
   hdr->slot_size = sizeof(ShmIngestSlot);
   hdr->capacity = capacity;
   hdr->creator_pid = static_cast<std::uint32_t>(::getpid());
+  hdr->lane_count = kIngestLanes;
+  hdr->lane_capacity = lane_capacity;
   hdr->magic.store(kShmIngestMagic, std::memory_order_release);
 
   // A creator stalled long enough here looks abandoned: open()'s reclaim
@@ -159,7 +249,8 @@ void* map_existing(const std::filesystem::path& file, std::size_t& bytes_out,
   }
   if (magic != kShmIngestMagic || hdr->version != kShmIngestVersion ||
       hdr->slot_size != sizeof(ShmIngestSlot) ||
-      bytes < shm_ingest_segment_size(hdr->capacity)) {
+      hdr->lane_count != kIngestLanes || hdr->lane_capacity < 2 ||
+      bytes < shm_ingest_segment_size(hdr->capacity, hdr->lane_capacity)) {
     ::munmap(base, bytes);
     throw std::runtime_error("ShmIngestQueue::attach: bad segment format: " +
                              file.string());
@@ -246,52 +337,164 @@ ShmIngestQueue::ShmIngestQueue(std::filesystem::path file, void* base,
     : file_(std::move(file)),
       base_(base),
       bytes_(bytes),
-      capacity_(static_cast<const ShmIngestHeader*>(base)->capacity) {}
+      capacity_(static_cast<const ShmIngestHeader*>(base)->capacity),
+      lane_count_(static_cast<const ShmIngestHeader*>(base)->lane_count),
+      lane_capacity_(static_cast<const ShmIngestHeader*>(base)->lane_capacity) {}
 
 ShmIngestQueue::~ShmIngestQueue() {
+  for (std::uint32_t i = 0; i < kIngestLanes; ++i) {
+    if (lane_tokens_[i] != 0) release_lane(static_cast<int>(i));
+  }
   if (base_ != nullptr) ::munmap(base_, bytes_);
 }
 
-ShmIngestSlot* ShmIngestQueue::slots() {
-  return reinterpret_cast<ShmIngestSlot*>(static_cast<char*>(base_) +
+ShmIngestLane* ShmIngestQueue::lane_headers() {
+  return reinterpret_cast<ShmIngestLane*>(static_cast<char*>(base_) +
                                           sizeof(ShmIngestHeader));
+}
+
+const ShmIngestLane* ShmIngestQueue::lane_headers() const {
+  return reinterpret_cast<const ShmIngestLane*>(
+      static_cast<const char*>(base_) + sizeof(ShmIngestHeader));
+}
+
+ShmIngestSlot* ShmIngestQueue::slots() {
+  return reinterpret_cast<ShmIngestSlot*>(
+      static_cast<char*>(base_) + sizeof(ShmIngestHeader) +
+      kIngestLanes * sizeof(ShmIngestLane));
 }
 
 const ShmIngestSlot* ShmIngestQueue::slots() const {
   return reinterpret_cast<const ShmIngestSlot*>(
-      static_cast<const char*>(base_) + sizeof(ShmIngestHeader));
+      static_cast<const char*>(base_) + sizeof(ShmIngestHeader) +
+      kIngestLanes * sizeof(ShmIngestLane));
 }
+
+ShmIngestSlot* ShmIngestQueue::lane_slots(std::uint32_t lane) {
+  return slots() + capacity_ +
+         static_cast<std::size_t>(lane) * lane_capacity_;
+}
+
+const ShmIngestSlot* ShmIngestQueue::lane_slots(std::uint32_t lane) const {
+  return slots() + capacity_ +
+         static_cast<std::size_t>(lane) * lane_capacity_;
+}
+
+// ---------------------------------------------------------------- doorbell
+
+bool ShmIngestQueue::doorbell_supported() { return kFutexAvailable; }
+
+void ShmIngestQueue::ring_doorbell() {
+  ShmIngestHeader* hdr = header();
+  // relaxed: advisory fast-path check. A consumer parking concurrently
+  // can miss this producer's frames AND have its parked increment missed
+  // here (classic store-buffer race) — the consumer's bounded futex
+  // timeout covers that window; see wait_for_frames().
+  if (hdr->parked.load(std::memory_order_relaxed) == 0) return;
+  hdr->doorbell.fetch_add(1, std::memory_order_release);
+  // relaxed: diagnostic counter; no ordering with the generation bump.
+  hdr->rings.fetch_add(1, std::memory_order_relaxed);
+  futex_wake_all(&hdr->doorbell);
+  ShmMetrics::get().rings->add(1);
+}
+
+ShmIngestQueue::WaitResult ShmIngestQueue::wait_for_frames(
+    const Cursor& cur, util::TimeNs timeout_ns) {
+  if (!kFutexAvailable) return WaitResult::kUnsupported;
+  if (timeout_ns <= 0) timeout_ns = 1;
+  ShmIngestHeader* hdr = header();
+  // Sample the generation BEFORE the work check: a ring that lands after
+  // the check but before the wait bumps the generation, so FUTEX_WAIT
+  // returns EAGAIN instead of sleeping through the signal.
+  const std::uint32_t gen = hdr->doorbell.load(std::memory_order_acquire);
+  if (has_frames(cur)) return WaitResult::kReady;
+  // Park/ring ordering: advertise parked with seq_cst, THEN re-check for
+  // frames. A producer publishes frames first, then loads `parked`; its
+  // load is relaxed, so the one interleaving where both sides miss each
+  // other is possible — and bounded by timeout_ns, not by silence.
+  hdr->parked.fetch_add(1, std::memory_order_seq_cst);
+  WaitResult r;
+  if (has_frames(cur)) {
+    r = WaitResult::kReady;
+  } else if (futex_wait(&hdr->doorbell, gen, timeout_ns)) {
+    r = WaitResult::kWoken;
+  } else {
+    r = WaitResult::kTimeout;
+  }
+  hdr->parked.fetch_sub(1, std::memory_order_acq_rel);
+  return r;
+}
+
+std::uint64_t ShmIngestQueue::doorbell_rings() const {
+  return header()->rings.load(std::memory_order_acquire);
+}
+
+// --------------------------------------------------------------- producers
 
 std::uint64_t ShmIngestQueue::claim(std::uint64_t n) {
   ShmMetrics::get().claimed->add(n);
   return header()->head.fetch_add(n, std::memory_order_acq_rel);
 }
 
-void ShmIngestQueue::publish(std::uint64_t seq, std::string_view app,
-                             const core::HeartbeatRecord& rec,
-                             core::TargetRate target) {
-  ShmIngestSlot& slot = slots()[seq % capacity_];
+std::size_t ShmIngestQueue::count_packable(
+    std::span<const core::HeartbeatRecord> recs, std::size_t i) {
+  const core::HeartbeatRecord& base = recs[i];
+  std::size_t n = 1;
+  while (n < kIngestFrameRecords && i + n < recs.size()) {
+    const core::HeartbeatRecord& r = recs[i + n];
+    if (r.thread_id != base.thread_id) break;
+    if (r.seq != base.seq + n) break;
+    const std::int64_t delta = r.timestamp_ns - base.timestamp_ns;
+    if (delta < 0 ||
+        delta > std::numeric_limits<std::uint32_t>::max()) {
+      break;
+    }
+    ++n;
+  }
+  return n;
+}
+
+void ShmIngestQueue::publish_frame(ShmIngestSlot& slot, std::uint64_t seq,
+                                   std::string_view app,
+                                   std::span<const core::HeartbeatRecord> recs,
+                                   core::TargetRate target) {
   // Seqlock write: invalidate, payload, publish. The fence keeps the
   // payload stores from being reordered ahead of the invalidation (a
   // release store only orders what comes BEFORE it) — without it a
   // lapping writer's payload could land while the old commit word is
   // still visible and a concurrent reader's re-check would accept a torn
-  // record. Mirrors the acquire fence on the reader side.
+  // frame. Mirrors the acquire fence on the reader side.
   slot.commit.store(0, std::memory_order_release);
   std::atomic_thread_fence(std::memory_order_release);
   ShmIngestSlot::Body body;
   fit_name(app, body.app);
-  body.rec = rec;
+  body.thread_id = recs[0].thread_id;
+  body.count = static_cast<std::uint16_t>(recs.size());
   body.target_min_bits = std::bit_cast<std::uint64_t>(target.min_bps);
   body.target_max_bits = std::bit_cast<std::uint64_t>(target.max_bps);
+  body.base_ts_ns = recs[0].timestamp_ns;
+  body.base_seq = recs[0].seq;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    body.tags[i] = recs[i].tag;
+    body.ts_delta_ns[i] =
+        static_cast<std::uint32_t>(recs[i].timestamp_ns - recs[0].timestamp_ns);
+  }
   util::tsan_relaxed_copy(slot.body, body);
   slot.commit.store(seq + 1, std::memory_order_release);
+}
+
+void ShmIngestQueue::publish(std::uint64_t seq, std::string_view app,
+                             const core::HeartbeatRecord& rec,
+                             core::TargetRate target) {
+  publish_frame(slots()[seq % capacity_], seq, app, {&rec, 1}, target);
+  ring_doorbell();
 }
 
 std::uint64_t ShmIngestQueue::append(std::string_view app,
                                      const core::HeartbeatRecord& rec,
                                      core::TargetRate target) {
   const std::uint64_t seq = claim(1);
+  ShmMetrics::get().records->add(1);
   publish(seq, app, rec, target);
   return seq;
 }
@@ -300,40 +503,153 @@ std::uint64_t ShmIngestQueue::append_batch(
     std::string_view app, std::span<const core::HeartbeatRecord> recs,
     core::TargetRate target) {
   if (recs.empty()) return header()->head.load(std::memory_order_acquire);
-  const std::uint64_t first = claim(recs.size());
-  for (std::size_t i = 0; i < recs.size(); ++i) {
-    publish(first + i, app, recs[i], target);
+  // Pass 1: how many frames does this batch pack into? Pass 2: publish.
+  // ONE claim covers every frame — the contended fetch_add is paid once
+  // per batch, not once per record.
+  std::uint64_t frames = 0;
+  for (std::size_t i = 0; i < recs.size(); i += count_packable(recs, i)) {
+    ++frames;
   }
+  const std::uint64_t first = claim(frames);
+  std::uint64_t seq = first;
+  for (std::size_t i = 0; i < recs.size();) {
+    const std::size_t n = count_packable(recs, i);
+    publish_frame(slots()[seq % capacity_], seq, app, recs.subspan(i, n),
+                  target);
+    ++seq;
+    i += n;
+  }
+  ShmMetrics::get().records->add(recs.size());
+  ring_doorbell();
   return first;
 }
 
-std::size_t ShmIngestQueue::drain(Cursor& cur, const DrainFn& fn,
-                                  std::uint32_t max_stall_polls) {
-  // Mirror the cursor's per-drain deltas into the process-wide registry on
-  // exit (one add per counter per drain, not per record).
-  const std::uint64_t dropped_before = cur.dropped;
-  const std::uint64_t torn_before = cur.torn;
-  const std::uint64_t cap = capacity_;
-  const std::uint64_t head = header()->head.load(std::memory_order_acquire);
+// -------------------------------------------------------------- fast lanes
 
+int ShmIngestQueue::claim_lane() {
+  ShmIngestLane* lanes = lane_headers();
+  const std::uint64_t token = next_owner_token();
+  // Pass 0 takes free lanes; pass 1 reclaims lanes whose owner process
+  // died without releasing (kill(pid, 0) == ESRCH). A reclaimed lane
+  // keeps its head — the new owner continues the frame sequence, and any
+  // unpublished tail the dead owner claimed is bounded by the consumer's
+  // stall budget exactly like a shared-ring crash.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint32_t i = 0; i < lane_count_; ++i) {
+      std::uint64_t cur = lanes[i].owner.load(std::memory_order_acquire);
+      const bool takeable =
+          pass == 0 ? cur == 0 : (cur != 0 && owner_pid_dead(cur));
+      if (!takeable) continue;
+      if (lanes[i].owner.compare_exchange_strong(cur, token,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
+        lane_tokens_[i] = token;
+        return static_cast<int>(i);
+      }
+    }
+  }
+  return -1;
+}
+
+void ShmIngestQueue::release_lane(int lane) {
+  if (lane < 0 || lane >= static_cast<int>(lane_count_)) return;
+  std::uint64_t token = lane_tokens_[lane];
+  if (token == 0) return;
+  lane_tokens_[lane] = 0;
+  // CAS rather than blind store: defensive against a (buggy) double
+  // release racing a fresh claim — only our own token is ever cleared.
+  lane_headers()[lane].owner.compare_exchange_strong(
+      token, 0, std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+std::uint64_t ShmIngestQueue::append_batch_lane(
+    int lane, std::string_view app,
+    std::span<const core::HeartbeatRecord> recs, core::TargetRate target) {
+  if (lane < 0 || lane >= static_cast<int>(lane_count_)) {
+    return append_batch(app, recs, target);
+  }
+  ShmIngestLane& ln = lane_headers()[lane];
+  // relaxed: the lane owner is the only writer of the lane head, and the
+  // caller serializes its own appends — this is a self-read.
+  std::uint64_t h = ln.head.load(std::memory_order_relaxed);
+  if (recs.empty()) return h;
+  const std::uint64_t first = h;
+  ShmIngestSlot* arr = lane_slots(static_cast<std::uint32_t>(lane));
+  std::uint64_t frames = 0;
+  for (std::size_t i = 0; i < recs.size();) {
+    const std::size_t n = count_packable(recs, i);
+    publish_frame(arr[h % lane_capacity_], h, app, recs.subspan(i, n), target);
+    // Advertise AFTER the frame commit: a consumer that acquires this
+    // head is guaranteed to find the commit word already published.
+    ln.head.store(h + 1, std::memory_order_release);
+    ++h;
+    ++frames;
+    i += n;
+  }
+  const ShmMetrics& metrics = ShmMetrics::get();
+  metrics.lane_frames->add(frames);
+  metrics.records->add(recs.size());
+  ring_doorbell();
+  return first;
+}
+
+std::uint64_t ShmIngestQueue::lane_owner(std::uint32_t lane) const {
+  if (lane >= lane_count_) return 0;
+  return lane_headers()[lane].owner.load(std::memory_order_acquire);
+}
+
+std::uint64_t ShmIngestQueue::lane_produced(std::uint32_t lane) const {
+  if (lane >= lane_count_) return 0;
+  return lane_headers()[lane].head.load(std::memory_order_acquire);
+}
+
+// -------------------------------------------------------------- consumers
+
+bool ShmIngestQueue::has_frames(const Cursor& cur) const {
+  if (header()->head.load(std::memory_order_acquire) > cur.main.next) {
+    return true;
+  }
+  const ShmIngestLane* lanes = lane_headers();
+  for (std::uint32_t i = 0; i < lane_count_; ++i) {
+    if (lanes[i].head.load(std::memory_order_acquire) > cur.lanes[i].next) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ShmIngestQueue::Cursor ShmIngestQueue::tail_cursor() const {
+  Cursor cur;
+  cur.main.next = header()->head.load(std::memory_order_acquire);
+  const ShmIngestLane* lanes = lane_headers();
+  for (std::uint32_t i = 0; i < lane_count_; ++i) {
+    cur.lanes[i].next = lanes[i].head.load(std::memory_order_acquire);
+  }
+  return cur;
+}
+
+std::size_t ShmIngestQueue::drain_stream(const ShmIngestSlot* arr,
+                                         std::uint64_t cap, std::uint64_t head,
+                                         StreamCursor& sc, bool lane,
+                                         Cursor& totals, const DrainFn& fn,
+                                         std::uint32_t max_stall_polls) {
   // Producers lapped this consumer before it even looked: everything below
   // head - capacity is gone (its slots now belong to newer seqs).
-  if (head > cur.next + cap) {
-    cur.dropped += head - cap - cur.next;
-    cur.next = head - cap;
-    cur.stalls = 0;
+  if (head > sc.next + cap) {
+    totals.dropped += head - cap - sc.next;
+    sc.next = head - cap;
+    sc.stalls = 0;
   }
 
-  const ShmIngestSlot* slot_arr = slots();
   std::size_t delivered = 0;
   // Once the stall budget fires, the whole contiguous run of uncommitted
   // slots is almost certainly one crashed producer's claimed batch — skip
   // it in this pass instead of paying the budget again per slot.
   bool skipping_run = false;
-  while (cur.next < head) {
-    const ShmIngestSlot& slot = slot_arr[cur.next % cap];
+  while (sc.next < head) {
+    const ShmIngestSlot& slot = arr[sc.next % cap];
     const std::uint64_t c1 = slot.commit.load(std::memory_order_acquire);
-    if (c1 == cur.next + 1) {
+    if (c1 == sc.next + 1) {
       // Copy out, then re-check the seqlock word.
       ShmIngestSlot::Body body;
       util::tsan_relaxed_copy(body, slot.body);
@@ -344,28 +660,42 @@ std::size_t ShmIngestQueue::drain(Cursor& cur, const DrainFn& fn,
         core::TargetRate target;
         target.min_bps = std::bit_cast<double>(body.target_min_bits);
         target.max_bps = std::bit_cast<double>(body.target_max_bits);
-        fn(std::string_view(body.app), body.rec, target);
-        ++delivered;
-        ++cur.consumed;
-        ++cur.next;
-        cur.stalls = 0;
+        // Unpack the frame: record i is base + per-record tag/delta. A
+        // frame accepted by the seqlock always carries 1..3 records; the
+        // clamp is pure defense against a corrupted segment.
+        std::uint32_t n = body.count;
+        if (n - 1 >= kIngestFrameRecords) n = 1;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          core::HeartbeatRecord rec{};
+          rec.timestamp_ns = body.base_ts_ns + body.ts_delta_ns[i];
+          rec.seq = body.base_seq + i;
+          rec.tag = body.tags[i];
+          rec.thread_id = body.thread_id;
+          fn(std::string_view(body.app), rec, target);
+        }
+        delivered += n;
+        totals.consumed += n;
+        ++totals.consumed_frames;
+        if (lane) totals.lane_records += n;
+        ++sc.next;
+        sc.stalls = 0;
         skipping_run = false;
         continue;
       }
-      // Overwritten mid-copy: a producer lapped us; this seq's record is
+      // Overwritten mid-copy: a producer lapped us; this frame is
       // unrecoverable but the copy was never delivered, so nothing torn
       // ever reaches the hub.
-      ++cur.dropped;
-      ++cur.next;
-      cur.stalls = 0;
+      ++totals.dropped;
+      ++sc.next;
+      sc.stalls = 0;
       skipping_run = false;
       continue;
     }
-    if (c1 > cur.next + 1) {
-      // A later lap already committed here; this seq was overwritten.
-      ++cur.dropped;
-      ++cur.next;
-      cur.stalls = 0;
+    if (c1 > sc.next + 1) {
+      // A later lap already committed here; this frame was overwritten.
+      ++totals.dropped;
+      ++sc.next;
+      sc.stalls = 0;
       skipping_run = false;
       continue;
     }
@@ -373,18 +703,45 @@ std::size_t ShmIngestQueue::drain(Cursor& cur, const DrainFn& fn,
     // this seq has not published yet — in flight, or dead mid-batch. Give
     // it max_stall_polls drains, then skip the slot (and the rest of its
     // uncommitted run) for good.
-    if (skipping_run || cur.stalls >= max_stall_polls) {
-      ++cur.torn;
-      ++cur.next;
-      cur.stalls = 0;
+    if (skipping_run || sc.stalls >= max_stall_polls) {
+      ++totals.torn;
+      ++sc.next;
+      sc.stalls = 0;
       skipping_run = true;
       continue;
     }
-    ++cur.stalls;  // one stall credit per drain call
+    ++sc.stalls;  // one stall credit per drain call
     break;
   }
+  return delivered;
+}
+
+std::size_t ShmIngestQueue::drain(Cursor& cur, const DrainFn& fn,
+                                  std::uint32_t max_stall_polls) {
+  // Mirror the cursor's per-drain deltas into the process-wide registry on
+  // exit (one add per counter per drain, not per record).
+  const std::uint64_t dropped_before = cur.dropped;
+  const std::uint64_t torn_before = cur.torn;
+  const std::uint64_t lane_before = cur.lane_records;
+
+  std::size_t delivered =
+      drain_stream(slots(), capacity_,
+                   header()->head.load(std::memory_order_acquire), cur.main,
+                   /*lane=*/false, cur, fn, max_stall_polls);
+
+  const ShmIngestLane* lanes = lane_headers();
+  for (std::uint32_t i = 0; i < lane_count_; ++i) {
+    const std::uint64_t lh = lanes[i].head.load(std::memory_order_acquire);
+    if (lh == cur.lanes[i].next) continue;
+    delivered += drain_stream(lane_slots(i), lane_capacity_, lh, cur.lanes[i],
+                              /*lane=*/true, cur, fn, max_stall_polls);
+  }
+
   const ShmMetrics& metrics = ShmMetrics::get();
   if (delivered > 0) metrics.drained->add(delivered);
+  if (cur.lane_records > lane_before) {
+    metrics.lane_drained->add(cur.lane_records - lane_before);
+  }
   if (cur.dropped > dropped_before) {
     metrics.dropped->add(cur.dropped - dropped_before);
   }
@@ -413,9 +770,13 @@ ShmHubSink::ShmHubSink(std::shared_ptr<core::BeatStore> inner,
       opts_(opts) {
   if (opts_.flush_every == 0) opts_.flush_every = 1;
   buf_.reserve(opts_.flush_every);
+  if (opts_.use_fast_lane) lane_ = queue_->claim_lane();
 }
 
-ShmHubSink::~ShmHubSink() { flush(); }
+ShmHubSink::~ShmHubSink() {
+  flush();
+  if (lane_ >= 0) queue_->release_lane(lane_);
+}
 
 std::uint64_t ShmHubSink::append(const core::HeartbeatRecord& rec) {
   const std::uint64_t seq = inner_->append(rec);
@@ -442,7 +803,13 @@ void ShmHubSink::flush() {
 
 void ShmHubSink::flush_locked() {
   if (buf_.empty()) return;
-  queue_->append_batch(app_, buf_, inner_->target());
+  // mu_ is what makes the lane's single-writer contract hold: every
+  // append_batch_lane on this sink's lane goes through this method.
+  if (lane_ >= 0) {
+    queue_->append_batch_lane(lane_, app_, buf_, inner_->target());
+  } else {
+    queue_->append_batch(app_, buf_, inner_->target());
+  }
   buf_.clear();
 }
 

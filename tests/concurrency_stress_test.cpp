@@ -278,19 +278,108 @@ TEST(ConcurrencyStress, ShmRingProducersVsConsumerConservation) {
   }
   for (std::thread& t : threads) t.join();
   // Producers finished; drain whatever is still committed ahead of us.
-  while (cur.next < queue->produced()) {
+  while (cur.main.next < queue->produced()) {
     queue->drain(cur, sink);
   }
 
-  // Conservation: every claimed seq is accounted for exactly once.
+  // Conservation: every claimed frame is accounted for exactly once.
+  // append() writes one single-record frame per beat, so frames == beats.
   EXPECT_EQ(queue->produced(), kProducers * beats_per_producer);
-  EXPECT_EQ(cur.consumed + cur.dropped + cur.torn, queue->produced());
+  EXPECT_EQ(cur.consumed_frames + cur.dropped + cur.torn, queue->produced());
   EXPECT_EQ(cur.consumed, delivered);
   // Live producers never leave torn slots behind for good: every skipped
   // slot is one a producer later committed — a lap, already counted. A
   // nonzero torn count here is legal (stall budget under TSan slowness)
   // but delivery must still have happened for most of the traffic.
   EXPECT_GT(delivered, 0u);
+
+  queue.reset();
+  fs::remove_all(dir);
+}
+
+// Park/wake drill: producers racing the consumer's decision to park on the
+// futex doorbell. The dangerous interleaving is publish-vs-park — a
+// producer's relaxed parked-check missing a consumer that is just sliding
+// into FUTEX_WAIT. The protocol's answer is the bounded timeout plus the
+// pre-wait re-check; conservation proves no beat is ever lost to a missed
+// wake (the ring is sized so nothing can drop, so every record must be
+// consumed). Producers alternate the shared MPSC ring and SPSC fast lanes
+// so both publish paths race the park decision.
+TEST(ConcurrencyStress, ShmRingParkWakeDrill) {
+  if (!transport::ShmIngestQueue::doorbell_supported()) {
+    GTEST_SKIP() << "no futex on this platform";
+  }
+  constexpr std::size_t kProducers = 4;
+  const std::size_t beats_per_producer = scaled(4000);
+  const auto total = kProducers * beats_per_producer;
+
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("hb_conc_parkwake_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  // Shared ring and every lane sized to hold the full run: with laps
+  // impossible, conservation must be exact (dropped == torn == 0).
+  auto queue = transport::ShmIngestQueue::create(
+      dir / "ring.hbq", static_cast<std::uint32_t>(total),
+      static_cast<std::uint32_t>(beats_per_producer));
+
+  std::atomic<std::size_t> producers_done{0};
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      const std::string app = "app" + std::to_string(p);
+      const int lane = p % 2 == 0 ? queue->claim_lane() : -1;
+      for (std::size_t i = 0; i < beats_per_producer; ++i) {
+        const std::uint64_t stamp = (p << 48) | i;
+        core::HeartbeatRecord rec;
+        rec.timestamp_ns = static_cast<util::TimeNs>(stamp);
+        rec.tag = stamp;
+        if (lane >= 0) {
+          queue->append_batch_lane(lane, app, {&rec, 1},
+                                   core::TargetRate{1.0, 2.0});
+        } else {
+          queue->append(app, rec, core::TargetRate{1.0, 2.0});
+        }
+      }
+      // Lanes stay claimed until the books are checked: releasing early
+      // would let the other lane producer REUSE this lane, and a reused
+      // lane legally laps the consumer (that is drop accounting working,
+      // not a missed wake). The queue destructor releases them.
+      producers_done.fetch_add(1, std::memory_order_acq_rel);
+    });
+  }
+
+  transport::ShmIngestQueue::Cursor cur;
+  std::uint64_t delivered = 0;
+  const auto sink = [&](std::string_view, const core::HeartbeatRecord& rec,
+                        core::TargetRate) {
+    ++delivered;
+    EXPECT_EQ(rec.tag, static_cast<std::uint64_t>(rec.timestamp_ns));
+  };
+  // The consumer parks EVERY time the ring looks empty — maximum exposure
+  // of the park window to racing publishes. The 5ms timeout keeps a
+  // genuinely missed wake from stalling the drill. The stall budget is
+  // effectively infinite: every producer is a live thread that will
+  // finish its publish, so a frame must never be torn off by scheduler
+  // preemption — exact conservation is the point of the drill.
+  constexpr std::uint32_t kNoTearing = 1u << 20;
+  for (;;) {
+    queue->drain(cur, sink, kNoTearing);
+    if (producers_done.load(std::memory_order_acquire) == kProducers &&
+        !queue->has_frames(cur)) {
+      break;
+    }
+    queue->wait_for_frames(cur, 5 * util::kNsPerMs);
+  }
+  for (std::thread& t : threads) t.join();
+  queue->drain(cur, sink, kNoTearing);
+
+  // Nothing could drop, so the books must balance to the record.
+  EXPECT_EQ(delivered, total);
+  EXPECT_EQ(cur.consumed, total);
+  EXPECT_EQ(cur.dropped, 0u);
+  EXPECT_EQ(cur.torn, 0u);
+  EXPECT_GT(cur.lane_records, 0u);  // the lane path really ran
 
   queue.reset();
   fs::remove_all(dir);

@@ -7,10 +7,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fstream>
@@ -76,9 +78,15 @@ class ShmIngestTest : public ::testing::Test {
 
 TEST(ShmIngestLayout, SegmentSizes) {
   EXPECT_EQ(sizeof(ShmIngestHeader), 128u);
+  EXPECT_EQ(sizeof(ShmIngestLane), 64u);
   EXPECT_EQ(sizeof(ShmIngestSlot), 128u);
-  EXPECT_EQ(shm_ingest_segment_size(0), 128u);
-  EXPECT_EQ(shm_ingest_segment_size(64), 128u + 64u * 128u);
+  EXPECT_EQ(sizeof(ShmIngestSlot::Body), 120u);
+  // header + lane headers + shared ring + lane rings
+  const std::size_t fixed = 128u + kIngestLanes * 64u;
+  EXPECT_EQ(shm_ingest_segment_size(0, 2),
+            fixed + kIngestLanes * 2u * 128u);
+  EXPECT_EQ(shm_ingest_segment_size(64, 16),
+            fixed + 64u * 128u + kIngestLanes * 16u * 128u);
 }
 
 TEST_F(ShmIngestTest, CreateAttachRoundTrip) {
@@ -174,10 +182,10 @@ TEST_F(ShmIngestTest, CrashedProducerSlotSkippedAfterStallBudget) {
   // blocks progress.
   auto out = drain_all(*q, cur, /*max_stall=*/2);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(cur.stalls, 1u);
+  EXPECT_EQ(cur.main.stalls, 1u);
   // Drain 2: still blocked.
   EXPECT_TRUE(drain_all(*q, cur, 2).empty());
-  EXPECT_EQ(cur.stalls, 2u);
+  EXPECT_EQ(cur.main.stalls, 2u);
   // Drain 3: stall budget exhausted — both torn slots are skipped and the
   // live producer's record is delivered. The consumer never wedges.
   out = drain_all(*q, cur, 2);
@@ -313,20 +321,250 @@ TEST_F(ShmIngestTest, HubSinkMirrorsSharedChannelOnly) {
 TEST_F(ShmIngestTest, SinkBatchesAndHonorsMaxHold) {
   auto q = ShmIngestQueue::create(file(), 64);
   auto inner = std::make_shared<core::MemoryStore>(64, true, 10);
+  // use_fast_lane off so produced() (shared-ring frames) observes flushes.
   ShmHubSink sink(inner, q, "batchy",
-                  {.flush_every = 8, .max_hold_ns = 10 * kNsPerMs});
+                  {.flush_every = 8, .max_hold_ns = 10 * kNsPerMs,
+                   .use_fast_lane = false});
+  EXPECT_EQ(sink.lane(), -1);
 
   sink.append(rec_at(0));
   sink.append(rec_at(1 * kNsPerMs));
   EXPECT_EQ(q->produced(), 0u);  // buffered below flush_every
   // 20ms after the oldest buffered beat: the hold bound flushes the batch.
+  // The three records share a thread and consecutive store seqs, so the
+  // whole flush packs into ONE frame.
   sink.append(rec_at(20 * kNsPerMs));
-  EXPECT_EQ(q->produced(), 3u);
+  EXPECT_EQ(q->produced(), 1u);
 
   sink.append(rec_at(21 * kNsPerMs));
-  EXPECT_EQ(q->produced(), 3u);
+  EXPECT_EQ(q->produced(), 1u);
   sink.flush();  // manual flush pushes the partial batch
-  EXPECT_EQ(q->produced(), 4u);
+  EXPECT_EQ(q->produced(), 2u);
+
+  // All four records come through intact despite occupying two frames.
+  ShmIngestQueue::Cursor cur;
+  const auto out = drain_all(*q, cur);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(cur.consumed_frames, 2u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].rec.seq, i);  // store-assigned seqs survive packing
+  }
+}
+
+TEST_F(ShmIngestTest, SinkFastLaneBypassesSharedRing) {
+  auto q = ShmIngestQueue::create(file(), 64);
+  auto inner = std::make_shared<core::MemoryStore>(64, true, 10);
+  ShmHubSink sink(inner, q, "laner", {.flush_every = 3});
+  ASSERT_GE(sink.lane(), 0);
+  EXPECT_NE(q->lane_owner(static_cast<std::uint32_t>(sink.lane())), 0u);
+
+  for (int i = 0; i < 6; ++i) sink.append(rec_at(i * kNsPerMs));
+  // Everything went through the lane: the shared ring never moved, and the
+  // two 3-record flushes packed into one lane frame each.
+  EXPECT_EQ(q->produced(), 0u);
+  EXPECT_EQ(q->lane_produced(static_cast<std::uint32_t>(sink.lane())), 2u);
+
+  ShmIngestQueue::Cursor cur;
+  const auto out = drain_all(*q, cur);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(cur.lane_records, 6u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].app, "laner");
+    EXPECT_EQ(out[i].rec.seq, i);
+  }
+}
+
+TEST_F(ShmIngestTest, PackedFramesRoundTripExactly) {
+  auto q = ShmIngestQueue::create(file(), 32);
+  // Seven packable records (one thread, consecutive seqs, sub-u32 ts
+  // deltas): 3+3+1 across three frames, one claim.
+  std::vector<core::HeartbeatRecord> recs;
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    core::HeartbeatRecord r;
+    r.timestamp_ns = static_cast<util::TimeNs>(100 * kNsPerMs + i * 3333);
+    r.seq = 40 + i;
+    r.tag = 0x1000 + i;
+    r.thread_id = 77;
+    recs.push_back(r);
+  }
+  EXPECT_EQ(q->append_batch("packer", recs, {3.0, 8.0}), 0u);
+  EXPECT_EQ(q->produced(), 3u);  // ceil(7 / 3) frames, not 7 slots
+
+  ShmIngestQueue::Cursor cur;
+  const auto out = drain_all(*q, cur);
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(cur.consumed, 7u);
+  EXPECT_EQ(cur.consumed_frames, 3u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].app, "packer");
+    EXPECT_EQ(out[i].rec.timestamp_ns, recs[i].timestamp_ns);
+    EXPECT_EQ(out[i].rec.seq, recs[i].seq);
+    EXPECT_EQ(out[i].rec.tag, recs[i].tag);
+    EXPECT_EQ(out[i].rec.thread_id, 77u);
+    EXPECT_DOUBLE_EQ(out[i].target.min_bps, 3.0);
+    EXPECT_DOUBLE_EQ(out[i].target.max_bps, 8.0);
+  }
+}
+
+TEST_F(ShmIngestTest, UnpackableRecordsStartFreshFrames) {
+  auto q = ShmIngestQueue::create(file(), 32);
+  // Every packing constraint broken in turn: a thread switch, a seq gap,
+  // and a timestamp delta that overflows u32 each force a frame break.
+  std::vector<core::HeartbeatRecord> recs(4);
+  recs[0].timestamp_ns = 1;
+  recs[0].seq = 10;
+  recs[0].thread_id = 1;
+  recs[1] = recs[0];
+  recs[1].thread_id = 2;  // thread switch
+  recs[1].seq = 11;
+  recs[2] = recs[1];
+  recs[2].seq = 20;  // seq gap
+  recs[3] = recs[2];
+  recs[3].seq = 21;
+  recs[3].timestamp_ns = recs[2].timestamp_ns + (1LL << 40);  // delta > u32
+  q->append_batch("a", recs, {});
+  EXPECT_EQ(q->produced(), 4u);  // nothing packed
+
+  ShmIngestQueue::Cursor cur;
+  const auto out = drain_all(*q, cur);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].rec.seq, recs[i].seq);
+    EXPECT_EQ(out[i].rec.timestamp_ns, recs[i].timestamp_ns);
+    EXPECT_EQ(out[i].rec.thread_id, recs[i].thread_id);
+  }
+}
+
+TEST_F(ShmIngestTest, VersionMismatchRejectedOnAttach) {
+  auto q = ShmIngestQueue::create(file(), 8);
+  q.reset();
+  // Rewrite the header's version field (offset 8, after the u64 magic) to
+  // the retired v1 — exactly what a stale pre-upgrade ring file looks like.
+  std::FILE* f = std::fopen(file().c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const std::uint32_t old_version = 1;
+  ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);
+  std::fwrite(&old_version, sizeof(old_version), 1, f);
+  std::fclose(f);
+  EXPECT_THROW(ShmIngestQueue::attach(file()), std::runtime_error);
+}
+
+TEST_F(ShmIngestTest, LaneReclaimAfterProducerCrash) {
+  auto q = ShmIngestQueue::create(file(), 32);
+  // A child process claims a lane, publishes one record tagged with its
+  // lane index, and dies WITHOUT releasing (simulated crash: _exit skips
+  // destructors).
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto child_q = ShmIngestQueue::attach(file());
+    const int lane = child_q->claim_lane();
+    if (lane < 0) ::_exit(2);
+    const auto rec = rec_at(1, static_cast<std::uint64_t>(lane));
+    child_q->append_batch_lane(lane, "victim", {&rec, 1}, {});
+    ::_exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  // The record the dead producer published still drains fine.
+  ShmIngestQueue::Cursor cur;
+  const auto out = drain_all(*q, cur);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].app, "victim");
+  const auto dead_lane = static_cast<std::uint32_t>(out[0].rec.tag);
+  EXPECT_NE(q->lane_owner(dead_lane), 0u);  // still marked owned by the dead pid
+
+  // Claiming every lane must succeed: kIngestLanes - 1 free ones plus the
+  // dead producer's lane, reclaimed because kill(pid, 0) says ESRCH.
+  std::vector<int> claimed;
+  for (std::uint32_t i = 0; i < kIngestLanes; ++i) {
+    const int lane = q->claim_lane();
+    ASSERT_GE(lane, 0) << "claim " << i << " failed; reclaim did not fire";
+    claimed.push_back(lane);
+  }
+  EXPECT_NE(std::find(claimed.begin(), claimed.end(),
+                      static_cast<int>(dead_lane)),
+            claimed.end());
+  // All lanes now held by THIS live process: a further claim reports none.
+  EXPECT_EQ(q->claim_lane(), -1);
+
+  // The reclaimed lane continues its frame sequence; drains stay exact.
+  const auto heir_rec = rec_at(2, 9);
+  q->append_batch_lane(static_cast<int>(dead_lane), "heir", {&heir_rec, 1},
+                       {});
+  const auto heir = drain_all(*q, cur);
+  ASSERT_EQ(heir.size(), 1u);
+  EXPECT_EQ(heir[0].app, "heir");
+  EXPECT_EQ(q->lane_produced(dead_lane), 2u);
+}
+
+TEST_F(ShmIngestTest, DoorbellWakesParkedConsumer) {
+  if (!ShmIngestQueue::doorbell_supported()) {
+    GTEST_SKIP() << "no futex on this platform";
+  }
+  auto q = ShmIngestQueue::create(file(), 32);
+  ShmIngestQueue::Cursor cur;
+
+  // Quiet ring, short timeout: the wait must end in kTimeout, not hang.
+  EXPECT_EQ(q->wait_for_frames(cur, 2 * kNsPerMs),
+            ShmIngestQueue::WaitResult::kTimeout);
+
+  // Pending frames: never parks at all.
+  q->append("a", rec_at(1), {});
+  EXPECT_EQ(q->wait_for_frames(cur, 2 * kNsPerMs),
+            ShmIngestQueue::WaitResult::kReady);
+  drain_all(*q, cur);
+
+  // A producer publishing while we are parked rings the doorbell; the
+  // generous timeout only bounds a lost wake, not the expected path.
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q->append("a", rec_at(2), {});
+  });
+  const auto r = q->wait_for_frames(cur, 5000 * kNsPerMs);
+  producer.join();
+  EXPECT_TRUE(r == ShmIngestQueue::WaitResult::kWoken ||
+              r == ShmIngestQueue::WaitResult::kReady);
+  EXPECT_GE(q->doorbell_rings(), 1u);
+  EXPECT_EQ(drain_all(*q, cur).size(), 1u);
+}
+
+TEST_F(ShmIngestTest, PumpWaitBlocksOnDoorbellAndResetsBackoff) {
+  if (!ShmIngestQueue::doorbell_supported()) {
+    GTEST_SKIP() << "no futex on this platform";
+  }
+  auto q = ShmIngestQueue::create(file(), 32);
+  hub::HeartbeatHub hub;
+  hub::ShmIngestPump pump(q, hub,
+                          {.idle_sleep_min_ns = 1 * kNsPerMs,
+                           .idle_sleep_max_ns = 8 * kNsPerMs,
+                           .doorbell_timeout_ns = 5 * kNsPerMs});
+
+  // Idle: waits end in timeouts; empty polls still grow the backoff.
+  EXPECT_EQ(pump.poll(), 0u);
+  EXPECT_FALSE(pump.wait(2 * kNsPerMs));
+  EXPECT_EQ(pump.poll(), 0u);
+  EXPECT_EQ(pump.stats().wait_timeouts, 1u);
+  EXPECT_EQ(pump.suggested_sleep_ns(), 4 * kNsPerMs);
+
+  // A producer ringing the doorbell mid-wait: wait() reports work and the
+  // backoff schedule snaps back to the floor (the doorbell wake IS the
+  // "ring went busy" signal — satellite fix).
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q->append("a", rec_at(1), {});
+  });
+  bool woke = false;
+  for (int i = 0; i < 2000 && !woke; ++i) woke = pump.wait(5000 * kNsPerMs);
+  producer.join();
+  EXPECT_TRUE(woke);
+  EXPECT_EQ(pump.suggested_sleep_ns(), 1 * kNsPerMs);
+  EXPECT_EQ(pump.poll(), 1u);
+  const auto stats = pump.stats();
+  EXPECT_GE(stats.parks, 2u);
+  EXPECT_GE(stats.doorbell_wakes, 1u);
 }
 
 // The acceptance-shaping smoke: P forked producer processes feed the ring;
